@@ -1,0 +1,43 @@
+//! Candidate-generation throughput: inverted-index similarity join versus
+//! the brute-force pairwise scan (the machine stage of the hybrid
+//! pipeline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowdjoin_matcher::{generate_candidates, generate_candidates_bruteforce, MatcherConfig};
+use crowdjoin_records::{generate_paper, ClusterSpec, PaperGenConfig, PerturbConfig};
+use std::hint::black_box;
+
+fn dataset(n: usize) -> crowdjoin_records::Dataset {
+    generate_paper(&PaperGenConfig {
+        num_records: n,
+        clusters: ClusterSpec::PowerLaw { alpha: 1.9, max_size: n / 10, force_max: true },
+        perturb: PerturbConfig::heavy(),
+        sibling_probability: 0.3,
+        seed: 9,
+    })
+}
+
+fn bench_candidate_gen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("candidate_gen");
+    group.sample_size(10);
+    for &n in &[100usize, 300] {
+        let ds = dataset(n);
+        let cfg = MatcherConfig::for_arity(5);
+        group.bench_with_input(BenchmarkId::new("inverted_index", n), &ds, |b, ds| {
+            b.iter(|| black_box(generate_candidates(ds, &cfg).len()));
+        });
+        group.bench_with_input(BenchmarkId::new("bruteforce", n), &ds, |b, ds| {
+            b.iter(|| black_box(generate_candidates_bruteforce(ds, &cfg).len()));
+        });
+    }
+    // Full-scale indexed run (brute force omitted: quadratic).
+    let ds = dataset(997);
+    let cfg = MatcherConfig::for_arity(5);
+    group.bench_with_input(BenchmarkId::new("inverted_index", 997usize), &ds, |b, ds| {
+        b.iter(|| black_box(generate_candidates(ds, &cfg).len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_candidate_gen);
+criterion_main!(benches);

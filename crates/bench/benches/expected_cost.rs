@@ -1,0 +1,63 @@
+//! Scaling of the exact expected-cost machinery (Section 4.2 analysis):
+//! consistent-world enumeration is exponential in the number of pairs, and
+//! brute-force order search is factorial — the benches document exactly how
+//! far the exact tooling reaches (and why the paper needs the heuristic).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowdjoin_core::{Pair, ScoredPair, WorldEnumeration};
+use crowdjoin_util::SplitMix64;
+use std::hint::black_box;
+
+fn instance(n_pairs: usize, seed: u64) -> (usize, Vec<ScoredPair>) {
+    let n_objects = (n_pairs / 2 + 2) as u32;
+    let mut rng = SplitMix64::new(seed);
+    let mut seen = std::collections::BTreeSet::new();
+    let mut pairs = Vec::new();
+    while pairs.len() < n_pairs {
+        let a = (rng.next_u64() % n_objects as u64) as u32;
+        let b = (rng.next_u64() % n_objects as u64) as u32;
+        if a != b {
+            let p = Pair::new(a, b);
+            if seen.insert(p) {
+                pairs.push(ScoredPair::new(p, rng.next_f64()));
+            }
+        }
+    }
+    (n_objects as usize, pairs)
+}
+
+fn bench_world_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expected_cost/enumerate_worlds");
+    for &m in &[8usize, 12, 16] {
+        let (n, pairs) = instance(m, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &pairs, |b, pairs| {
+            b.iter(|| black_box(WorldEnumeration::new(n, pairs).unwrap().num_worlds()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_expected_cost_eval(c: &mut Criterion) {
+    let (n, pairs) = instance(12, 5);
+    let we = WorldEnumeration::new(n, &pairs).unwrap();
+    let order: Vec<usize> = (0..pairs.len()).collect();
+    c.bench_function("expected_cost/eval_one_order_12_pairs", |b| {
+        b.iter(|| black_box(we.expected_cost(black_box(&order))));
+    });
+}
+
+fn bench_brute_force(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expected_cost/brute_force_optimal");
+    group.sample_size(10);
+    for &m in &[5usize, 6, 7] {
+        let (n, pairs) = instance(m, 9);
+        let we = WorldEnumeration::new(n, &pairs).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &we, |b, we| {
+            b.iter(|| black_box(we.brute_force_optimal().1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_world_enumeration, bench_expected_cost_eval, bench_brute_force);
+criterion_main!(benches);

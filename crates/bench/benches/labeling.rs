@@ -1,0 +1,64 @@
+//! End-to-end labeling throughput on the full Paper workload: sequential vs
+//! parallel labelers under each labeling order. Wall-clock here measures the
+//! *framework's* cost per labeled pair (graph maintenance + deduction), not
+//! crowd latency — that's what the simulator benches cover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowdjoin_bench::paper_workload;
+use crowdjoin_core::{
+    label_sequential, run_parallel_rounds, sort_pairs, GroundTruthOracle, SortStrategy,
+};
+use std::hint::black_box;
+
+fn bench_orders(c: &mut Criterion) {
+    let wl = paper_workload();
+    let task = wl.task_at(0.3);
+    let n = task.candidates().num_objects();
+
+    let mut group = c.benchmark_group("labeling/sequential_997_records_t03");
+    group.sample_size(10);
+    for name in ["optimal", "expected", "random", "worst"] {
+        let strategy = match name {
+            "optimal" => SortStrategy::Optimal(&wl.truth),
+            "expected" => SortStrategy::ExpectedLikelihood,
+            "random" => SortStrategy::Random { seed: 3 },
+            _ => SortStrategy::Worst(&wl.truth),
+        };
+        let order = sort_pairs(task.candidates(), strategy);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &order, |b, order| {
+            b.iter(|| {
+                let mut oracle = GroundTruthOracle::new(&wl.truth);
+                black_box(label_sequential(n, order, &mut oracle).num_crowdsourced())
+            });
+        });
+    }
+    group.finish();
+
+    let order = sort_pairs(task.candidates(), SortStrategy::ExpectedLikelihood);
+    let mut group = c.benchmark_group("labeling/parallel_997_records_t03");
+    group.sample_size(10);
+    group.bench_function("parallel_rounds", |b| {
+        b.iter(|| {
+            let mut oracle = GroundTruthOracle::new(&wl.truth);
+            let (result, stats) = run_parallel_rounds(n, order.clone(), &mut oracle);
+            black_box((result.num_crowdsourced(), stats.num_iterations()))
+        });
+    });
+    group.finish();
+
+    // Sorting cost itself.
+    let mut group = c.benchmark_group("labeling/sort");
+    for name in ["expected", "random"] {
+        group.bench_function(name, |b| {
+            let strategy = match name {
+                "expected" => SortStrategy::ExpectedLikelihood,
+                _ => SortStrategy::Random { seed: 1 },
+            };
+            b.iter(|| black_box(sort_pairs(task.candidates(), strategy).len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orders);
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! Ablation of the ClusterGraph's cluster-merge strategy.
+//!
+//! When a matching insert merges two clusters, their non-matching adjacency
+//! sets must combine. The production `ClusterGraph` migrates the **smaller**
+//! set through a root→slot indirection, independent of which component wins
+//! the union-by-size. The obvious alternative — always migrating the
+//! absorbed root's set — degenerates when a high-degree cluster keeps
+//! getting absorbed into successively larger components: Θ(t·K) moved edges
+//! over t merges instead of O(t).
+//!
+//! `NaiveClusterGraph` below implements that alternative so the bench can
+//! demonstrate the gap on exactly that adversarial shape, plus parity on a
+//! benign random workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowdjoin_graph::{ClusterGraph, EdgeLabel, UnionFind};
+use crowdjoin_util::{FxHashSet, SplitMix64};
+use std::hint::black_box;
+
+/// Merge strategy that always migrates the absorbed root's adjacency set.
+struct NaiveClusterGraph {
+    uf: UnionFind,
+    adj: Vec<FxHashSet<u32>>,
+}
+
+impl NaiveClusterGraph {
+    fn new(n: usize) -> Self {
+        Self { uf: UnionFind::new(n), adj: vec![FxHashSet::default(); n] }
+    }
+
+    fn deduce(&mut self, a: u32, b: u32) -> Option<EdgeLabel> {
+        let ra = self.uf.find(a);
+        let rb = self.uf.find(b);
+        if ra == rb {
+            return Some(EdgeLabel::Matching);
+        }
+        if self.adj[ra as usize].contains(&rb) {
+            Some(EdgeLabel::NonMatching)
+        } else {
+            None
+        }
+    }
+
+    fn insert(&mut self, a: u32, b: u32, label: EdgeLabel) {
+        match label {
+            EdgeLabel::Matching => {
+                if let Some((winner, absorbed)) = self.uf.union(a, b) {
+                    // Always migrate the absorbed root's set — the strategy
+                    // under test.
+                    let moved = std::mem::take(&mut self.adj[absorbed as usize]);
+                    for t in moved {
+                        self.adj[t as usize].remove(&absorbed);
+                        self.adj[t as usize].insert(winner);
+                        self.adj[winner as usize].insert(t);
+                    }
+                }
+            }
+            EdgeLabel::NonMatching => {
+                let ra = self.uf.find(a);
+                let rb = self.uf.find(b);
+                self.adj[ra as usize].insert(rb);
+                self.adj[rb as usize].insert(ra);
+            }
+        }
+    }
+}
+
+/// Adversarial sequence: a hub with `k` non-matching edges is swallowed by
+/// geometrically growing clusters `rounds` times. The naive strategy moves
+/// the hub's k edges at every merge; the slot strategy moves them once.
+fn adversarial(k: u32, rounds: u32) -> (usize, Vec<(u32, u32, EdgeLabel)>) {
+    let mut seq = Vec::new();
+    let hub = 0u32;
+    // k non-matching neighbors: ids 1..=k.
+    for n in 1..=k {
+        seq.push((hub, n, EdgeLabel::NonMatching));
+    }
+    // Growing clusters out of fresh ids; each round builds a cluster one
+    // bigger than the hub's current component, then merges the hub in.
+    let mut next = k + 1;
+    let mut hub_size = 1u32;
+    for _ in 0..rounds {
+        let target = hub_size + 1;
+        let base = next;
+        for i in 0..target - 1 {
+            seq.push((base, base + i + 1, EdgeLabel::Matching));
+        }
+        next += target;
+        seq.push((hub, base, EdgeLabel::Matching));
+        hub_size += target;
+    }
+    (next as usize, seq)
+}
+
+/// Benign random consistent workload for the parity check.
+fn random_workload(n: u32, seed: u64) -> (usize, Vec<(u32, u32, EdgeLabel)>) {
+    let mut rng = SplitMix64::new(seed);
+    let entity: Vec<u32> =
+        (0..n).map(|_| (rng.next_u64() % (n as u64 / 2).max(1)) as u32).collect();
+    let mut seq = Vec::new();
+    for _ in 0..n * 4 {
+        let a = (rng.next_u64() % n as u64) as u32;
+        let b = (rng.next_u64() % n as u64) as u32;
+        if a != b {
+            let label = if entity[a as usize] == entity[b as usize] {
+                EdgeLabel::Matching
+            } else {
+                EdgeLabel::NonMatching
+            };
+            seq.push((a, b, label));
+        }
+    }
+    (n as usize, seq)
+}
+
+fn run_slot(n: usize, seq: &[(u32, u32, EdgeLabel)]) -> usize {
+    let mut g = ClusterGraph::new(n);
+    let mut inserted = 0;
+    for &(a, b, label) in seq {
+        if g.deduce(a, b).is_none() {
+            g.insert(a, b, label).expect("consistent");
+            inserted += 1;
+        }
+    }
+    inserted
+}
+
+fn run_naive(n: usize, seq: &[(u32, u32, EdgeLabel)]) -> usize {
+    let mut g = NaiveClusterGraph::new(n);
+    let mut inserted = 0;
+    for &(a, b, label) in seq {
+        if g.deduce(a, b).is_none() {
+            g.insert(a, b, label);
+            inserted += 1;
+        }
+    }
+    inserted
+}
+
+fn bench_merge_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_strategy/adversarial_hub");
+    for &k in &[1_000u32, 4_000] {
+        let (n, seq) = adversarial(k, 12);
+        // Sanity: both strategies agree on what gets inserted.
+        assert_eq!(run_slot(n, &seq), run_naive(n, &seq));
+        group.bench_with_input(BenchmarkId::new("slot_smaller_set", k), &seq, |b, seq| {
+            b.iter(|| black_box(run_slot(n, seq)));
+        });
+        group.bench_with_input(BenchmarkId::new("naive_absorbed_set", k), &seq, |b, seq| {
+            b.iter(|| black_box(run_naive(n, seq)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("merge_strategy/random_parity");
+    let (n, seq) = random_workload(5_000, 7);
+    assert_eq!(run_slot(n, &seq), run_naive(n, &seq));
+    group.bench_function("slot_smaller_set", |b| b.iter(|| black_box(run_slot(n, &seq))));
+    group.bench_function("naive_absorbed_set", |b| b.iter(|| black_box(run_naive(n, &seq))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge_strategies);
+criterion_main!(benches);

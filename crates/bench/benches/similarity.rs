@@ -1,0 +1,46 @@
+//! Microbenchmarks of the string-similarity kernels the machine matcher is
+//! built from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crowdjoin_matcher::{
+    dice, jaccard, jaro_winkler, levenshtein, levenshtein_similarity, overlap, token_set,
+};
+use std::hint::black_box;
+
+const A: &str = "sony bravia kdl-40 lcd television 40 inch black flat panel hdtv";
+const B: &str = "sony bravia kdl40 lcd tv 40in black flatpanel hd television";
+
+fn bench_set_measures(c: &mut Criterion) {
+    let (sa, sb) = (token_set(A), token_set(B));
+    c.bench_function("similarity/jaccard", |bench| {
+        bench.iter(|| black_box(jaccard(black_box(&sa), black_box(&sb))));
+    });
+    c.bench_function("similarity/dice", |bench| {
+        bench.iter(|| black_box(dice(black_box(&sa), black_box(&sb))));
+    });
+    c.bench_function("similarity/overlap", |bench| {
+        bench.iter(|| black_box(overlap(black_box(&sa), black_box(&sb))));
+    });
+    c.bench_function("similarity/tokenize+jaccard", |bench| {
+        bench.iter(|| {
+            let sa = token_set(black_box(A));
+            let sb = token_set(black_box(B));
+            black_box(jaccard(&sa, &sb))
+        });
+    });
+}
+
+fn bench_string_measures(c: &mut Criterion) {
+    c.bench_function("similarity/levenshtein", |bench| {
+        bench.iter(|| black_box(levenshtein(black_box(A), black_box(B))));
+    });
+    c.bench_function("similarity/levenshtein_similarity", |bench| {
+        bench.iter(|| black_box(levenshtein_similarity(black_box(A), black_box(B))));
+    });
+    c.bench_function("similarity/jaro_winkler", |bench| {
+        bench.iter(|| black_box(jaro_winkler(black_box(A), black_box(B))));
+    });
+}
+
+criterion_group!(benches, bench_set_measures, bench_string_measures);
+criterion_main!(benches);

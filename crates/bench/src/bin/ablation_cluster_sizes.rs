@@ -1,0 +1,50 @@
+//! **Ablation (ours)** — the causal link between Figure 10 and Figure 11:
+//! sweep the generator's maximum cluster size (holding records constant) and
+//! measure the transitive savings.
+//!
+//! The paper argues Paper/Cora benefits more than Product/Abt-Buy *because*
+//! its clusters are bigger (a k-cluster costs k−1 instead of k(k−1)/2). This
+//! sweep demonstrates the relationship directly on one dataset family.
+
+use crowdjoin_bench::print_table;
+use crowdjoin_core::{optimal_cost, GroundTruthOracle, LabelingTask, SortStrategy};
+use crowdjoin_matcher::MatcherConfig;
+use crowdjoin_records::{generate_paper, ClusterSpec, PaperGenConfig, PerturbConfig};
+
+fn main() {
+    let seed = crowdjoin_bench::experiment_seed();
+    let mut rows = Vec::new();
+    for &max_size in &[2usize, 5, 10, 25, 50, 100] {
+        let dataset = generate_paper(&PaperGenConfig {
+            num_records: 600,
+            clusters: ClusterSpec::PowerLaw { alpha: 1.9, max_size, force_max: max_size > 1 },
+            perturb: PerturbConfig::heavy(),
+            sibling_probability: 0.3,
+            seed,
+        });
+        let (task, truth): (LabelingTask, _) =
+            crowdjoin::build_task(&dataset, &MatcherConfig::for_arity(5), 0.3);
+        let candidates = task.candidates().len();
+        if candidates == 0 {
+            continue;
+        }
+        let optimal = optimal_cost(task.candidates(), &truth).total();
+        let mut oracle = GroundTruthOracle::new(&truth);
+        let expected =
+            task.run_sequential(SortStrategy::ExpectedLikelihood, &mut oracle).num_crowdsourced();
+        rows.push(vec![
+            max_size.to_string(),
+            candidates.to_string(),
+            optimal.to_string(),
+            expected.to_string(),
+            format!("{:.1}%", 100.0 * (1.0 - optimal as f64 / candidates as f64)),
+        ]);
+    }
+    print_table(
+        "Ablation — savings vs maximum cluster size (600 records, threshold 0.3)",
+        &["max cluster", "candidates", "optimal", "expected", "saving"],
+        &rows,
+    );
+    println!("\nexpected shape: savings grow monotonically with cluster size, from near");
+    println!("zero (1:1-style data, Product regime) to >90% (Cora regime).");
+}

@@ -1,0 +1,50 @@
+//! **Ablation (ours)** — error propagation through deduction: sweep the
+//! per-answer error rate and compare the F-measure of Transitive vs
+//! Non-Transitive labeling.
+//!
+//! This isolates the mechanism behind Table 2's quality loss: a wrong
+//! crowdsourced label poisons every label deduced from it, and the damage
+//! grows with cluster size (one wrong matching edge can merge two whole
+//! clusters). Non-transitive labeling pays for every pair but contains each
+//! error to a single pair.
+
+use crowdjoin_bench::{paper_workload, print_table};
+use crowdjoin_core::{
+    label_non_transitive, label_sequential, sort_pairs, NoisyOracle, QualityMetrics,
+    SortStrategy,
+};
+
+fn main() {
+    let wl = paper_workload();
+    let task = wl.task_at(0.3);
+    let order = sort_pairs(task.candidates(), SortStrategy::ExpectedLikelihood);
+    let n = task.candidates().num_objects();
+    let seed = crowdjoin_bench::experiment_seed();
+
+    let mut rows = Vec::new();
+    for &rate in &[0.0, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3] {
+        let mut o1 = NoisyOracle::new(&wl.truth, rate, seed);
+        let transitive = label_sequential(n, &order, &mut o1);
+        let q_t = QualityMetrics::of_result(&transitive, &wl.truth);
+
+        let mut o2 = NoisyOracle::new(&wl.truth, rate, seed);
+        let baseline = label_non_transitive(&order, &mut o2);
+        let q_b = QualityMetrics::of_result(&baseline, &wl.truth);
+
+        rows.push(vec![
+            format!("{:.0}%", rate * 100.0),
+            format!("{:.2}%", q_b.f_measure() * 100.0),
+            format!("{:.2}%", q_t.f_measure() * 100.0),
+            format!("{:+.2}", (q_t.f_measure() - q_b.f_measure()) * 100.0),
+            transitive.num_crowdsourced().to_string(),
+            baseline.num_crowdsourced().to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation — error propagation (Paper @0.3, per-answer error rate sweep)",
+        &["error rate", "F non-transitive", "F transitive", "ΔF (points)", "T asked", "NT asked"],
+        &rows,
+    );
+    println!("\nexpected shape: ΔF grows increasingly negative with the error rate, while");
+    println!("the transitive arm keeps asking ~10x fewer questions (Table 2's trade-off).");
+}

@@ -1,0 +1,28 @@
+//! Calibration scratch: candidate counts and savings across thresholds.
+use crowdjoin_bench::{paper_workload, product_workload, THRESHOLDS};
+use crowdjoin_core::{optimal_cost, GroundTruthOracle, SortStrategy};
+
+fn main() {
+    for wl in [paper_workload(), product_workload()] {
+        println!("=== {} ===", wl.name);
+        println!("records={} candidates(floor 0.05)={}", wl.dataset.len(), wl.candidates.len());
+        let h = wl.dataset.cluster_size_histogram();
+        println!("clusters: n={} max={}", h.num_buckets(), h.max_bucket().unwrap_or(0));
+        for t in THRESHOLDS {
+            let task = wl.task_at(t);
+            let n = task.candidates().len();
+            let n_match = task.candidates().pairs().iter()
+                .filter(|sp| wl.truth.is_matching(sp.pair)).count();
+            let opt = optimal_cost(task.candidates(), &wl.truth);
+            let mut o = GroundTruthOracle::new(&wl.truth);
+            let exp = task.run_sequential(SortStrategy::ExpectedLikelihood, &mut o);
+            println!("t={t:.1}: candidates={n} (match={n_match}) optimal={} expected={} savings={:.1}%",
+                opt.total(), exp.num_crowdsourced(),
+                100.0 * (1.0 - opt.total() as f64 / n.max(1) as f64));
+        }
+        // recall of the candidate set at floor: fraction of true pairs captured
+        let total_true = wl.truth.num_matching_pairs();
+        let captured = wl.candidates.pairs().iter().filter(|sp| wl.truth.is_matching(sp.pair)).count();
+        println!("true matching pairs={total_true} captured at floor={captured}");
+    }
+}

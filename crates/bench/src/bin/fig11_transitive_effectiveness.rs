@@ -1,0 +1,41 @@
+//! **Figure 11** — effectiveness of transitive relations: number of
+//! crowdsourced pairs, Transitive (optimal labeling order, as in the paper)
+//! vs Non-Transitive, across likelihood thresholds 0.5 → 0.1.
+//!
+//! Paper reference: on Paper/Cora Transitive cuts crowdsourced pairs by
+//! ~95% (e.g. 1,065 vs 29,281 at threshold 0.3); on Product/Abt-Buy the
+//! saving is ~20% at low thresholds (e.g. 6,134 vs 8,315 at 0.2).
+
+use crowdjoin_bench::{paper_workload, print_table, product_workload, THRESHOLDS};
+use crowdjoin_core::{GroundTruthOracle, SortStrategy};
+
+fn main() {
+    for wl in [paper_workload(), product_workload()] {
+        let mut rows = Vec::new();
+        for t in THRESHOLDS {
+            let task = wl.task_at(t);
+            let non_transitive = task.candidates().len();
+            let mut oracle = GroundTruthOracle::new(&wl.truth);
+            let transitive = task
+                .run_sequential(SortStrategy::Optimal(&wl.truth), &mut oracle)
+                .num_crowdsourced();
+            let saving = if non_transitive == 0 {
+                0.0
+            } else {
+                100.0 * (1.0 - transitive as f64 / non_transitive as f64)
+            };
+            rows.push(vec![
+                format!("{t:.1}"),
+                non_transitive.to_string(),
+                transitive.to_string(),
+                format!("{saving:.1}%"),
+            ]);
+        }
+        print_table(
+            &format!("Figure 11 — {} : crowdsourced pairs vs likelihood threshold", wl.name),
+            &["threshold", "Non-Transitive", "Transitive", "saving"],
+            &rows,
+        );
+    }
+    println!("\npaper reference @0.3: Paper 29,281 -> 1,065 (96%); Product @0.2: 8,315 -> 6,134 (26%)");
+}

@@ -1,0 +1,57 @@
+//! The **Non-Transitive** baseline: crowdsource every candidate pair.
+//!
+//! This is what prior hybrid human–machine systems (CrowdER et al.) do once
+//! the machine has produced the candidate set, and it is the comparison
+//! point of Figure 11 and Table 2. Every pair costs one crowd answer; no
+//! deduction happens, so no deduction error can propagate either.
+
+use crate::oracle::Oracle;
+use crate::result::LabelingResult;
+use crate::types::{Provenance, ScoredPair};
+
+/// Labels every pair by asking the oracle — no transitive deduction.
+pub fn label_non_transitive(order: &[ScoredPair], oracle: &mut dyn Oracle) -> LabelingResult {
+    let mut result = LabelingResult::new();
+    for sp in order {
+        let label = oracle.answer(sp.pair);
+        result.record(sp.pair, label, Provenance::Crowdsourced);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::GroundTruthOracle;
+    use crate::truth::GroundTruth;
+    use crate::types::Pair;
+
+    #[test]
+    fn crowdsources_every_pair() {
+        let truth = GroundTruth::from_clusters(4, &[vec![0, 1, 2, 3]]);
+        let order: Vec<ScoredPair> = [(0, 1), (1, 2), (0, 2), (2, 3)]
+            .into_iter()
+            .map(|(a, b)| ScoredPair::new(Pair::new(a, b), 0.5))
+            .collect();
+        let mut oracle = GroundTruthOracle::new(&truth);
+        let result = label_non_transitive(&order, &mut oracle);
+        assert_eq!(result.num_crowdsourced(), 4);
+        assert_eq!(result.num_deduced(), 0);
+        assert_eq!(oracle.questions_asked(), 4);
+        assert_eq!(result.savings_ratio(), 0.0);
+    }
+
+    #[test]
+    fn labels_are_oracle_answers() {
+        let truth = GroundTruth::from_clusters(3, &[vec![0, 2]]);
+        let order: Vec<ScoredPair> = [(0, 1), (0, 2), (1, 2)]
+            .into_iter()
+            .map(|(a, b)| ScoredPair::new(Pair::new(a, b), 0.5))
+            .collect();
+        let mut oracle = GroundTruthOracle::new(&truth);
+        let result = label_non_transitive(&order, &mut oracle);
+        for sp in &order {
+            assert_eq!(result.label_of(sp.pair), Some(truth.label_of(sp.pair)));
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Budget-limited labeling — the related-work scenario of Whang et al.
+//! (citation 27 in the paper): there is not enough money to label every candidate pair,
+//! so spend a fixed budget of crowd questions as effectively as possible.
+//!
+//! Combined with the likelihood-descending order, transitive labeling is a
+//! natural fit for this setting: early answers are mostly matching pairs,
+//! whose merges unlock the most free deductions per answer. When the budget
+//! runs out, everything still deducible from the purchased answers is
+//! deduced, and the rest is reported as unlabeled.
+
+use crate::oracle::Oracle;
+use crate::result::LabelingResult;
+use crate::types::{Pair, Provenance, ScoredPair};
+use crowdjoin_graph::ClusterGraph;
+
+/// Outcome of a budget-limited run.
+#[derive(Debug, Clone)]
+pub struct BudgetedResult {
+    /// Labels obtained (crowdsourced within budget + all deductions).
+    pub result: LabelingResult,
+    /// Pairs left unlabeled when the budget ran out.
+    pub unlabeled: Vec<Pair>,
+    /// `true` if the budget was fully spent (false means the whole order was
+    /// labeled with budget to spare).
+    pub budget_exhausted: bool,
+}
+
+impl BudgetedResult {
+    /// Fraction of the candidate pairs that received a label.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        let total = self.result.num_labeled() + self.unlabeled.len();
+        if total == 0 {
+            1.0
+        } else {
+            self.result.num_labeled() as f64 / total as f64
+        }
+    }
+}
+
+/// Sequentially labels `order` but asks the oracle at most `budget` times.
+///
+/// After the budget is exhausted the remaining pairs get one final deduction
+/// pass (they can still be labeled for free from what was bought); pairs
+/// that stay undeducible are returned in [`BudgetedResult::unlabeled`], in
+/// order.
+pub fn label_with_budget(
+    num_objects: usize,
+    order: &[ScoredPair],
+    oracle: &mut dyn Oracle,
+    budget: usize,
+) -> BudgetedResult {
+    let mut graph = ClusterGraph::new(num_objects);
+    let mut result = LabelingResult::new();
+    let mut spent = 0usize;
+    let mut deferred: Vec<Pair> = Vec::new();
+
+    for sp in order {
+        let (a, b) = (sp.pair.a(), sp.pair.b());
+        if let Some(label) = graph.deduce(a, b) {
+            result.record(sp.pair, label, Provenance::Deduced);
+        } else if spent < budget {
+            let label = oracle.answer(sp.pair);
+            graph.insert(a, b, label).expect("insert after failed deduction cannot conflict");
+            result.record(sp.pair, label, Provenance::Crowdsourced);
+            spent += 1;
+        } else {
+            deferred.push(sp.pair);
+        }
+    }
+
+    // Final pass: later purchases may have made earlier-deferred pairs
+    // deducible.
+    let mut unlabeled = Vec::new();
+    for pair in deferred {
+        if let Some(label) = graph.deduce(pair.a(), pair.b()) {
+            result.record(pair, label, Provenance::Deduced);
+        } else {
+            unlabeled.push(pair);
+        }
+    }
+
+    BudgetedResult { result, unlabeled, budget_exhausted: spent >= budget }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::GroundTruthOracle;
+    use crate::sort::{sort_pairs, SortStrategy};
+    use crate::truth::GroundTruth;
+    use crate::types::CandidateSet;
+    use proptest::prelude::*;
+
+    fn clique_task(k: u32) -> (GroundTruth, CandidateSet) {
+        let truth = GroundTruth::from_clusters(k as usize, &[(0..k).collect()]);
+        let mut pairs = Vec::new();
+        for a in 0..k {
+            for b in (a + 1)..k {
+                pairs.push(ScoredPair::new(Pair::new(a, b), 0.9 - 0.001 * (a + b) as f64));
+            }
+        }
+        (truth, CandidateSet::new(k as usize, pairs))
+    }
+
+    #[test]
+    fn zero_budget_labels_nothing() {
+        let (truth, cs) = clique_task(6);
+        let order = sort_pairs(&cs, SortStrategy::ExpectedLikelihood);
+        let mut oracle = GroundTruthOracle::new(&truth);
+        let out = label_with_budget(6, &order, &mut oracle, 0);
+        assert_eq!(out.result.num_labeled(), 0);
+        assert_eq!(out.unlabeled.len(), cs.len());
+        assert!(out.budget_exhausted);
+        assert_eq!(out.coverage(), 0.0);
+        assert_eq!(oracle.questions_asked(), 0);
+    }
+
+    #[test]
+    fn ample_budget_equals_unrestricted() {
+        let (truth, cs) = clique_task(6);
+        let order = sort_pairs(&cs, SortStrategy::ExpectedLikelihood);
+        let mut oracle = GroundTruthOracle::new(&truth);
+        let out = label_with_budget(6, &order, &mut oracle, 1_000);
+        assert!(out.unlabeled.is_empty());
+        assert!(!out.budget_exhausted);
+        assert_eq!(out.result.num_crowdsourced(), 5, "spanning tree of the clique");
+        assert_eq!(out.coverage(), 1.0);
+    }
+
+    #[test]
+    fn partial_budget_on_clique_covers_quadratically() {
+        // On a k-clique, b bought matching edges merge b+1 records and
+        // deduce C(b+1,2) pairs total — budgeted coverage grows much faster
+        // than b/total.
+        let (truth, cs) = clique_task(12);
+        let order = sort_pairs(&cs, SortStrategy::ExpectedLikelihood);
+        let mut oracle = GroundTruthOracle::new(&truth);
+        let out = label_with_budget(12, &order, &mut oracle, 6);
+        assert!(out.budget_exhausted);
+        assert_eq!(out.result.num_crowdsourced(), 6);
+        assert!(
+            out.result.num_deduced() >= 6,
+            "6 merges should deduce plenty, got {}",
+            out.result.num_deduced()
+        );
+    }
+
+    #[test]
+    fn deferred_pairs_get_final_deduction_pass() {
+        // Order [(0,1), (0,2), (1,2)] with budget 2: the first two pairs are
+        // bought, (1,2) is deferred at position 3 — but the final pass can
+        // deduce it from 0=1 and 0=2.
+        let truth = GroundTruth::from_clusters(3, &[vec![0, 1, 2]]);
+        let order = vec![
+            ScoredPair::new(Pair::new(0, 1), 0.9),
+            ScoredPair::new(Pair::new(0, 2), 0.8),
+            ScoredPair::new(Pair::new(1, 2), 0.7),
+        ];
+        let mut oracle = GroundTruthOracle::new(&truth);
+        let out = label_with_budget(3, &order, &mut oracle, 2);
+        assert!(out.unlabeled.is_empty(), "final pass must deduce (1,2)");
+        assert_eq!(out.result.num_deduced(), 1);
+        assert_eq!(out.coverage(), 1.0);
+    }
+
+    proptest! {
+        /// Coverage is monotone in the budget, and the spend never exceeds
+        /// it.
+        #[test]
+        fn budget_monotonicity(
+            k in 4u32..10,
+            b1 in 0usize..20,
+            extra in 0usize..20,
+        ) {
+            let (truth, cs) = clique_task(k);
+            let order = sort_pairs(&cs, SortStrategy::ExpectedLikelihood);
+            let mut o1 = GroundTruthOracle::new(&truth);
+            let small = label_with_budget(k as usize, &order, &mut o1, b1);
+            prop_assert!(o1.questions_asked() as usize <= b1);
+            let mut o2 = GroundTruthOracle::new(&truth);
+            let large = label_with_budget(k as usize, &order, &mut o2, b1 + extra);
+            prop_assert!(large.result.num_labeled() >= small.result.num_labeled());
+            prop_assert!(large.coverage() >= small.coverage() - 1e-12);
+        }
+
+        /// Budgeted labels are always sound.
+        #[test]
+        fn budget_labels_sound(k in 4u32..10, budget in 0usize..30, seed in any::<u64>()) {
+            let (truth, cs) = clique_task(k);
+            let order = sort_pairs(&cs, SortStrategy::Random { seed });
+            let mut oracle = GroundTruthOracle::new(&truth);
+            let out = label_with_budget(k as usize, &order, &mut oracle, budget);
+            for lp in out.result.labeled_pairs() {
+                prop_assert_eq!(lp.label, truth.label_of(lp.pair));
+            }
+            prop_assert_eq!(
+                out.result.num_labeled() + out.unlabeled.len(),
+                cs.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Result-quality metrics (Section 6.4).
+//!
+//! The paper scores crowd results with precision, recall, and F-measure
+//! against the datasets' ground truth, where — following the paper's
+//! definitions — `tp` counts correctly labeled matching pairs, `fp` wrongly
+//! labeled matching pairs, and `fn` truly matching pairs labeled
+//! non-matching. All counts are over the candidate pairs handed to the
+//! labeler (pairs pruned by the machine stage are out of scope, exactly as
+//! in the paper's Table 2).
+
+use crate::result::LabelingResult;
+use crate::truth::GroundTruth;
+use crate::types::{Label, Pair};
+
+/// Precision / recall / F-measure over a set of predicted pair labels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityMetrics {
+    /// Correctly labeled matching pairs.
+    pub true_positives: u64,
+    /// Pairs labeled matching that are truly non-matching.
+    pub false_positives: u64,
+    /// Truly matching pairs labeled non-matching.
+    pub false_negatives: u64,
+    /// Correctly labeled non-matching pairs (not used by P/R/F but useful in
+    /// reports).
+    pub true_negatives: u64,
+}
+
+impl QualityMetrics {
+    /// Scores `(pair, predicted)` labels against the ground truth.
+    pub fn evaluate<I>(predictions: I, truth: &GroundTruth) -> Self
+    where
+        I: IntoIterator<Item = (Pair, Label)>,
+    {
+        let mut m = Self {
+            true_positives: 0,
+            false_positives: 0,
+            false_negatives: 0,
+            true_negatives: 0,
+        };
+        for (pair, predicted) in predictions {
+            match (predicted, truth.label_of(pair)) {
+                (Label::Matching, Label::Matching) => m.true_positives += 1,
+                (Label::Matching, Label::NonMatching) => m.false_positives += 1,
+                (Label::NonMatching, Label::Matching) => m.false_negatives += 1,
+                (Label::NonMatching, Label::NonMatching) => m.true_negatives += 1,
+            }
+        }
+        m
+    }
+
+    /// Scores a [`LabelingResult`] against the ground truth.
+    #[must_use]
+    pub fn of_result(result: &LabelingResult, truth: &GroundTruth) -> Self {
+        Self::evaluate(result.labeled_pairs().iter().map(|lp| (lp.pair, lp.label)), truth)
+    }
+
+    /// `tp / (tp + fp)`; defined as 1 when no pair was labeled matching.
+    #[must_use]
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// `tp / (tp + fn)`; defined as 1 when there are no true matches.
+    #[must_use]
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    #[must_use]
+    pub fn f_measure(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+impl std::fmt::Display for QualityMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "P={:.2}% R={:.2}% F={:.2}%",
+            self.precision() * 100.0,
+            self.recall() * 100.0,
+            self.f_measure() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> GroundTruth {
+        GroundTruth::from_clusters(4, &[vec![0, 1, 2]])
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let t = truth();
+        let preds = vec![
+            (Pair::new(0, 1), Label::Matching),
+            (Pair::new(0, 2), Label::Matching),
+            (Pair::new(1, 2), Label::Matching),
+            (Pair::new(0, 3), Label::NonMatching),
+        ];
+        let m = QualityMetrics::evaluate(preds, &t);
+        assert_eq!(m.true_positives, 3);
+        assert_eq!(m.true_negatives, 1);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f_measure(), 1.0);
+    }
+
+    #[test]
+    fn mixed_predictions() {
+        let t = truth();
+        let preds = vec![
+            (Pair::new(0, 1), Label::Matching),    // tp
+            (Pair::new(0, 2), Label::NonMatching), // fn
+            (Pair::new(0, 3), Label::Matching),    // fp
+            (Pair::new(1, 3), Label::NonMatching), // tn
+        ];
+        let m = QualityMetrics::evaluate(preds, &t);
+        assert_eq!(m.true_positives, 1);
+        assert_eq!(m.false_positives, 1);
+        assert_eq!(m.false_negatives, 1);
+        assert_eq!(m.true_negatives, 1);
+        assert_eq!(m.precision(), 0.5);
+        assert_eq!(m.recall(), 0.5);
+        assert!((m.f_measure() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let t = truth();
+        // No predictions at all.
+        let m = QualityMetrics::evaluate(Vec::new(), &t);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f_measure(), 1.0);
+        // Everything predicted non-matching and nothing truly matches.
+        let all_distinct = GroundTruth::all_distinct(3);
+        let preds = vec![(Pair::new(0, 1), Label::NonMatching)];
+        let m = QualityMetrics::evaluate(preds, &all_distinct);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.precision(), 1.0);
+    }
+
+    #[test]
+    fn display_formats_percentages() {
+        let t = truth();
+        let preds = vec![(Pair::new(0, 1), Label::Matching)];
+        let m = QualityMetrics::evaluate(preds, &t);
+        let s = m.to_string();
+        assert!(s.contains("P=100.00%"), "{s}");
+    }
+}

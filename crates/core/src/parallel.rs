@@ -1,0 +1,540 @@
+//! The parallel labeling algorithm (Section 5, Algorithms 2 and 3).
+//!
+//! The sequential labeler publishes one pair at a time, so crowd workers
+//! cannot work simultaneously. The parallel labeler identifies, in each
+//! iteration, the pairs that cannot be deduced from the already-known labels
+//! even when the unlabeled pairs before them are *supposed matching*
+//! (Algorithm 3), and publishes them all at once.
+//!
+//! ## Fidelity note: prose vs pseudo-code
+//!
+//! The paper's prose says "suppose **all** the unlabeled pairs are matching",
+//! but Algorithm 3 as written inserts the assumed-matching edge only for
+//! pairs it decides to *publish*; a pair that is already deducible in the
+//! scan graph is skipped and contributes nothing (inserting it could
+//! contradict the scan graph, which cannot represent an inconsistent
+//! supposition). We implement the pseudo-code. Consequences, both
+//! property-tested below:
+//!
+//! * in the **first** iteration no labels exist yet, the supposition is
+//!   consistent, and every published pair is provably necessary (it would be
+//!   crowdsourced by the sequential labeler too);
+//! * in later iterations the supposition can interact with real non-matching
+//!   labels, and the parallel labeler may publish a pair the sequential
+//!   labeler would have deduced — i.e. the paper's "without increasing the
+//!   total number of crowdsourced pairs" holds for realistic,
+//!   matching-heavy likelihood orders but is **not** a worst-case guarantee
+//!   (see `overshoot_regression` below for a 7-pair instance where parallel
+//!   crowdsources one pair more). On the calibrated Paper/Product workloads
+//!   the observed overshoot is ≈0 (measured in EXPERIMENTS.md).
+//!   Symmetrically, the deduction sweep may exploit answers from pairs
+//!   *later* in ω, letting parallel occasionally beat sequential.
+//!
+//! The labeler is an inversion-of-control state machine so that both the
+//! round-based drivers (Figures 13/14) and the event-driven crowd-platform
+//! simulation (Figure 15, Tables 1/2) can drive it:
+//!
+//! ```text
+//! loop {
+//!     let batch = labeler.next_batch();      // Algorithm 3 (+ instant decision)
+//!     publish(batch);
+//!     for answer in answers {                 // any arrival order
+//!         labeler.submit_answer(pair, label); // inserts + sweeps deductions
+//!     }
+//! }
+//! ```
+
+use crate::oracle::Oracle;
+use crate::result::LabelingResult;
+use crate::types::{Label, Pair, Provenance, ScoredPair};
+use crowdjoin_graph::ClusterGraph;
+use crowdjoin_util::FxHashMap;
+
+/// Per-pair lifecycle inside the parallel labeler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PairState {
+    /// Not yet published or labeled.
+    Unlabeled,
+    /// Published to the platform; an answer is outstanding.
+    Published,
+    /// Labeled (crowdsourced or deduced).
+    Labeled,
+}
+
+/// The parallel labeler state machine.
+#[derive(Debug, Clone)]
+pub struct ParallelLabeler {
+    num_objects: usize,
+    /// Pairs in labeling order.
+    order: Vec<ScoredPair>,
+    /// Position lookup for `submit_answer`.
+    index_of: FxHashMap<Pair, usize>,
+    state: Vec<PairState>,
+    /// Graph of crowdsourced labels only (deduction-closed information).
+    graph: ClusterGraph,
+    result: LabelingResult,
+    /// Indices (into `order`) of pairs still unlabeled, kept sorted; shrinks
+    /// as labeling progresses so deduction sweeps touch only live pairs.
+    pending: Vec<usize>,
+    outstanding: usize,
+    /// Conflicting real labels skipped while building scan graphs
+    /// (diagnostics; stays 0 for consistent answer sources).
+    scan_conflicts: usize,
+}
+
+impl ParallelLabeler {
+    /// Creates a labeler for `order` over a universe of `num_objects`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pair references an object `>= num_objects` or appears
+    /// twice in `order`.
+    #[must_use]
+    pub fn new(num_objects: usize, order: Vec<ScoredPair>) -> Self {
+        let mut index_of = FxHashMap::default();
+        for (i, sp) in order.iter().enumerate() {
+            assert!(
+                (sp.pair.b() as usize) < num_objects,
+                "pair {} references object outside universe of {num_objects}",
+                sp.pair
+            );
+            assert!(index_of.insert(sp.pair, i).is_none(), "duplicate pair {} in order", sp.pair);
+        }
+        let n = order.len();
+        Self {
+            num_objects,
+            order,
+            index_of,
+            state: vec![PairState::Unlabeled; n],
+            graph: ClusterGraph::new(num_objects),
+            result: LabelingResult::new(),
+            pending: (0..n).collect(),
+            outstanding: 0,
+            scan_conflicts: 0,
+        }
+    }
+
+    /// `true` once every pair has a label.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.result.num_labeled() == self.order.len()
+    }
+
+    /// Number of published pairs whose answers are still outstanding.
+    #[must_use]
+    pub fn num_outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Pairs published so far (crowd cost incurred so far).
+    #[must_use]
+    pub fn num_published(&self) -> usize {
+        self.result.num_crowdsourced() + self.outstanding
+    }
+
+    /// Diagnostic: real labels that conflicted with the assumed-matching scan
+    /// graph (always 0 for consistent answers).
+    #[must_use]
+    pub fn num_scan_conflicts(&self) -> usize {
+        self.scan_conflicts
+    }
+
+    /// Algorithm 3 (`ParallelCrowdsourcedPairs`) with the instant-decision
+    /// refinement: returns the pairs that must be crowdsourced given current
+    /// knowledge, excluding pairs already published. Marks returned pairs as
+    /// published.
+    pub fn next_batch(&mut self) -> Vec<ScoredPair> {
+        let mut scan = ClusterGraph::new(self.num_objects);
+        let mut batch = Vec::new();
+        for i in 0..self.order.len() {
+            let sp = self.order[i];
+            let (a, b) = (sp.pair.a(), sp.pair.b());
+            match self.state[i] {
+                PairState::Labeled => {
+                    // Insert the real label; a redundant insert is fine, a
+                    // conflicting one (possible only with noisy answers
+                    // because of earlier assumed-matching merges) is skipped
+                    // — that is conservative: it can only cause extra
+                    // publishing, never a wrong skip.
+                    let label = self
+                        .result
+                        .label_of(sp.pair)
+                        .expect("labeled pair must be in result");
+                    if scan.insert(a, b, label).is_err() {
+                        self.scan_conflicts += 1;
+                    }
+                }
+                PairState::Published | PairState::Unlabeled => {
+                    if scan.deduce(a, b).is_none() {
+                        // Must be crowdsourced whatever the outstanding
+                        // answers turn out to be.
+                        if self.state[i] == PairState::Unlabeled {
+                            self.state[i] = PairState::Published;
+                            self.outstanding += 1;
+                            batch.push(sp);
+                        }
+                        // Assume matching for the rest of the scan
+                        // (Algorithm 3 line 11). Cannot conflict: deduce
+                        // returned None.
+                        scan.insert(a, b, Label::Matching)
+                            .expect("insert after failed deduction cannot conflict");
+                    }
+                    // Deducible under the assumption: leave it pending; its
+                    // fate is decided by real answers.
+                }
+            }
+        }
+        batch
+    }
+
+    /// Feeds one crowd answer for a previously published pair, then deduces
+    /// every pending pair that became decidable (Algorithm 2 lines 6–8).
+    ///
+    /// If the answer contradicts what the accumulated labels already deduce
+    /// (possible only with inconsistent/noisy answers), the deduced label
+    /// wins and a conflict is counted — the graph stays consistent either
+    /// way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pair` was not published or was already answered.
+    pub fn submit_answer(&mut self, pair: Pair, answer: Label) {
+        let &i = self
+            .index_of
+            .get(&pair)
+            .unwrap_or_else(|| panic!("pair {pair} is not part of this labeling task"));
+        assert_eq!(
+            self.state[i],
+            PairState::Published,
+            "answer submitted for pair {pair} that is not awaiting one"
+        );
+        self.state[i] = PairState::Labeled;
+        self.outstanding -= 1;
+
+        let (a, b) = (pair.a(), pair.b());
+        let label = match self.graph.insert(a, b, answer) {
+            Ok(_) => answer,
+            Err(conflict) => {
+                self.result.record_conflict();
+                conflict.deduced
+            }
+        };
+        self.result.record(pair, label, Provenance::Crowdsourced);
+        self.sweep_deductions();
+    }
+
+    /// Labels every pending pair that is now deducible from the crowdsourced
+    /// labels. Published-but-unanswered pairs are *not* deduced here: they
+    /// were already paid for, and their crowd answer is authoritative (the
+    /// paper counts them as crowdsourced pairs).
+    fn sweep_deductions(&mut self) {
+        let mut j = 0;
+        for k in 0..self.pending.len() {
+            let i = self.pending[k];
+            if self.state[i] == PairState::Labeled {
+                continue; // drop from pending
+            }
+            if self.state[i] == PairState::Unlabeled {
+                let sp = self.order[i];
+                if let Some(label) = self.graph.deduce(sp.pair.a(), sp.pair.b()) {
+                    self.state[i] = PairState::Labeled;
+                    self.result.record(sp.pair, label, Provenance::Deduced);
+                    continue; // drop from pending
+                }
+            }
+            self.pending[j] = i;
+            j += 1;
+        }
+        self.pending.truncate(j);
+    }
+
+    /// Consumes the labeler and returns the labeling result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if labeling is not complete.
+    #[must_use]
+    pub fn into_result(self) -> LabelingResult {
+        assert!(self.is_complete(), "labeling is not complete");
+        self.result
+    }
+
+    /// Read access to the (partial) result while labeling is in progress.
+    #[must_use]
+    pub fn result(&self) -> &LabelingResult {
+        &self.result
+    }
+}
+
+/// Statistics of one round-based parallel run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelRunStats {
+    /// Number of pairs published in each iteration (Figures 13/14 series).
+    pub batch_sizes: Vec<usize>,
+}
+
+impl ParallelRunStats {
+    /// Number of iterations (round trips to the crowd).
+    #[must_use]
+    pub fn num_iterations(&self) -> usize {
+        self.batch_sizes.len()
+    }
+
+    /// Total pairs crowdsourced.
+    #[must_use]
+    pub fn total_crowdsourced(&self) -> usize {
+        self.batch_sizes.iter().sum()
+    }
+}
+
+/// Round-based driver (Algorithm 2 without instant decision): publish a
+/// batch, answer *all* of it, deduce, repeat.
+///
+/// Returns the labeling result and per-iteration batch sizes.
+pub fn run_parallel_rounds(
+    num_objects: usize,
+    order: Vec<ScoredPair>,
+    oracle: &mut dyn Oracle,
+) -> (LabelingResult, ParallelRunStats) {
+    let mut labeler = ParallelLabeler::new(num_objects, order);
+    let mut batch_sizes = Vec::new();
+    while !labeler.is_complete() {
+        let batch = labeler.next_batch();
+        assert!(
+            !batch.is_empty(),
+            "no publishable pairs but labeling incomplete — algorithm cannot progress"
+        );
+        batch_sizes.push(batch.len());
+        for sp in batch {
+            let answer = oracle.answer(sp.pair);
+            labeler.submit_answer(sp.pair, answer);
+        }
+    }
+    (labeler.into_result(), ParallelRunStats { batch_sizes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::GroundTruthOracle;
+    use crate::sequential::label_sequential;
+    use crate::sort::{sort_pairs, SortStrategy};
+    use crate::truth::GroundTruth;
+    use crate::types::CandidateSet;
+    use proptest::prelude::*;
+
+    fn running_example() -> (CandidateSet, GroundTruth) {
+        let truth = GroundTruth::from_clusters(6, &[vec![0, 1, 2], vec![3, 4]]);
+        let pairs = vec![
+            ScoredPair::new(Pair::new(0, 1), 0.95), // p1 M
+            ScoredPair::new(Pair::new(1, 2), 0.90), // p2 M
+            ScoredPair::new(Pair::new(0, 5), 0.85), // p3 N
+            ScoredPair::new(Pair::new(0, 2), 0.80), // p4 M
+            ScoredPair::new(Pair::new(3, 4), 0.75), // p5 M
+            ScoredPair::new(Pair::new(3, 5), 0.70), // p6 N
+            ScoredPair::new(Pair::new(1, 3), 0.65), // p7 N
+            ScoredPair::new(Pair::new(4, 5), 0.60), // p8 N
+        ];
+        (CandidateSet::new(6, pairs), truth)
+    }
+
+    #[test]
+    fn example5_first_batch_is_five_pairs() {
+        // Paper Example 5: iteration 1 publishes {p1, p2, p3, p5, p6}.
+        let (cs, _) = running_example();
+        let order = sort_pairs(&cs, SortStrategy::ExpectedLikelihood);
+        let mut labeler = ParallelLabeler::new(cs.num_objects(), order);
+        let batch: Vec<Pair> = labeler.next_batch().iter().map(|sp| sp.pair).collect();
+        assert_eq!(
+            batch,
+            vec![
+                Pair::new(0, 1), // p1
+                Pair::new(1, 2), // p2
+                Pair::new(0, 5), // p3
+                Pair::new(3, 4), // p5
+                Pair::new(3, 5), // p6
+            ]
+        );
+    }
+
+    #[test]
+    fn example5_full_run_two_iterations() {
+        let (cs, truth) = running_example();
+        let order = sort_pairs(&cs, SortStrategy::ExpectedLikelihood);
+        let mut oracle = GroundTruthOracle::new(&truth);
+        let (result, stats) = run_parallel_rounds(cs.num_objects(), order, &mut oracle);
+        assert_eq!(stats.batch_sizes, vec![5, 1], "iterations of Example 5");
+        assert_eq!(result.num_crowdsourced(), 6);
+        assert_eq!(result.num_deduced(), 2);
+        // p7 is the second-iteration pair.
+        assert_eq!(result.provenance_of(Pair::new(1, 3)), Some(Provenance::Crowdsourced));
+        assert_eq!(result.provenance_of(Pair::new(0, 2)), Some(Provenance::Deduced));
+        assert_eq!(result.provenance_of(Pair::new(4, 5)), Some(Provenance::Deduced));
+    }
+
+    #[test]
+    fn labels_match_truth() {
+        let (cs, truth) = running_example();
+        let order = sort_pairs(&cs, SortStrategy::ExpectedLikelihood);
+        let mut oracle = GroundTruthOracle::new(&truth);
+        let (result, _) = run_parallel_rounds(cs.num_objects(), order, &mut oracle);
+        for sp in cs.pairs() {
+            assert_eq!(result.label_of(sp.pair), Some(truth.label_of(sp.pair)));
+        }
+    }
+
+    #[test]
+    fn empty_order_completes_immediately() {
+        let labeler = ParallelLabeler::new(4, vec![]);
+        assert!(labeler.is_complete());
+        assert_eq!(labeler.into_result().num_labeled(), 0);
+    }
+
+    #[test]
+    fn chain_publishes_everything_in_one_round() {
+        // Section 5.1 motivating example: ⟨(o1,o2),(o2,o3),(o3,o4)⟩ can all
+        // be crowdsourced together.
+        let truth = GroundTruth::from_clusters(4, &[vec![0, 1, 2, 3]]);
+        let order = vec![
+            ScoredPair::new(Pair::new(0, 1), 0.9),
+            ScoredPair::new(Pair::new(1, 2), 0.8),
+            ScoredPair::new(Pair::new(2, 3), 0.7),
+        ];
+        let mut oracle = GroundTruthOracle::new(&truth);
+        let (result, stats) = run_parallel_rounds(4, order, &mut oracle);
+        assert_eq!(stats.batch_sizes, vec![3]);
+        assert_eq!(result.num_crowdsourced(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not awaiting")]
+    fn double_answer_rejected() {
+        let (cs, _) = running_example();
+        let order = sort_pairs(&cs, SortStrategy::ExpectedLikelihood);
+        let mut labeler = ParallelLabeler::new(cs.num_objects(), order);
+        let batch = labeler.next_batch();
+        let p = batch[0].pair;
+        labeler.submit_answer(p, Label::Matching);
+        labeler.submit_answer(p, Label::Matching);
+    }
+
+    /// Random consistent instances: clusters over n objects, a random subset
+    /// of pairs with random likelihoods.
+    fn random_instance() -> impl Strategy<Value = (usize, GroundTruth, CandidateSet)> {
+        (3usize..14)
+            .prop_flat_map(|n| {
+                let entities = proptest::collection::vec(0u32..(n as u32 / 2).max(1), n);
+                let edges = proptest::collection::btree_set((0u32..n as u32, 0u32..n as u32), 0..30);
+                let seed = any::<u64>();
+                (Just(n), entities, edges, seed)
+            })
+            .prop_map(|(n, entities, edges, seed)| {
+                let truth = GroundTruth::new(entities);
+                let mut rng = crowdjoin_util::SplitMix64::new(seed);
+                let mut seen = std::collections::BTreeSet::new();
+                let mut pairs = Vec::new();
+                for (a, b) in edges {
+                    if a != b {
+                        let p = Pair::new(a, b);
+                        if seen.insert(p) {
+                            pairs.push(ScoredPair::new(p, rng.next_f64()));
+                        }
+                    }
+                }
+                let cs = CandidateSet::new(n, pairs);
+                (n, truth, cs)
+            })
+    }
+
+    /// A concrete instance (found by randomized search) where the
+    /// pseudo-code-faithful parallel labeler crowdsources one pair more than
+    /// sequential: in iteration 2 the supposition (0,2)=matching makes
+    /// (0,3) look deducible (skipped), so its real matching edge is missing
+    /// when (0,1) is scanned, and (0,1) gets published even though sequential
+    /// deduces it from (0,3)=M and (1,3)=N. Pins the fidelity note above.
+    #[test]
+    fn overshoot_regression() {
+        let truth = GroundTruth::new(vec![0, 1, 1, 0, 1]);
+        let order = vec![
+            ScoredPair::new(Pair::new(3, 4), 0.89), // N
+            ScoredPair::new(Pair::new(2, 3), 0.58), // N
+            ScoredPair::new(Pair::new(0, 4), 0.35), // N
+            ScoredPair::new(Pair::new(0, 2), 0.15), // N
+            ScoredPair::new(Pair::new(1, 3), 0.07), // N
+            ScoredPair::new(Pair::new(0, 3), 0.04), // M
+            ScoredPair::new(Pair::new(0, 1), 0.00), // N
+        ];
+        let mut o1 = GroundTruthOracle::new(&truth);
+        let seq = label_sequential(5, &order, &mut o1);
+        let mut o2 = GroundTruthOracle::new(&truth);
+        let (par, _) = run_parallel_rounds(5, order, &mut o2);
+        assert_eq!(seq.num_crowdsourced(), 6);
+        assert_eq!(par.num_crowdsourced(), 7, "documented one-pair overshoot");
+        // Labels still sound.
+        for lp in par.labeled_pairs() {
+            assert_eq!(lp.label, truth.label_of(lp.pair));
+        }
+    }
+
+    proptest! {
+        /// Both labelers respect the information-theoretic lower bound (the
+        /// closed-form optimal cost), and parallel stays within the
+        /// sequential cost on matching-heavy instances where the supposition
+        /// is benign. We assert only the lower bound universally.
+        #[test]
+        fn parallel_respects_lower_bound((n, truth, cs) in random_instance()) {
+            let lower = crate::analysis::optimal_cost(&cs, &truth).total();
+            let order = sort_pairs(&cs, SortStrategy::ExpectedLikelihood);
+            let mut o1 = GroundTruthOracle::new(&truth);
+            let seq = label_sequential(n, &order, &mut o1);
+            let mut o2 = GroundTruthOracle::new(&truth);
+            let (par, stats) = run_parallel_rounds(n, order, &mut o2);
+            prop_assert!(par.num_crowdsourced() >= lower);
+            prop_assert!(seq.num_crowdsourced() >= lower);
+            prop_assert_eq!(stats.total_crowdsourced(), par.num_crowdsourced());
+            prop_assert_eq!(par.num_labeled(), cs.len());
+        }
+
+        /// First-iteration necessity: with no labels yet the supposition is
+        /// consistent, so every pair in the first batch is also crowdsourced
+        /// by the sequential labeler.
+        #[test]
+        fn first_batch_is_necessary((n, truth, cs) in random_instance()) {
+            let order = sort_pairs(&cs, SortStrategy::ExpectedLikelihood);
+            let mut o1 = GroundTruthOracle::new(&truth);
+            let seq = label_sequential(n, &order, &mut o1);
+            let mut labeler = ParallelLabeler::new(n, order);
+            for sp in labeler.next_batch() {
+                prop_assert_eq!(
+                    seq.provenance_of(sp.pair),
+                    Some(Provenance::Crowdsourced),
+                    "first-batch pair {} was deduced by sequential", sp.pair
+                );
+            }
+        }
+
+        /// All labels equal ground truth with a perfect oracle, for both
+        /// labelers and any order.
+        #[test]
+        fn parallel_labels_sound((n, truth, cs) in random_instance(), seed in any::<u64>()) {
+            let order = sort_pairs(&cs, SortStrategy::Random { seed });
+            let mut oracle = GroundTruthOracle::new(&truth);
+            let (par, _) = run_parallel_rounds(n, order, &mut oracle);
+            for sp in cs.pairs() {
+                prop_assert_eq!(par.label_of(sp.pair), Some(truth.label_of(sp.pair)));
+            }
+            prop_assert_eq!(par.num_conflicts(), 0);
+        }
+
+        /// Parallel never needs more iterations than pairs, and batch sizes
+        /// sum to the crowdsourced count.
+        #[test]
+        fn iteration_accounting((n, truth, cs) in random_instance()) {
+            let order = sort_pairs(&cs, SortStrategy::ExpectedLikelihood);
+            let mut oracle = GroundTruthOracle::new(&truth);
+            let (par, stats) = run_parallel_rounds(n, order, &mut oracle);
+            prop_assert!(stats.num_iterations() <= cs.len().max(1));
+            prop_assert_eq!(stats.total_crowdsourced(), par.num_crowdsourced());
+        }
+    }
+}

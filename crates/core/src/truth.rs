@@ -1,0 +1,163 @@
+//! Ground-truth clusterings.
+//!
+//! A [`GroundTruth`] assigns every object an entity id; two objects match iff
+//! they share an entity. Experiments use it (a) as a perfect answer source,
+//! (b) to compute the *optimal* and *worst* labeling orders (which require
+//! knowing the real labels upfront — Section 4.1), and (c) to score result
+//! quality (precision/recall/F-measure, Table 2).
+
+use crate::types::{Label, Pair};
+use crowdjoin_util::FxHashMap;
+
+/// A complete clustering of the object universe into real-world entities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroundTruth {
+    entity_of: Vec<u32>,
+}
+
+impl GroundTruth {
+    /// Creates a ground truth from a per-object entity assignment.
+    #[must_use]
+    pub fn new(entity_of: Vec<u32>) -> Self {
+        Self { entity_of }
+    }
+
+    /// Builds a ground truth where every object is its own entity.
+    #[must_use]
+    pub fn all_distinct(num_objects: usize) -> Self {
+        Self { entity_of: (0..num_objects as u32).collect() }
+    }
+
+    /// Builds a ground truth from explicit clusters (slices of object ids).
+    /// Objects not mentioned in any cluster become singleton entities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an object id is out of range or appears in two clusters.
+    #[must_use]
+    pub fn from_clusters(num_objects: usize, clusters: &[Vec<u32>]) -> Self {
+        let mut entity_of: Vec<Option<u32>> = vec![None; num_objects];
+        for (cid, cluster) in clusters.iter().enumerate() {
+            for &o in cluster {
+                let slot = entity_of
+                    .get_mut(o as usize)
+                    .unwrap_or_else(|| panic!("object o{o} outside universe of {num_objects}"));
+                assert!(slot.is_none(), "object o{o} appears in two clusters");
+                *slot = Some(cid as u32);
+            }
+        }
+        // Singletons get fresh entity ids after the explicit clusters.
+        let mut next = clusters.len() as u32;
+        let entity_of = entity_of
+            .into_iter()
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    let id = next;
+                    next += 1;
+                    id
+                })
+            })
+            .collect();
+        Self { entity_of }
+    }
+
+    /// Number of objects in the universe.
+    #[must_use]
+    pub fn num_objects(&self) -> usize {
+        self.entity_of.len()
+    }
+
+    /// Entity id of object `o`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o` is out of range.
+    #[must_use]
+    pub fn entity_of(&self, o: u32) -> u32 {
+        self.entity_of[o as usize]
+    }
+
+    /// The true label of a pair.
+    #[must_use]
+    pub fn label_of(&self, pair: Pair) -> Label {
+        if self.entity_of[pair.a() as usize] == self.entity_of[pair.b() as usize] {
+            Label::Matching
+        } else {
+            Label::NonMatching
+        }
+    }
+
+    /// `true` if the pair is a true match.
+    #[must_use]
+    pub fn is_matching(&self, pair: Pair) -> bool {
+        self.label_of(pair) == Label::Matching
+    }
+
+    /// Sizes of all entity clusters (including singletons), unordered.
+    #[must_use]
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut counts: FxHashMap<u32, usize> = FxHashMap::default();
+        for &e in &self.entity_of {
+            *counts.entry(e).or_insert(0) += 1;
+        }
+        counts.into_values().collect()
+    }
+
+    /// Total number of true matching pairs in the full cross/self join,
+    /// `Σ_clusters (k choose 2)`.
+    #[must_use]
+    pub fn num_matching_pairs(&self) -> u64 {
+        self.cluster_sizes().into_iter().map(|k| (k as u64 * (k as u64 - 1)) / 2).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_clusters_assigns_singletons() {
+        let gt = GroundTruth::from_clusters(5, &[vec![0, 2], vec![3, 4]]);
+        assert_eq!(gt.num_objects(), 5);
+        assert!(gt.is_matching(Pair::new(0, 2)));
+        assert!(gt.is_matching(Pair::new(3, 4)));
+        assert!(!gt.is_matching(Pair::new(0, 1)));
+        assert!(!gt.is_matching(Pair::new(1, 3)));
+        // Singleton 1 has its own entity.
+        assert_ne!(gt.entity_of(1), gt.entity_of(0));
+        assert_ne!(gt.entity_of(1), gt.entity_of(3));
+    }
+
+    #[test]
+    fn all_distinct_has_no_matches() {
+        let gt = GroundTruth::all_distinct(4);
+        for a in 0..4u32 {
+            for b in (a + 1)..4u32 {
+                assert_eq!(gt.label_of(Pair::new(a, b)), Label::NonMatching);
+            }
+        }
+        assert_eq!(gt.num_matching_pairs(), 0);
+    }
+
+    #[test]
+    fn cluster_sizes_and_matching_pairs() {
+        let gt = GroundTruth::from_clusters(7, &[vec![0, 1, 2], vec![3, 4]]);
+        let mut sizes = gt.cluster_sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 1, 2, 3]);
+        // C(3,2) + C(2,2->1) = 3 + 1.
+        assert_eq!(gt.num_matching_pairs(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "appears in two clusters")]
+    fn overlapping_clusters_rejected() {
+        let _ = GroundTruth::from_clusters(3, &[vec![0, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn out_of_range_object_rejected() {
+        let _ = GroundTruth::from_clusters(2, &[vec![0, 5]]);
+    }
+}

@@ -1,0 +1,244 @@
+//! Core vocabulary types: pairs, labels, likelihoods, candidate sets.
+
+pub use crowdjoin_graph::EdgeLabel as Label;
+
+/// An unordered pair of object ids, stored normalized (`a < b`).
+///
+/// Object ids are dense `u32` indices into the candidate universe
+/// (`0..num_objects`); for a cross-collection join the two input tables are
+/// concatenated into one id space by the matcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pair {
+    a: u32,
+    b: u32,
+}
+
+impl Pair {
+    /// Creates a normalized pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`: a pair must relate two distinct objects.
+    #[must_use]
+    pub fn new(a: u32, b: u32) -> Self {
+        assert_ne!(a, b, "a pair must relate two distinct objects");
+        if a < b {
+            Self { a, b }
+        } else {
+            Self { a: b, b: a }
+        }
+    }
+
+    /// Smaller object id.
+    #[must_use]
+    pub fn a(self) -> u32 {
+        self.a
+    }
+
+    /// Larger object id.
+    #[must_use]
+    pub fn b(self) -> u32 {
+        self.b
+    }
+
+    /// `true` if `x` is one of the pair's objects.
+    #[must_use]
+    pub fn contains(self, x: u32) -> bool {
+        self.a == x || self.b == x
+    }
+
+    /// The other object of the pair, or `None` if `x` is not in the pair.
+    #[must_use]
+    pub fn other(self, x: u32) -> Option<u32> {
+        if x == self.a {
+            Some(self.b)
+        } else if x == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Display for Pair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(o{}, o{})", self.a, self.b)
+    }
+}
+
+/// A candidate pair with its machine-computed likelihood of matching.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredPair {
+    /// The object pair.
+    pub pair: Pair,
+    /// Likelihood in `[0, 1]` that the pair is matching, produced by the
+    /// machine-based matcher (e.g. calibrated string similarity).
+    pub likelihood: f64,
+}
+
+impl ScoredPair {
+    /// Creates a scored pair, clamping the likelihood into `[0, 1]`.
+    #[must_use]
+    pub fn new(pair: Pair, likelihood: f64) -> Self {
+        let likelihood = if likelihood.is_finite() { likelihood.clamp(0.0, 1.0) } else { 0.0 };
+        Self { pair, likelihood }
+    }
+}
+
+/// How a pair's label was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Provenance {
+    /// A crowd worker (or oracle) answered the pair directly — this costs
+    /// money on a real platform.
+    Crowdsourced,
+    /// The label was deduced from previously labeled pairs via transitive
+    /// relations — free.
+    Deduced,
+}
+
+/// A labeled pair with provenance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabeledPair {
+    /// The pair.
+    pub pair: Pair,
+    /// Its label.
+    pub label: Label,
+    /// Whether the label was crowdsourced or deduced.
+    pub provenance: Provenance,
+}
+
+/// The input to the labeling framework: a universe of objects and the
+/// machine-generated candidate pairs (with likelihoods) that must be labeled.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateSet {
+    num_objects: usize,
+    pairs: Vec<ScoredPair>,
+}
+
+impl CandidateSet {
+    /// Creates a candidate set over `num_objects` objects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pair references an object id `>= num_objects` or if the
+    /// same pair appears twice.
+    #[must_use]
+    pub fn new(num_objects: usize, pairs: Vec<ScoredPair>) -> Self {
+        let mut seen = crowdjoin_util::FxHashSet::default();
+        for sp in &pairs {
+            assert!(
+                (sp.pair.b() as usize) < num_objects,
+                "pair {} references object outside universe of {num_objects}",
+                sp.pair
+            );
+            assert!(seen.insert(sp.pair), "duplicate candidate pair {}", sp.pair);
+        }
+        Self { num_objects, pairs }
+    }
+
+    /// Number of objects in the universe.
+    #[must_use]
+    pub fn num_objects(&self) -> usize {
+        self.num_objects
+    }
+
+    /// Number of candidate pairs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `true` when there are no candidate pairs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The candidate pairs, in insertion order.
+    #[must_use]
+    pub fn pairs(&self) -> &[ScoredPair] {
+        &self.pairs
+    }
+
+    /// Retains only pairs whose likelihood is at least `threshold` — the
+    /// paper's "label the pairs whose likelihood is above a specified
+    /// threshold" preprocessing.
+    #[must_use]
+    pub fn above_threshold(&self, threshold: f64) -> CandidateSet {
+        CandidateSet {
+            num_objects: self.num_objects,
+            pairs: self.pairs.iter().copied().filter(|sp| sp.likelihood >= threshold).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_normalizes_order() {
+        let p = Pair::new(7, 3);
+        assert_eq!(p.a(), 3);
+        assert_eq!(p.b(), 7);
+        assert_eq!(Pair::new(3, 7), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct objects")]
+    fn self_pair_rejected() {
+        let _ = Pair::new(4, 4);
+    }
+
+    #[test]
+    fn pair_contains_and_other() {
+        let p = Pair::new(1, 5);
+        assert!(p.contains(1));
+        assert!(p.contains(5));
+        assert!(!p.contains(3));
+        assert_eq!(p.other(1), Some(5));
+        assert_eq!(p.other(5), Some(1));
+        assert_eq!(p.other(2), None);
+    }
+
+    #[test]
+    fn scored_pair_clamps_likelihood() {
+        let p = Pair::new(0, 1);
+        assert_eq!(ScoredPair::new(p, 1.5).likelihood, 1.0);
+        assert_eq!(ScoredPair::new(p, -0.2).likelihood, 0.0);
+        assert_eq!(ScoredPair::new(p, f64::NAN).likelihood, 0.0);
+        assert_eq!(ScoredPair::new(p, 0.42).likelihood, 0.42);
+    }
+
+    #[test]
+    fn candidate_set_threshold_filter() {
+        let pairs = vec![
+            ScoredPair::new(Pair::new(0, 1), 0.9),
+            ScoredPair::new(Pair::new(1, 2), 0.4),
+            ScoredPair::new(Pair::new(0, 2), 0.1),
+        ];
+        let cs = CandidateSet::new(3, pairs);
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs.above_threshold(0.4).len(), 2);
+        assert_eq!(cs.above_threshold(0.95).len(), 0);
+        assert_eq!(cs.above_threshold(0.0).len(), 3);
+        assert_eq!(cs.num_objects(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate candidate pair")]
+    fn candidate_set_rejects_duplicates() {
+        let pairs = vec![
+            ScoredPair::new(Pair::new(0, 1), 0.9),
+            ScoredPair::new(Pair::new(1, 0), 0.4),
+        ];
+        let _ = CandidateSet::new(2, pairs);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn candidate_set_rejects_out_of_range() {
+        let pairs = vec![ScoredPair::new(Pair::new(0, 9), 0.9)];
+        let _ = CandidateSet::new(3, pairs);
+    }
+}

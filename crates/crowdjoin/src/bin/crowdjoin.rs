@@ -1,0 +1,494 @@
+//! `crowdjoin` — command-line crowdsourced joins over CSV files.
+//!
+//! ```text
+//! crowdjoin demo  [--seed N]
+//! crowdjoin dedup --input FILE  [--threshold T] [--crowd auto|interactive]
+//!                 [--auto-threshold X] [--output FILE]
+//! crowdjoin join  --left FILE --right FILE  [same options]
+//! ```
+//!
+//! * `demo` runs the paper's running example plus a generated workload and
+//!   prints the savings summary — no files needed.
+//! * `dedup` finds duplicate records within one CSV file (self join).
+//! * `join` matches records across two CSV files with identical headers
+//!   (cross join).
+//!
+//! Crowd modes: `interactive` asks *you* to label each undeduced pair on
+//! stdin (a crowd of one); `auto` (default) labels a pair matching iff its
+//! machine likelihood is at least `--auto-threshold` (default 0.8) — a
+//! self-labeling heuristic for pipelines without humans; deductions then
+//! propagate those decisions transitively either way.
+//!
+//! Output is CSV with columns `a,b,label,provenance,likelihood` (record
+//! indices are 0-based row numbers; for `join`, right-file indices continue
+//! after the left file's).
+
+use crowdjoin::records::{table_from_csv, write_csv, Dataset, Table};
+use crowdjoin::{
+    enforce_one_to_one, resolve_entities, sort_pairs, to_candidate_set, Label, LabelingResult,
+    Oracle, Pair, Provenance, ScoredPair, SortStrategy,
+};
+use crowdjoin_matcher::{generate_candidates, MatcherConfig};
+use crowdjoin_util::FxHashMap;
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+enum Command {
+    Demo { seed: u64 },
+    Dedup { input: String, opts: JoinOpts },
+    Join { left: String, right: String, opts: JoinOpts },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct JoinOpts {
+    threshold: f64,
+    crowd: CrowdMode,
+    auto_threshold: f64,
+    output: Option<String>,
+    /// Emit resolved entity clusters instead of pair labels.
+    resolve: bool,
+    /// Enforce a one-to-one constraint on the matches (cross joins of
+    /// internally deduplicated tables).
+    one_to_one: bool,
+}
+
+impl Default for JoinOpts {
+    fn default() -> Self {
+        Self {
+            threshold: 0.3,
+            crowd: CrowdMode::Auto,
+            auto_threshold: 0.8,
+            output: None,
+            resolve: false,
+            one_to_one: false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CrowdMode {
+    Auto,
+    Interactive,
+}
+
+const USAGE: &str = "usage:
+  crowdjoin demo  [--seed N]
+  crowdjoin dedup --input FILE  [options]
+  crowdjoin join  --left FILE --right FILE  [options]
+
+options:
+  --threshold T         machine-likelihood threshold for candidates (default 0.3)
+  --crowd MODE          auto | interactive (default auto)
+  --auto-threshold X    auto crowd answers matching iff likelihood >= X (default 0.8)
+  --output FILE         write CSV here instead of stdout
+  --resolve yes         output entity clusters instead of pair labels
+  --one-to-one yes      keep at most one match per record (join only)";
+
+/// Parses argv (without the program name). Pure for testability.
+fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let sub = it.next().ok_or_else(|| USAGE.to_string())?;
+    let mut flags: FxHashMap<String, String> = FxHashMap::default();
+    let rest: Vec<&String> = it.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let key = rest[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("unexpected argument {:?}\n{USAGE}", rest[i]))?;
+        let value = rest
+            .get(i + 1)
+            .ok_or_else(|| format!("flag --{key} needs a value\n{USAGE}"))?;
+        if flags.insert(key.to_string(), value.to_string()).is_some() {
+            return Err(format!("duplicate flag --{key}"));
+        }
+        i += 2;
+    }
+    let mut take = |name: &str| flags.remove(name);
+    let parse_opts = |flags: &mut dyn FnMut(&str) -> Option<String>| -> Result<JoinOpts, String> {
+        let mut opts = JoinOpts::default();
+        if let Some(t) = flags("threshold") {
+            opts.threshold =
+                t.parse().map_err(|_| format!("--threshold: not a number: {t:?}"))?;
+        }
+        if let Some(c) = flags("crowd") {
+            opts.crowd = match c.as_str() {
+                "auto" => CrowdMode::Auto,
+                "interactive" => CrowdMode::Interactive,
+                other => return Err(format!("--crowd must be auto|interactive, got {other:?}")),
+            };
+        }
+        if let Some(x) = flags("auto-threshold") {
+            opts.auto_threshold =
+                x.parse().map_err(|_| format!("--auto-threshold: not a number: {x:?}"))?;
+        }
+        let parse_bool = |name: &str, v: String| match v.as_str() {
+            "yes" | "true" | "1" => Ok(true),
+            "no" | "false" | "0" => Ok(false),
+            other => Err(format!("--{name} must be yes|no, got {other:?}")),
+        };
+        if let Some(v) = flags("resolve") {
+            opts.resolve = parse_bool("resolve", v)?;
+        }
+        if let Some(v) = flags("one-to-one") {
+            opts.one_to_one = parse_bool("one-to-one", v)?;
+        }
+        opts.output = flags("output");
+        Ok(opts)
+    };
+
+    let cmd = match sub.as_str() {
+        "demo" => {
+            let seed = match take("seed") {
+                Some(s) => s.parse().map_err(|_| format!("--seed: not a number: {s:?}"))?,
+                None => 42,
+            };
+            Command::Demo { seed }
+        }
+        "dedup" => {
+            let input = take("input").ok_or("dedup requires --input FILE")?;
+            Command::Dedup { input, opts: parse_opts(&mut take)? }
+        }
+        "join" => {
+            let left = take("left").ok_or("join requires --left FILE")?;
+            let right = take("right").ok_or("join requires --right FILE")?;
+            Command::Join { left, right, opts: parse_opts(&mut take)? }
+        }
+        other => return Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    };
+    if let Some(stray) = flags.keys().next() {
+        return Err(format!("unknown flag --{stray}\n{USAGE}"));
+    }
+    Ok(cmd)
+}
+
+/// Oracle that auto-answers from the machine likelihood.
+struct AutoOracle {
+    likelihoods: FxHashMap<Pair, f64>,
+    cutoff: f64,
+    asked: u64,
+}
+
+impl Oracle for AutoOracle {
+    fn answer(&mut self, pair: Pair) -> Label {
+        self.asked += 1;
+        let l = self.likelihoods.get(&pair).copied().unwrap_or(0.0);
+        if l >= self.cutoff {
+            Label::Matching
+        } else {
+            Label::NonMatching
+        }
+    }
+
+    fn questions_asked(&self) -> u64 {
+        self.asked
+    }
+}
+
+/// Oracle that asks the human on stdin.
+struct InteractiveOracle<'a> {
+    dataset: &'a Dataset,
+    asked: u64,
+}
+
+impl Oracle for InteractiveOracle<'_> {
+    fn answer(&mut self, pair: Pair) -> Label {
+        self.asked += 1;
+        let schema = self.dataset.table.schema();
+        eprintln!("\n--- pair {} of record #{} vs #{} ---", self.asked, pair.a(), pair.b());
+        for (i, field) in schema.fields().iter().enumerate() {
+            eprintln!(
+                "  {field:>12}: {:40}  |  {}",
+                self.dataset.table.record(pair.a() as usize).field(i),
+                self.dataset.table.record(pair.b() as usize).field(i),
+            );
+        }
+        loop {
+            eprint!("same entity? [y/n] ");
+            let _ = std::io::stderr().flush();
+            let mut line = String::new();
+            if std::io::stdin().lock().read_line(&mut line).unwrap_or(0) == 0 {
+                eprintln!("(stdin closed — answering 'n')");
+                return Label::NonMatching;
+            }
+            match line.trim().to_lowercase().as_str() {
+                "y" | "yes" => return Label::Matching,
+                "n" | "no" => return Label::NonMatching,
+                _ => eprintln!("please answer y or n"),
+            }
+        }
+    }
+
+    fn questions_asked(&self) -> u64 {
+        self.asked
+    }
+}
+
+fn load_table(path: &str) -> Result<Table, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    table_from_csv(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run_join(dataset: &Dataset, opts: &JoinOpts) -> Result<(), String> {
+    let arity = dataset.table.schema().arity();
+    let candidates_raw = generate_candidates(dataset, &MatcherConfig::for_arity(arity));
+    let candidates = to_candidate_set(dataset, &candidates_raw).above_threshold(opts.threshold);
+    eprintln!(
+        "{} records -> {} candidate pairs at threshold {}",
+        dataset.len(),
+        candidates.len(),
+        opts.threshold
+    );
+
+    let order: Vec<ScoredPair> = sort_pairs(&candidates, SortStrategy::ExpectedLikelihood);
+    let result: LabelingResult = match opts.crowd {
+        CrowdMode::Auto => {
+            let mut oracle = AutoOracle {
+                likelihoods: order.iter().map(|sp| (sp.pair, sp.likelihood)).collect(),
+                cutoff: opts.auto_threshold,
+                asked: 0,
+            };
+            crowdjoin::label_sequential(candidates.num_objects(), &order, &mut oracle)
+        }
+        CrowdMode::Interactive => {
+            let mut oracle = InteractiveOracle { dataset, asked: 0 };
+            crowdjoin::label_sequential(candidates.num_objects(), &order, &mut oracle)
+        }
+    };
+    eprintln!(
+        "labeled {} pairs: {} answered, {} deduced for free ({:.0}% saved)",
+        result.num_labeled(),
+        result.num_crowdsourced(),
+        result.num_deduced(),
+        result.savings_ratio() * 100.0
+    );
+
+    let likelihood_of: FxHashMap<Pair, f64> =
+        order.iter().map(|sp| (sp.pair, sp.likelihood)).collect();
+
+    // Optional one-to-one cleanup: demote conflicting matches.
+    let mut demoted: crowdjoin_util::FxHashSet<Pair> = Default::default();
+    if opts.one_to_one {
+        let matches: Vec<ScoredPair> = order
+            .iter()
+            .copied()
+            .filter(|sp| result.label_of(sp.pair) == Some(Label::Matching))
+            .collect();
+        let outcome = enforce_one_to_one(&matches);
+        demoted = outcome.demoted.iter().map(|sp| sp.pair).collect();
+        if !demoted.is_empty() {
+            eprintln!("one-to-one constraint demoted {} match(es)", demoted.len());
+        }
+    }
+    let effective_label = |pair: Pair, label: Label| {
+        if demoted.contains(&pair) {
+            Label::NonMatching
+        } else {
+            label
+        }
+    };
+
+    let csv = if opts.resolve {
+        // Entity clusters: rebuild a result view with demotions applied.
+        let mut adjusted = LabelingResult::new();
+        for lp in result.labeled_pairs() {
+            adjusted.record(lp.pair, effective_label(lp.pair, lp.label), lp.provenance);
+        }
+        let resolution = resolve_entities(dataset.len(), &adjusted);
+        if !resolution.is_consistent() {
+            eprintln!(
+                "warning: {} non-matching label(s) inside clusters (inconsistent answers)",
+                resolution.intra_cluster_nonmatches.len()
+            );
+        }
+        let mut rows = vec![vec!["entity".to_string(), "record".to_string()]];
+        for (entity, cluster) in resolution.clusters.iter().enumerate() {
+            for &record in cluster {
+                rows.push(vec![entity.to_string(), record.to_string()]);
+            }
+        }
+        write_csv(&rows)
+    } else {
+        let mut rows = vec![vec![
+            "a".to_string(),
+            "b".to_string(),
+            "label".to_string(),
+            "provenance".to_string(),
+            "likelihood".to_string(),
+        ]];
+        for lp in result.labeled_pairs() {
+            rows.push(vec![
+                lp.pair.a().to_string(),
+                lp.pair.b().to_string(),
+                effective_label(lp.pair, lp.label).to_string(),
+                match lp.provenance {
+                    Provenance::Crowdsourced => "crowdsourced".to_string(),
+                    Provenance::Deduced => "deduced".to_string(),
+                },
+                format!("{:.4}", likelihood_of.get(&lp.pair).copied().unwrap_or(0.0)),
+            ]);
+        }
+        write_csv(&rows)
+    };
+    match &opts.output {
+        Some(path) => std::fs::write(path, csv).map_err(|e| format!("cannot write {path:?}: {e}"))?,
+        None => print!("{csv}"),
+    }
+    Ok(())
+}
+
+fn run_demo(seed: u64) -> Result<(), String> {
+    use crowdjoin::records::{generate_paper, ClusterSpec, PaperGenConfig, PerturbConfig};
+    use crowdjoin::{build_task, GroundTruthOracle};
+    let dataset = generate_paper(&PaperGenConfig {
+        num_records: 200,
+        clusters: ClusterSpec::PowerLaw { alpha: 1.9, max_size: 30, force_max: true },
+        perturb: PerturbConfig::heavy(),
+        sibling_probability: 0.3,
+        seed,
+    });
+    let (task, truth) = build_task(&dataset, &MatcherConfig::for_arity(5), 0.3);
+    let mut oracle = GroundTruthOracle::new(&truth);
+    let result = task.run_sequential(SortStrategy::ExpectedLikelihood, &mut oracle);
+    println!(
+        "demo: {} records, {} candidate pairs, {} crowd answers, {} deduced ({:.0}% saved)",
+        dataset.len(),
+        task.candidates().len(),
+        result.num_crowdsourced(),
+        result.num_deduced(),
+        result.savings_ratio() * 100.0
+    );
+    Ok(())
+}
+
+fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Demo { seed } => run_demo(seed),
+        Command::Dedup { input, opts } => {
+            let table = load_table(&input)?;
+            let n = table.len();
+            let dataset = Dataset {
+                table,
+                entity_of: (0..n as u32).collect(), // unknown truth: unused
+                split: None,
+                name: input,
+            };
+            run_join(&dataset, &opts)
+        }
+        Command::Join { left, right, opts } => {
+            let lt = load_table(&left)?;
+            let rt = load_table(&right)?;
+            if lt.schema() != rt.schema() {
+                return Err(format!(
+                    "schema mismatch: {left} has {:?}, {right} has {:?}",
+                    lt.schema().fields(),
+                    rt.schema().fields()
+                ));
+            }
+            let split = lt.len();
+            let mut table = lt;
+            for r in rt.records() {
+                table.push(r.clone());
+            }
+            let n = table.len();
+            let dataset = Dataset {
+                table,
+                entity_of: (0..n as u32).collect(), // unknown truth: unused
+                split: Some(split),
+                name: format!("{left}⋈{right}"),
+            };
+            run_join(&dataset, &opts)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(run) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_demo() {
+        assert_eq!(parse_args(&args("demo")), Ok(Command::Demo { seed: 42 }));
+        assert_eq!(parse_args(&args("demo --seed 7")), Ok(Command::Demo { seed: 7 }));
+    }
+
+    #[test]
+    fn parses_dedup_with_options() {
+        let cmd = parse_args(&args(
+            "dedup --input recs.csv --threshold 0.2 --crowd interactive --output out.csv",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Dedup { input, opts } => {
+                assert_eq!(input, "recs.csv");
+                assert_eq!(opts.threshold, 0.2);
+                assert_eq!(opts.crowd, CrowdMode::Interactive);
+                assert_eq!(opts.output.as_deref(), Some("out.csv"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_resolve_and_one_to_one() {
+        let cmd = parse_args(&args("join --left a --right b --resolve yes --one-to-one yes")).unwrap();
+        match cmd {
+            Command::Join { opts, .. } => {
+                assert!(opts.resolve);
+                assert!(opts.one_to_one);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse_args(&args("dedup --input a --resolve maybe")).is_err());
+    }
+
+    #[test]
+    fn parses_join() {
+        let cmd = parse_args(&args("join --left a.csv --right b.csv")).unwrap();
+        assert!(matches!(cmd, Command::Join { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&args("frobnicate")).is_err());
+        assert!(parse_args(&args("dedup")).is_err(), "missing --input");
+        assert!(parse_args(&args("join --left a.csv")).is_err(), "missing --right");
+        assert!(parse_args(&args("demo --seed nope")).is_err());
+        assert!(parse_args(&args("dedup --input a --crowd psychic")).is_err());
+        assert!(parse_args(&args("demo --bogus 1")).is_err());
+        assert!(parse_args(&args("demo --seed 1 --seed 2")).is_err(), "duplicate flag");
+    }
+
+    #[test]
+    fn auto_oracle_uses_cutoff() {
+        let p_hi = Pair::new(0, 1);
+        let p_lo = Pair::new(1, 2);
+        let mut o = AutoOracle {
+            likelihoods: [(p_hi, 0.9), (p_lo, 0.4)].into_iter().collect(),
+            cutoff: 0.8,
+            asked: 0,
+        };
+        assert_eq!(o.answer(p_hi), Label::Matching);
+        assert_eq!(o.answer(p_lo), Label::NonMatching);
+        assert_eq!(o.answer(Pair::new(5, 6)), Label::NonMatching, "unknown pair");
+        assert_eq!(o.questions_asked(), 3);
+    }
+}

@@ -1,0 +1,77 @@
+//! # crowdjoin — crowdsourced joins with transitive relations
+//!
+//! A production-grade reproduction of *Leveraging Transitive Relations for
+//! Crowdsourced Joins* (Wang, Li, Kraska, Franklin, Feng — SIGMOD 2013,
+//! revised 2014): hybrid human–machine entity resolution that labels every
+//! machine-generated candidate pair while **crowdsourcing as few pairs as
+//! possible**, deducing the rest via positive/negative transitivity.
+//!
+//! This facade crate re-exports the whole workspace and adds the glue that
+//! joins the layers:
+//!
+//! | layer | crate | contents |
+//! |-------|-------|----------|
+//! | deduction substrate | [`graph`] | union–find, ClusterGraph, path oracle |
+//! | datasets | [`records`] | Paper/Product generators (Cora / Abt-Buy stand-ins) |
+//! | machine matcher | [`matcher`] | tokenizers, similarity, tf-idf join |
+//! | labeling framework | [`core`] | orders, sequential/parallel labelers, expected cost |
+//! | crowd platform | [`sim`] | discrete-event AMT simulator |
+//! | integration | [`pipeline`], [`runner`] | dataset→task glue, platform-driven runs |
+//!
+//! ## End-to-end example
+//!
+//! ```
+//! use crowdjoin::matcher::MatcherConfig;
+//! use crowdjoin::records::{generate_paper, ClusterSpec, PaperGenConfig, PerturbConfig};
+//! use crowdjoin::{build_task, GroundTruthOracle, SortStrategy};
+//!
+//! // 1. Machine stage: generate (or load) records, score candidate pairs.
+//! let dataset = generate_paper(&PaperGenConfig {
+//!     num_records: 60,
+//!     clusters: ClusterSpec::Explicit(vec![(6, 3), (2, 6)]),
+//!     perturb: PerturbConfig::light(),
+//!     sibling_probability: 0.0,
+//!     seed: 42,
+//! });
+//! let (task, truth) = build_task(&dataset, &MatcherConfig::for_arity(5), 0.3);
+//!
+//! // 2. Crowd stage: label candidates, deducing everything transitivity can.
+//! let mut crowd = GroundTruthOracle::new(&truth);
+//! let result = task.run_sequential(SortStrategy::ExpectedLikelihood, &mut crowd);
+//!
+//! assert_eq!(result.num_labeled(), task.candidates().len());
+//! assert!(result.num_deduced() > 0, "transitivity saved crowd questions");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pipeline;
+pub mod runner;
+
+/// The labeling framework (re-export of `crowdjoin-core`).
+pub use crowdjoin_core as core;
+/// The deduction substrate (re-export of `crowdjoin-graph`).
+pub use crowdjoin_graph as graph;
+/// The machine matcher (re-export of `crowdjoin-matcher`).
+pub use crowdjoin_matcher as matcher;
+/// Dataset generators (re-export of `crowdjoin-records`).
+pub use crowdjoin_records as records;
+/// The crowd-platform simulator (re-export of `crowdjoin-sim`).
+pub use crowdjoin_sim as sim;
+/// Shared utilities (re-export of `crowdjoin-util`).
+pub use crowdjoin_util as util;
+
+pub use crowdjoin_core::{
+    enforce_one_to_one, label_non_transitive, label_sequential, label_with_budget, optimal_cost,
+    resolve_entities, run_parallel_rounds, sort_pairs, BudgetedResult, CandidateSet,
+    EntityResolution, FixedOracle, GroundTruth, GroundTruthOracle, Label, LabeledPair,
+    LabelingResult, LabelingTask, NoisyOracle, OneToOneDeducer, OneToOneOutcome, OptimalCost,
+    Oracle, Pair, ParallelLabeler, ParallelRunStats, Provenance, QualityMetrics, ScoredPair,
+    SortStrategy, WorldEnumeration,
+};
+pub use pipeline::{build_task, ground_truth_of, to_candidate_set};
+pub use runner::{
+    replay_pairs_sequentially, run_non_transitive_on_platform, run_parallel_on_platform,
+    AvailabilitySample, CrowdRunReport,
+};

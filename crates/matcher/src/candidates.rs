@@ -1,0 +1,369 @@
+//! Candidate generation — the "machine" half of the hybrid pipeline.
+//!
+//! Following CrowdER's workflow (citation 25 in the paper), the machine
+//! stage computes a likelihood for record pairs and "weeds out" the
+//! obviously non-matching ones; only pairs above a pruning floor survive to
+//! be labeled by crowd + transitivity. Likelihood here is a weighted blend of
+//! tf-idf cosine and Jaccard token overlap — both in `[0, 1]`, monotone in
+//! textual closeness of the records.
+//!
+//! Two implementations are provided:
+//!
+//! * [`generate_candidates`] — inverted-index similarity join: only pairs
+//!   sharing ≥1 token are materialized (subquadratic in practice);
+//! * [`generate_candidates_bruteforce`] — full pairwise scan, used as the
+//!   test oracle and as the baseline in the `candidate_gen` bench.
+
+use crate::fields::ExtraMeasure;
+use crate::similarity::jaccard;
+use crate::tfidf::TfIdfIndex;
+use crate::tokenize::tokenize_words;
+use crowdjoin_records::Dataset;
+
+/// A machine-scored candidate pair (`a < b` in the dataset's id space).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredCandidate {
+    /// First record id.
+    pub a: u32,
+    /// Second record id.
+    pub b: u32,
+    /// Blended likelihood of matching, in `[0, 1]`.
+    pub likelihood: f64,
+}
+
+/// Matcher configuration.
+#[derive(Debug, Clone)]
+pub struct MatcherConfig {
+    /// Pairs below this likelihood are pruned by the machine (the paper's
+    /// experiments then sweep a *threshold* ≥ this floor).
+    pub min_likelihood: f64,
+    /// Weight of tf-idf cosine in the blend.
+    pub cosine_weight: f64,
+    /// Weight of Jaccard token overlap in the blend.
+    pub jaccard_weight: f64,
+    /// Per-field token weights (must match the dataset schema arity).
+    pub field_weights: Vec<f64>,
+    /// Additional per-field scoring terms (numeric closeness, edit
+    /// distance, ...) applied to candidate pairs after token-based
+    /// generation. Candidate *generation* still requires ≥1 shared token —
+    /// the extra measures refine the likelihood, they don't create
+    /// candidates.
+    pub extra_measures: Vec<ExtraMeasure>,
+}
+
+impl MatcherConfig {
+    /// A sensible default for a schema of `arity` fields: equal field
+    /// weights, 60/40 cosine/Jaccard blend, pruning floor 0.05, no extra
+    /// measures.
+    #[must_use]
+    pub fn for_arity(arity: usize) -> Self {
+        Self {
+            min_likelihood: 0.05,
+            cosine_weight: 0.6,
+            jaccard_weight: 0.4,
+            field_weights: vec![1.0; arity],
+            extra_measures: Vec::new(),
+        }
+    }
+
+    fn validate(&self, arity: usize) {
+        assert!(
+            self.cosine_weight >= 0.0 && self.jaccard_weight >= 0.0,
+            "blend weights must be non-negative"
+        );
+        for em in &self.extra_measures {
+            assert!(em.weight >= 0.0, "blend weights must be non-negative");
+            assert!(em.field < arity, "extra measure references field {} of {arity}", em.field);
+        }
+        assert!(
+            self.total_weight() > 0.0,
+            "at least one blend weight must be positive"
+        );
+        assert!((0.0..=1.0).contains(&self.min_likelihood), "min_likelihood must be in [0,1]");
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.cosine_weight
+            + self.jaccard_weight
+            + self.extra_measures.iter().map(|em| em.weight).sum::<f64>()
+    }
+
+    fn blend(&self, dataset: &Dataset, a: u32, b: u32, cosine: f64, jac: f64) -> f64 {
+        let mut acc = self.cosine_weight * cosine + self.jaccard_weight * jac;
+        for em in &self.extra_measures {
+            let va = dataset.table.record(a as usize).field(em.field);
+            let vb = dataset.table.record(b as usize).field(em.field);
+            acc += em.weight * em.measure.score(va, vb);
+        }
+        acc / self.total_weight()
+    }
+}
+
+/// Concatenated distinct tokens of a record (all fields), sorted.
+fn record_token_set(dataset: &Dataset, i: usize) -> Vec<String> {
+    let mut tokens = Vec::new();
+    for f in 0..dataset.table.schema().arity() {
+        tokens.extend(tokenize_words(dataset.table.record(i).field(f)));
+    }
+    tokens.sort_unstable();
+    tokens.dedup();
+    tokens
+}
+
+/// Inverted-index candidate generation: scores every joinable pair sharing at
+/// least one token and keeps those with likelihood ≥ `config.min_likelihood`.
+///
+/// Output is sorted by `(a, b)` and deduplicated; for cross-join datasets
+/// only cross-table pairs appear.
+///
+/// # Panics
+///
+/// Panics if `config.field_weights` does not match the schema arity.
+#[must_use]
+pub fn generate_candidates(dataset: &Dataset, config: &MatcherConfig) -> Vec<ScoredCandidate> {
+    config.validate(dataset.table.schema().arity());
+    let index = TfIdfIndex::build(dataset, &config.field_weights);
+    let token_sets: Vec<Vec<String>> =
+        (0..dataset.len()).map(|i| record_token_set(dataset, i)).collect();
+
+    let mut out = Vec::new();
+    for a in 0..dataset.len() as u32 {
+        for (b, cosine) in index.accumulate_cosines(a) {
+            // Emit each unordered pair once, from its smaller endpoint.
+            if b <= a || !dataset.is_joinable(a as usize, b as usize) {
+                continue;
+            }
+            let jac = jaccard(&token_sets[a as usize], &token_sets[b as usize]);
+            let likelihood = config.blend(dataset, a, b, cosine, jac);
+            if likelihood >= config.min_likelihood {
+                out.push(ScoredCandidate { a, b, likelihood });
+            }
+        }
+    }
+    out.sort_unstable_by_key(|c| (c.a, c.b));
+    out
+}
+
+/// Full pairwise scan — O(n²) reference implementation.
+///
+/// # Panics
+///
+/// Panics if `config.field_weights` does not match the schema arity.
+#[must_use]
+pub fn generate_candidates_bruteforce(
+    dataset: &Dataset,
+    config: &MatcherConfig,
+) -> Vec<ScoredCandidate> {
+    config.validate(dataset.table.schema().arity());
+    let index = TfIdfIndex::build(dataset, &config.field_weights);
+    let token_sets: Vec<Vec<String>> =
+        (0..dataset.len()).map(|i| record_token_set(dataset, i)).collect();
+    let mut out = Vec::new();
+    for a in 0..dataset.len() as u32 {
+        for b in (a + 1)..dataset.len() as u32 {
+            if !dataset.is_joinable(a as usize, b as usize) {
+                continue;
+            }
+            let cosine = index.cosine(a, b);
+            let jac = jaccard(&token_sets[a as usize], &token_sets[b as usize]);
+            let likelihood = config.blend(dataset, a, b, cosine, jac);
+            if likelihood >= config.min_likelihood {
+                out.push(ScoredCandidate { a, b, likelihood });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdjoin_records::{Dataset, Record, Schema, Table};
+
+    fn dataset(names: &[&str], split: Option<usize>) -> Dataset {
+        let mut table = Table::new(Schema::new(vec!["name"]));
+        for n in names {
+            table.push(Record::new(vec![*n]));
+        }
+        let n = table.len();
+        Dataset { table, entity_of: (0..n as u32).collect(), split, name: "t".into() }
+    }
+
+    #[test]
+    fn finds_similar_pairs() {
+        let ds = dataset(
+            &["sony bravia tv 40", "sony bravia tv 40 black", "canon eos camera", "zzz qqq"],
+            None,
+        );
+        let cands = generate_candidates(&ds, &MatcherConfig::for_arity(1));
+        let top = cands
+            .iter()
+            .max_by(|x, y| x.likelihood.total_cmp(&y.likelihood))
+            .expect("candidates exist");
+        assert_eq!((top.a, top.b), (0, 1));
+        assert!(top.likelihood > 0.6);
+        // The all-different record shares no tokens with anyone.
+        assert!(cands.iter().all(|c| c.a != 3 && c.b != 3));
+    }
+
+    #[test]
+    fn agrees_with_bruteforce() {
+        let ds = dataset(
+            &[
+                "alpha beta gamma",
+                "alpha beta delta",
+                "gamma delta epsilon",
+                "zeta eta theta",
+                "alpha zeta",
+                "beta gamma delta epsilon",
+            ],
+            None,
+        );
+        let cfg = MatcherConfig { min_likelihood: 0.0, ..MatcherConfig::for_arity(1) };
+        let fast = generate_candidates(&ds, &cfg);
+        let mut slow = generate_candidates_bruteforce(&ds, &cfg);
+        // Brute force also emits zero-likelihood disjoint pairs when the
+        // floor is 0; the index only emits token-sharing pairs. Compare on
+        // the shared support.
+        slow.retain(|c| c.likelihood > 0.0);
+        let fast: Vec<_> = fast.into_iter().filter(|c| c.likelihood > 0.0).collect();
+        assert_eq!(fast.len(), slow.len());
+        for (f, s) in fast.iter().zip(slow.iter()) {
+            assert_eq!((f.a, f.b), (s.a, s.b));
+            assert!((f.likelihood - s.likelihood).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cross_join_excludes_same_side_pairs() {
+        let ds = dataset(&["sony tv", "sony tv black", "sony tv", "other thing"], Some(2));
+        let cfg = MatcherConfig { min_likelihood: 0.0, ..MatcherConfig::for_arity(1) };
+        let cands = generate_candidates(&ds, &cfg);
+        for c in &cands {
+            assert!(
+                ds.is_joinable(c.a as usize, c.b as usize),
+                "same-side pair ({}, {}) emitted",
+                c.a,
+                c.b
+            );
+        }
+        // (0,1) same side — excluded even though nearly identical.
+        assert!(!cands.iter().any(|c| (c.a, c.b) == (0, 1)));
+        // (0,2) crosses the split.
+        assert!(cands.iter().any(|c| (c.a, c.b) == (0, 2)));
+    }
+
+    #[test]
+    fn pruning_floor_applies() {
+        let ds = dataset(&["a b c d e f g h", "a x y z w v u t"], None);
+        let loose = MatcherConfig { min_likelihood: 0.0, ..MatcherConfig::for_arity(1) };
+        let strict = MatcherConfig { min_likelihood: 0.9, ..MatcherConfig::for_arity(1) };
+        assert_eq!(generate_candidates(&ds, &loose).len(), 1);
+        assert!(generate_candidates(&ds, &strict).is_empty());
+    }
+
+    #[test]
+    fn duplicates_score_above_nonduplicates_on_generated_data() {
+        use crowdjoin_records::{generate_paper, ClusterSpec, PaperGenConfig, PerturbConfig};
+        let cfg = PaperGenConfig {
+            num_records: 60,
+            clusters: ClusterSpec::Explicit(vec![(4, 5)]),
+            perturb: PerturbConfig::light(),
+            sibling_probability: 0.0,
+            seed: 33,
+        };
+        let ds = generate_paper(&cfg);
+        let cands =
+            generate_candidates(&ds, &MatcherConfig { min_likelihood: 0.0, ..MatcherConfig::for_arity(5) });
+        let mut match_scores = vec![];
+        let mut nonmatch_scores = vec![];
+        for c in &cands {
+            if ds.is_true_match(c.a as usize, c.b as usize) {
+                match_scores.push(c.likelihood);
+            } else {
+                nonmatch_scores.push(c.likelihood);
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(
+            mean(&match_scores) > mean(&nonmatch_scores) + 0.2,
+            "matcher signal too weak: matches {:.3} vs non {:.3}",
+            mean(&match_scores),
+            mean(&nonmatch_scores)
+        );
+    }
+
+    #[test]
+    fn numeric_price_measure_sharpens_product_scores() {
+        use crate::fields::{ExtraMeasure, FieldMeasure};
+        let mut table = crowdjoin_records::Table::new(crowdjoin_records::Schema::new(vec![
+            "name", "price",
+        ]));
+        // Same listing at two retailers (price within 2%), and a different
+        // product of the same line (price 4x apart).
+        table.push(crowdjoin_records::Record::new(vec!["sony kd40 tv black", "499.99"]));
+        table.push(crowdjoin_records::Record::new(vec!["sony kd40 tv", "489.99"]));
+        table.push(crowdjoin_records::Record::new(vec!["sony kd40 tv black", "129.99"]));
+        let ds = Dataset {
+            table,
+            entity_of: vec![0, 0, 1],
+            split: None,
+            name: "t".into(),
+        };
+        let plain = MatcherConfig {
+            min_likelihood: 0.0,
+            field_weights: vec![1.0, 0.0],
+            ..MatcherConfig::for_arity(2)
+        };
+        let priced = MatcherConfig {
+            extra_measures: vec![ExtraMeasure {
+                field: 1,
+                measure: FieldMeasure::NumericRatio,
+                weight: 1.0,
+            }],
+            ..plain.clone()
+        };
+        let score = |cfg: &MatcherConfig, a: u32, b: u32| {
+            generate_candidates(&ds, cfg)
+                .into_iter()
+                .find(|c| (c.a, c.b) == (a, b))
+                .map(|c| c.likelihood)
+                .unwrap_or(0.0)
+        };
+        // Name-only scoring cannot separate (0,1) from (0,2): record 2 has
+        // the *identical* name. The price measure must.
+        assert!(score(&plain, 0, 2) >= score(&plain, 0, 1));
+        let gap = score(&priced, 0, 1) - score(&priced, 0, 2);
+        assert!(gap > 0.15, "price measure should separate: gap {gap}");
+    }
+
+    #[test]
+    #[should_panic(expected = "references field")]
+    fn extra_measure_field_out_of_range_rejected() {
+        use crate::fields::{ExtraMeasure, FieldMeasure};
+        let ds = dataset(&["a"], None);
+        let cfg = MatcherConfig {
+            extra_measures: vec![ExtraMeasure {
+                field: 5,
+                measure: FieldMeasure::Exact,
+                weight: 1.0,
+            }],
+            ..MatcherConfig::for_arity(1)
+        };
+        let _ = generate_candidates(&ds, &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "blend weight")]
+    fn zero_blend_rejected() {
+        let ds = dataset(&["a"], None);
+        let cfg = MatcherConfig {
+            min_likelihood: 0.1,
+            cosine_weight: 0.0,
+            jaccard_weight: 0.0,
+            field_weights: vec![1.0],
+            extra_measures: Vec::new(),
+        };
+        let _ = generate_candidates(&ds, &cfg);
+    }
+}

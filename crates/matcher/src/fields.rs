@@ -1,0 +1,123 @@
+//! Per-field similarity measures for the scoring stage.
+//!
+//! Token-based generation (tf-idf cosine + Jaccard) treats every field as a
+//! bag of words, which wastes fields with structure: prices are numbers
+//! ("499.99" vs "489.99" share no tokens but are clearly close), and short
+//! names benefit from character-level edit measures. A [`FieldMeasure`]
+//! computes a `[0, 1]` similarity for one schema field of a candidate pair;
+//! the matcher blends them into the final likelihood with configurable
+//! weights (see [`crate::MatcherConfig::extra_measures`]).
+
+use crate::similarity::{jaro_winkler, levenshtein_similarity};
+
+/// A field-level similarity measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldMeasure {
+    /// Normalized Levenshtein similarity on the raw field strings.
+    Levenshtein,
+    /// Jaro–Winkler similarity (favors shared prefixes; good for names).
+    JaroWinkler,
+    /// Numeric closeness `min/max` of the parsed values (1 for equal, → 0
+    /// as they diverge; 0 when either side fails to parse, 1 when both are
+    /// zero).
+    NumericRatio,
+    /// Exact string equality (1 or 0) — for code-like fields.
+    Exact,
+}
+
+impl FieldMeasure {
+    /// Computes the measure on two field values. Always in `[0, 1]`.
+    #[must_use]
+    pub fn score(self, a: &str, b: &str) -> f64 {
+        match self {
+            FieldMeasure::Levenshtein => levenshtein_similarity(a.trim(), b.trim()),
+            FieldMeasure::JaroWinkler => jaro_winkler(a.trim(), b.trim()),
+            FieldMeasure::NumericRatio => {
+                match (a.trim().parse::<f64>(), b.trim().parse::<f64>()) {
+                    (Ok(x), Ok(y)) if x >= 0.0 && y >= 0.0 => {
+                        if x == 0.0 && y == 0.0 {
+                            1.0
+                        } else {
+                            let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+                            if hi == 0.0 {
+                                1.0
+                            } else {
+                                (lo / hi).clamp(0.0, 1.0)
+                            }
+                        }
+                    }
+                    _ => 0.0,
+                }
+            }
+            FieldMeasure::Exact => f64::from(a.trim() == b.trim()),
+        }
+    }
+}
+
+/// One extra scoring term: apply `measure` to schema field `field` with
+/// blend weight `weight`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtraMeasure {
+    /// Schema field index.
+    pub field: usize,
+    /// The measure to apply.
+    pub measure: FieldMeasure,
+    /// Blend weight (non-negative).
+    pub weight: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_ratio_basics() {
+        let m = FieldMeasure::NumericRatio;
+        assert_eq!(m.score("100", "100"), 1.0);
+        assert!((m.score("100", "50") - 0.5).abs() < 1e-12);
+        assert!((m.score("50", "100") - 0.5).abs() < 1e-12);
+        assert_eq!(m.score("0", "0"), 1.0);
+        assert_eq!(m.score("abc", "100"), 0.0);
+        assert_eq!(m.score("", ""), 0.0, "unparsable");
+        assert!((m.score(" 499.99 ", "489.99") - 489.99 / 499.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_measure() {
+        let m = FieldMeasure::Exact;
+        assert_eq!(m.score("kd40", "kd40"), 1.0);
+        assert_eq!(m.score("kd40", "kd46"), 0.0);
+        assert_eq!(m.score(" kd40 ", "kd40"), 1.0, "trimmed");
+    }
+
+    #[test]
+    fn string_measures_delegate() {
+        assert_eq!(FieldMeasure::Levenshtein.score("same", "same"), 1.0);
+        assert!(FieldMeasure::JaroWinkler.score("martha", "marhta") > 0.9);
+        assert!(FieldMeasure::Levenshtein.score("abc", "xyz") < 0.01);
+    }
+
+    #[test]
+    fn all_measures_bounded() {
+        let cases = [("", ""), ("a", ""), ("499.99", "0"), ("-5", "3"), ("x y z", "x")];
+        for m in [
+            FieldMeasure::Levenshtein,
+            FieldMeasure::JaroWinkler,
+            FieldMeasure::NumericRatio,
+            FieldMeasure::Exact,
+        ] {
+            for (a, b) in cases {
+                let s = m.score(a, b);
+                assert!((0.0..=1.0).contains(&s), "{m:?} on ({a:?},{b:?}) gave {s}");
+                let t = m.score(b, a);
+                assert!((s - t).abs() < 1e-12, "{m:?} asymmetric on ({a:?},{b:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn negative_numbers_score_zero() {
+        // Negative magnitudes have no meaningful ratio semantics here.
+        assert_eq!(FieldMeasure::NumericRatio.score("-5", "5"), 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # crowdjoin-matcher — the machine half of the hybrid join
+//!
+//! The paper's pipeline first uses "machine-based techniques to generate a
+//! candidate set of matching pairs" with a per-pair likelihood (CrowdER-style
+//! similarity pruning), and only then involves the crowd. This crate is that
+//! machine stage:
+//!
+//! * [`tokenize`] — word and q-gram tokenizers;
+//! * [`similarity`] — Jaccard, Dice, overlap, Levenshtein, Jaro(-Winkler);
+//! * [`tfidf`] — sparse tf-idf vectors + inverted index with cosine scoring;
+//! * [`candidates`] — the similarity join producing [`ScoredCandidate`]s
+//!   (indexed and brute-force variants).
+//!
+//! ```
+//! use crowdjoin_matcher::{generate_candidates, MatcherConfig};
+//! use crowdjoin_records::{generate_paper, ClusterSpec, PaperGenConfig, PerturbConfig};
+//!
+//! let dataset = generate_paper(&PaperGenConfig {
+//!     num_records: 40,
+//!     clusters: ClusterSpec::Explicit(vec![(4, 3)]),
+//!     perturb: PerturbConfig::light(),
+//!     sibling_probability: 0.0,
+//!     seed: 7,
+//! });
+//! let candidates = generate_candidates(&dataset, &MatcherConfig::for_arity(5));
+//! assert!(!candidates.is_empty());
+//! assert!(candidates.iter().all(|c| (0.0..=1.0).contains(&c.likelihood)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod candidates;
+pub mod fields;
+pub mod similarity;
+pub mod tfidf;
+pub mod tokenize;
+
+pub use candidates::{generate_candidates, generate_candidates_bruteforce, MatcherConfig, ScoredCandidate};
+pub use fields::{ExtraMeasure, FieldMeasure};
+pub use similarity::{dice, jaccard, jaro, jaro_winkler, levenshtein, levenshtein_similarity, overlap};
+pub use tfidf::TfIdfIndex;
+pub use tokenize::{qgrams, token_set, tokenize_words};

@@ -1,0 +1,220 @@
+//! String and set similarity functions.
+//!
+//! These are the standard entity-resolution similarity measures the paper's
+//! machine stage relies on ("the likelihood can be the similarity computed by
+//! a given similarity function"). Set measures take **sorted, deduplicated**
+//! token slices (see [`crate::token_set`]); string measures work on raw
+//! `&str`.
+
+/// Size of the intersection of two sorted deduplicated slices.
+fn intersection_size<T: Ord>(a: &[T], b: &[T]) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut shared = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                shared += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    shared
+}
+
+/// Jaccard similarity `|A∩B| / |A∪B|` of two sorted deduplicated slices.
+/// Defined as 1 for two empty sets.
+#[must_use]
+pub fn jaccard<T: Ord>(a: &[T], b: &[T]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let shared = intersection_size(a, b);
+    shared as f64 / (a.len() + b.len() - shared) as f64
+}
+
+/// Dice coefficient `2|A∩B| / (|A|+|B|)`. Defined as 1 for two empty sets.
+#[must_use]
+pub fn dice<T: Ord>(a: &[T], b: &[T]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    2.0 * intersection_size(a, b) as f64 / (a.len() + b.len()) as f64
+}
+
+/// Overlap coefficient `|A∩B| / min(|A|,|B|)`. Defined as 1 if either set is
+/// empty.
+#[must_use]
+pub fn overlap<T: Ord>(a: &[T], b: &[T]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 1.0;
+    }
+    intersection_size(a, b) as f64 / a.len().min(b.len()) as f64
+}
+
+/// Levenshtein edit distance (unit costs), O(|a|·|b|) time, O(min) space.
+#[must_use]
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut curr = vec![0usize; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let sub = prev[j] + usize::from(lc != sc);
+            curr[j + 1] = sub.min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[short.len()]
+}
+
+/// Normalized Levenshtein similarity `1 − dist/max_len`, in `[0, 1]`.
+/// Defined as 1 for two empty strings.
+#[must_use]
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Jaro similarity, in `[0, 1]`.
+#[must_use]
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches_a.push(ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let matches_b: Vec<char> =
+        b.iter().zip(b_used.iter()).filter(|(_, &u)| u).map(|(&c, _)| c).collect();
+    let transpositions =
+        matches_a.iter().zip(matches_b.iter()).filter(|(x, y)| x != y).count() / 2;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity with the standard prefix scale 0.1 (max prefix 4).
+#[must_use]
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * 0.1 * (1.0 - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn set(s: &str) -> Vec<String> {
+        crate::token_set(s)
+    }
+
+    #[test]
+    fn jaccard_known_values() {
+        assert_eq!(jaccard(&set("a b c"), &set("a b c")), 1.0);
+        assert_eq!(jaccard(&set("a b"), &set("c d")), 0.0);
+        assert!((jaccard(&set("a b c"), &set("b c d")) - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard::<String>(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn dice_and_overlap_known_values() {
+        assert!((dice(&set("a b c"), &set("b c d")) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(overlap(&set("a b"), &set("a b c d")), 1.0);
+        assert_eq!(overlap::<String>(&[], &set("x")), 1.0);
+    }
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn levenshtein_similarity_bounds() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_known_values() {
+        // Classic reference pairs (values from the literature).
+        assert!((jaro("martha", "marhta") - 0.944_444).abs() < 1e-5);
+        assert!((jaro_winkler("martha", "marhta") - 0.961_111).abs() < 1e-5);
+        assert!((jaro("dixon", "dicksonx") - 0.766_667).abs() < 1e-5);
+        assert!((jaro_winkler("dixon", "dicksonx") - 0.813_333).abs() < 1e-5);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+    }
+
+    proptest! {
+        /// All similarities stay in [0,1], are symmetric, and score identity
+        /// as 1.
+        #[test]
+        fn similarity_axioms(a in "[a-c ]{0,12}", b in "[a-c ]{0,12}") {
+            let (sa, sb) = (set(&a), set(&b));
+            for (name, v, w) in [
+                ("jaccard", jaccard(&sa, &sb), jaccard(&sb, &sa)),
+                ("dice", dice(&sa, &sb), dice(&sb, &sa)),
+                ("overlap", overlap(&sa, &sb), overlap(&sb, &sa)),
+                ("lev", levenshtein_similarity(&a, &b), levenshtein_similarity(&b, &a)),
+                ("jaro", jaro(&a, &b), jaro(&b, &a)),
+                ("jw", jaro_winkler(&a, &b), jaro_winkler(&b, &a)),
+            ] {
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "{name} out of range: {v}");
+                prop_assert!((v - w).abs() < 1e-12, "{name} asymmetric: {v} vs {w}");
+            }
+            prop_assert_eq!(levenshtein(&a, &a), 0);
+            prop_assert!((jaccard(&sa, &sa) - 1.0).abs() < 1e-12);
+        }
+
+        /// Levenshtein satisfies the triangle inequality.
+        #[test]
+        fn levenshtein_triangle(a in "[a-c]{0,8}", b in "[a-c]{0,8}", c in "[a-c]{0,8}") {
+            prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Tf-idf vectors and cosine scoring over a record corpus.
+//!
+//! Each record becomes a sparse, L2-normalized tf-idf vector over its word
+//! tokens (with optional per-field weights). The same inverted index that
+//! backs cosine scoring also drives candidate generation: only record pairs
+//! sharing at least one token can have non-zero cosine, so one
+//! term-at-a-time accumulation pass finds and scores them together (the
+//! standard similarity-join trick the paper's machine stage (CrowdER) uses to
+//! weed out obviously non-matching pairs).
+
+use crate::tokenize::tokenize_words;
+use crowdjoin_records::Dataset;
+use crowdjoin_util::FxHashMap;
+
+/// Sparse tf-idf index over a dataset's records.
+#[derive(Debug, Clone)]
+pub struct TfIdfIndex {
+    /// Per record: sorted `(token_id, weight)` with L2 norm 1.
+    vectors: Vec<Vec<(u32, f32)>>,
+    /// Inverted index: token id → `(record, weight)` postings.
+    postings: Vec<Vec<(u32, f32)>>,
+}
+
+impl TfIdfIndex {
+    /// Builds the index over all records of `dataset`.
+    ///
+    /// `field_weights` scales each schema field's token counts (e.g. weigh a
+    /// product name above its price); it must match the schema arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `field_weights.len()` differs from the schema arity.
+    #[must_use]
+    pub fn build(dataset: &Dataset, field_weights: &[f64]) -> Self {
+        let arity = dataset.table.schema().arity();
+        assert_eq!(field_weights.len(), arity, "one weight per schema field required");
+        let n = dataset.len();
+
+        // Pass 1: vocabulary and document frequencies.
+        let mut token_ids: FxHashMap<String, u32> = FxHashMap::default();
+        let mut doc_freq: Vec<u32> = Vec::new();
+        let mut record_counts: Vec<FxHashMap<u32, f64>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut counts: FxHashMap<u32, f64> = FxHashMap::default();
+            for (f, &w) in field_weights.iter().enumerate() {
+                if w == 0.0 {
+                    continue;
+                }
+                for token in tokenize_words(dataset.table.record(i).field(f)) {
+                    let next_id = token_ids.len() as u32;
+                    let id = *token_ids.entry(token).or_insert(next_id);
+                    if id as usize == doc_freq.len() {
+                        doc_freq.push(0);
+                    }
+                    *counts.entry(id).or_insert(0.0) += w;
+                }
+            }
+            for &id in counts.keys() {
+                doc_freq[id as usize] += 1;
+            }
+            record_counts.push(counts);
+        }
+
+        // Pass 2: tf-idf weights, L2 normalization, postings.
+        let idf: Vec<f64> = doc_freq
+            .iter()
+            .map(|&df| (1.0 + n as f64 / df as f64).ln())
+            .collect();
+        let mut vectors: Vec<Vec<(u32, f32)>> = Vec::with_capacity(n);
+        let mut postings: Vec<Vec<(u32, f32)>> = vec![Vec::new(); doc_freq.len()];
+        for (i, counts) in record_counts.into_iter().enumerate() {
+            let mut vec: Vec<(u32, f64)> = counts
+                .into_iter()
+                .map(|(id, tf)| (id, (1.0 + tf.ln()) * idf[id as usize]))
+                .collect();
+            let norm = vec.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
+            let mut out = Vec::with_capacity(vec.len());
+            if norm > 0.0 {
+                vec.sort_unstable_by_key(|&(id, _)| id);
+                for (id, w) in vec {
+                    let w = (w / norm) as f32;
+                    out.push((id, w));
+                    postings[id as usize].push((i as u32, w));
+                }
+            }
+            vectors.push(out);
+        }
+        Self { vectors, postings }
+    }
+
+    /// Number of indexed records.
+    #[must_use]
+    pub fn num_records(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Number of distinct tokens.
+    #[must_use]
+    pub fn vocabulary_size(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Cosine similarity between two indexed records, in `[0, 1]`.
+    #[must_use]
+    pub fn cosine(&self, a: u32, b: u32) -> f64 {
+        let (va, vb) = (&self.vectors[a as usize], &self.vectors[b as usize]);
+        let mut i = 0;
+        let mut j = 0;
+        let mut dot = 0.0f64;
+        while i < va.len() && j < vb.len() {
+            match va[i].0.cmp(&vb[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    dot += va[i].1 as f64 * vb[j].1 as f64;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        dot.clamp(0.0, 1.0)
+    }
+
+    /// For record `i`, accumulates cosine scores against every *other* record
+    /// sharing at least one token, returning `(record, cosine)` pairs
+    /// (unsorted). This is the term-at-a-time similarity-join kernel.
+    #[must_use]
+    pub fn accumulate_cosines(&self, i: u32) -> Vec<(u32, f64)> {
+        let mut acc: FxHashMap<u32, f64> = FxHashMap::default();
+        for &(token, w) in &self.vectors[i as usize] {
+            for &(j, wj) in &self.postings[token as usize] {
+                if j != i {
+                    *acc.entry(j).or_insert(0.0) += w as f64 * wj as f64;
+                }
+            }
+        }
+        acc.into_iter().map(|(j, s)| (j, s.clamp(0.0, 1.0))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdjoin_records::{Dataset, Record, Schema, Table};
+
+    fn dataset(names: &[&str]) -> Dataset {
+        let mut table = Table::new(Schema::new(vec!["name"]));
+        for n in names {
+            table.push(Record::new(vec![*n]));
+        }
+        let n = table.len();
+        Dataset { table, entity_of: (0..n as u32).collect(), split: None, name: "t".into() }
+    }
+
+    #[test]
+    fn identical_records_cosine_one() {
+        let ds = dataset(&["sony tv black", "sony tv black", "canon camera"]);
+        let idx = TfIdfIndex::build(&ds, &[1.0]);
+        assert!((idx.cosine(0, 1) - 1.0).abs() < 1e-6);
+        assert!(idx.cosine(0, 2) < 0.2);
+    }
+
+    #[test]
+    fn disjoint_records_cosine_zero() {
+        let ds = dataset(&["alpha beta", "gamma delta"]);
+        let idx = TfIdfIndex::build(&ds, &[1.0]);
+        assert_eq!(idx.cosine(0, 1), 0.0);
+    }
+
+    #[test]
+    fn rare_tokens_dominate() {
+        // "zx99" is rare; "tv" appears everywhere. A pair sharing the rare
+        // token must outscore a pair sharing only the common one.
+        let ds = dataset(&["tv zx99", "tv zx99 extra", "tv other", "tv another", "tv more"]);
+        let idx = TfIdfIndex::build(&ds, &[1.0]);
+        assert!(idx.cosine(0, 1) > idx.cosine(0, 2));
+    }
+
+    #[test]
+    fn accumulate_matches_pairwise_cosine() {
+        let ds = dataset(&[
+            "sony bravia tv",
+            "sony tv bravia black",
+            "canon eos camera",
+            "sony camera",
+            "unrelated words here",
+        ]);
+        let idx = TfIdfIndex::build(&ds, &[1.0]);
+        for i in 0..5u32 {
+            let mut acc = idx.accumulate_cosines(i);
+            acc.sort_unstable_by_key(|&(j, _)| j);
+            for (j, s) in acc {
+                assert!((s - idx.cosine(i, j)).abs() < 1e-9, "({i},{j}): {s}");
+            }
+            // Records with zero shared tokens are absent.
+            for j in 0..5u32 {
+                if j != i && idx.cosine(i, j) == 0.0 {
+                    assert!(
+                        !idx.accumulate_cosines(i).iter().any(|&(k, _)| k == j),
+                        "({i},{j}) should not appear"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn field_weights_change_scores() {
+        let mut table = Table::new(Schema::new(vec!["name", "price"]));
+        table.push(Record::new(vec!["sony tv", "100"]));
+        table.push(Record::new(vec!["sony tv", "999"]));
+        let ds = Dataset { table, entity_of: vec![0, 1], split: None, name: "t".into() };
+        let heavy_name = TfIdfIndex::build(&ds, &[1.0, 0.0]);
+        let with_price = TfIdfIndex::build(&ds, &[1.0, 1.0]);
+        assert!((heavy_name.cosine(0, 1) - 1.0).abs() < 1e-6, "identical names, price ignored");
+        assert!(with_price.cosine(0, 1) < 1.0, "prices differ");
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per schema field")]
+    fn wrong_weight_arity_rejected() {
+        let ds = dataset(&["a"]);
+        let _ = TfIdfIndex::build(&ds, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_record_has_empty_vector() {
+        let ds = dataset(&["", "something"]);
+        let idx = TfIdfIndex::build(&ds, &[1.0]);
+        assert_eq!(idx.cosine(0, 1), 0.0);
+        assert!(idx.accumulate_cosines(0).is_empty());
+    }
+}

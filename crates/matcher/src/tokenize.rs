@@ -1,0 +1,95 @@
+//! Tokenization.
+//!
+//! The matcher works over lowercase alphanumeric word tokens and, where a
+//! finer signal is useful (model numbers, typos), character q-grams.
+
+/// Splits `text` into lowercase alphanumeric word tokens.
+///
+/// Any non-alphanumeric character separates tokens; tokens are lowercased.
+///
+/// ```
+/// use crowdjoin_matcher::tokenize_words;
+/// assert_eq!(tokenize_words("Sony KDL-40 (Black)"), vec!["sony", "kdl", "40", "black"]);
+/// ```
+#[must_use]
+pub fn tokenize_words(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_lowercase)
+        .collect()
+}
+
+/// Character q-grams of a token (over its lowercase form), padded with `#`.
+///
+/// Padding makes prefixes/suffixes count: `qgrams("ab", 3)` works on `"#ab#"`.
+/// Returns an empty vector for an empty string.
+///
+/// ```
+/// use crowdjoin_matcher::qgrams;
+/// assert_eq!(qgrams("ipad", 3), vec!["#ip", "ipa", "pad", "ad#"]);
+/// ```
+#[must_use]
+pub fn qgrams(text: &str, q: usize) -> Vec<String> {
+    assert!(q >= 2, "q-grams need q >= 2");
+    if text.is_empty() {
+        return Vec::new();
+    }
+    let padded: Vec<char> = std::iter::once('#')
+        .chain(text.to_lowercase().chars())
+        .chain(std::iter::once('#'))
+        .collect();
+    if padded.len() < q {
+        return vec![padded.into_iter().collect()];
+    }
+    padded.windows(q).map(|w| w.iter().collect()).collect()
+}
+
+/// Distinct sorted tokens of `text` — the set representation used by the
+/// set-overlap similarity functions.
+#[must_use]
+pub fn token_set(text: &str) -> Vec<String> {
+    let mut tokens = tokenize_words(text);
+    tokens.sort_unstable();
+    tokens.dedup();
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_split_on_punctuation_and_lowercase() {
+        assert_eq!(tokenize_words("iPad 2nd-Gen!"), vec!["ipad", "2nd", "gen"]);
+        assert_eq!(tokenize_words(""), Vec::<String>::new());
+        assert_eq!(tokenize_words("...---..."), Vec::<String>::new());
+    }
+
+    #[test]
+    fn qgrams_basic() {
+        assert_eq!(qgrams("ab", 2), vec!["#a", "ab", "b#"]);
+        assert_eq!(qgrams("", 3), Vec::<String>::new());
+        // Shorter than q after padding: one gram with everything.
+        assert_eq!(qgrams("a", 4), vec!["#a#"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "q >= 2")]
+    fn qgrams_reject_q1() {
+        let _ = qgrams("abc", 1);
+    }
+
+    #[test]
+    fn token_set_dedups_and_sorts() {
+        assert_eq!(token_set("b a b A c"), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn unicode_safe() {
+        // Multi-byte characters must not panic the q-gram windows.
+        let grams = qgrams("héllo", 3);
+        assert!(!grams.is_empty());
+        let words = tokenize_words("crème brûlée 100€");
+        assert_eq!(words, vec!["crème", "brûlée", "100"]);
+    }
+}

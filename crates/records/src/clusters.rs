@@ -1,0 +1,167 @@
+//! Cluster-size distribution sampling.
+//!
+//! The effectiveness of transitive relations hinges on the ground-truth
+//! cluster-size distribution (Figure 10): the Paper/Cora dataset has heavy
+//! tails (one cluster of 102 duplicates → transitivity saves ~95% of pairs),
+//! while the Product/Abt-Buy dataset is almost all 1:1 matches (→ ~10–20%
+//! savings). The generators are calibrated through [`ClusterSpec`]s that
+//! reproduce those shapes.
+
+use crowdjoin_util::SplitMix64;
+
+/// Specification of a ground-truth cluster-size distribution.
+#[derive(Debug, Clone)]
+pub enum ClusterSpec {
+    /// Truncated power law: `P(size = k) ∝ k^(-alpha)` for `k ∈ 1..=max_size`.
+    /// When `force_max` is set, one cluster of exactly `max_size` is placed
+    /// first (the Cora dataset's hallmark 102-record cluster).
+    PowerLaw {
+        /// Decay exponent (larger → more singletons).
+        alpha: f64,
+        /// Largest allowed cluster.
+        max_size: usize,
+        /// Guarantee one cluster of `max_size`.
+        force_max: bool,
+    },
+    /// Explicit `(size, count)` pairs; any remaining objects become
+    /// singletons.
+    Explicit(Vec<(usize, usize)>),
+}
+
+/// Samples cluster sizes summing exactly to `n_objects`.
+///
+/// # Panics
+///
+/// Panics if the spec is infeasible (explicit sizes exceed `n_objects`,
+/// power-law parameters degenerate).
+#[must_use]
+pub fn sample_sizes(spec: &ClusterSpec, n_objects: usize, seed: u64) -> Vec<usize> {
+    match spec {
+        ClusterSpec::PowerLaw { alpha, max_size, force_max } => {
+            assert!(*max_size >= 1, "max_size must be positive");
+            assert!(alpha.is_finite(), "alpha must be finite");
+            let mut rng = SplitMix64::new(seed);
+            let mut sizes = Vec::new();
+            let mut remaining = n_objects;
+            if *force_max && *max_size <= remaining {
+                sizes.push(*max_size);
+                remaining -= *max_size;
+            }
+            // Precompute cumulative weights for k = 1..=max_size.
+            let weights: Vec<f64> = (1..=*max_size).map(|k| (k as f64).powf(-alpha)).collect();
+            while remaining > 0 {
+                let cap = remaining.min(*max_size);
+                let total: f64 = weights[..cap].iter().sum();
+                let mut draw = rng.next_f64() * total;
+                let mut k = 1;
+                for (i, w) in weights[..cap].iter().enumerate() {
+                    draw -= w;
+                    if draw <= 0.0 {
+                        k = i + 1;
+                        break;
+                    }
+                }
+                sizes.push(k);
+                remaining -= k;
+            }
+            sizes
+        }
+        ClusterSpec::Explicit(entries) => {
+            let mut sizes = Vec::new();
+            let mut used = 0usize;
+            for &(size, count) in entries {
+                assert!(size >= 1, "cluster size must be positive");
+                for _ in 0..count {
+                    sizes.push(size);
+                    used += size;
+                }
+            }
+            assert!(
+                used <= n_objects,
+                "explicit clusters need {used} objects but only {n_objects} available"
+            );
+            sizes.extend(std::iter::repeat(1).take(n_objects - used));
+            sizes
+        }
+    }
+}
+
+/// Expands cluster sizes into a per-object entity assignment
+/// (`entity_of[i]` = cluster index), objects numbered cluster by cluster.
+#[must_use]
+pub fn assign_entities(sizes: &[usize]) -> Vec<u32> {
+    let total: usize = sizes.iter().sum();
+    let mut entity_of = Vec::with_capacity(total);
+    for (cluster, &k) in sizes.iter().enumerate() {
+        entity_of.extend(std::iter::repeat(cluster as u32).take(k));
+    }
+    entity_of
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn power_law_sums_exactly() {
+        let spec = ClusterSpec::PowerLaw { alpha: 1.1, max_size: 50, force_max: true };
+        let sizes = sample_sizes(&spec, 997, 42);
+        assert_eq!(sizes.iter().sum::<usize>(), 997);
+        assert_eq!(sizes[0], 50, "forced max cluster");
+        assert!(sizes.iter().all(|&k| (1..=50).contains(&k)));
+    }
+
+    #[test]
+    fn power_law_without_force() {
+        let spec = ClusterSpec::PowerLaw { alpha: 2.0, max_size: 10, force_max: false };
+        let sizes = sample_sizes(&spec, 100, 7);
+        assert_eq!(sizes.iter().sum::<usize>(), 100);
+        // High alpha → dominated by singletons.
+        let singletons = sizes.iter().filter(|&&k| k == 1).count();
+        assert!(singletons * 2 > sizes.len(), "expected mostly singletons, got {sizes:?}");
+    }
+
+    #[test]
+    fn explicit_fills_singletons() {
+        let spec = ClusterSpec::Explicit(vec![(3, 2), (2, 4)]);
+        let sizes = sample_sizes(&spec, 20, 0);
+        assert_eq!(sizes.iter().sum::<usize>(), 20);
+        assert_eq!(sizes.iter().filter(|&&k| k == 3).count(), 2);
+        assert_eq!(sizes.iter().filter(|&&k| k == 2).count(), 4);
+        assert_eq!(sizes.iter().filter(|&&k| k == 1).count(), 20 - 6 - 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "explicit clusters need")]
+    fn explicit_overflow_rejected() {
+        let spec = ClusterSpec::Explicit(vec![(10, 3)]);
+        let _ = sample_sizes(&spec, 20, 0);
+    }
+
+    #[test]
+    fn assign_entities_round_trip() {
+        let entity_of = assign_entities(&[3, 1, 2]);
+        assert_eq!(entity_of, vec![0, 0, 0, 1, 2, 2]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = ClusterSpec::PowerLaw { alpha: 1.0, max_size: 20, force_max: false };
+        assert_eq!(sample_sizes(&spec, 500, 9), sample_sizes(&spec, 500, 9));
+        assert_ne!(sample_sizes(&spec, 500, 9), sample_sizes(&spec, 500, 10));
+    }
+
+    proptest! {
+        /// Sampled sizes always partition the universe exactly.
+        #[test]
+        fn sizes_partition(n in 1usize..2000, seed in any::<u64>(), alpha in 0.2f64..3.0, max in 2usize..64) {
+            let spec = ClusterSpec::PowerLaw { alpha, max_size: max, force_max: false };
+            let sizes = sample_sizes(&spec, n, seed);
+            prop_assert_eq!(sizes.iter().sum::<usize>(), n);
+            prop_assert!(sizes.iter().all(|&k| k >= 1 && k <= max));
+            let entity_of = assign_entities(&sizes);
+            prop_assert_eq!(entity_of.len(), n);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # crowdjoin-records — record model and synthetic dataset generators
+//!
+//! The paper evaluates on two public datasets we cannot ship: **Cora**
+//! (997 publication records, heavy-tail duplicate clusters) and **Abt-Buy**
+//! (1081 × 1092 product records, almost all 1:1 matches). This crate
+//! provides the record/table model and seeded generators that reproduce the
+//! *properties those experiments depend on* — the cluster-size distributions
+//! of Figure 10 and a textual-perturbation structure that gives the machine
+//! matcher a usable similarity signal. See DESIGN.md §5 for the substitution
+//! rationale.
+//!
+//! ```
+//! use crowdjoin_records::{generate_paper, PaperGenConfig};
+//!
+//! let dataset = generate_paper(&PaperGenConfig::default());
+//! assert_eq!(dataset.len(), 997);
+//! // One Cora-style ~100-record duplicate cluster exists.
+//! assert_eq!(dataset.cluster_size_histogram().max_bucket(), Some(100));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clusters;
+pub mod csv;
+pub mod perturb;
+pub mod record;
+pub mod papergen;
+pub mod productgen;
+pub mod vocab;
+
+pub use clusters::{assign_entities, sample_sizes, ClusterSpec};
+pub use csv::{parse_csv, table_from_csv, table_to_csv, write_csv, CsvError};
+pub use perturb::{PerturbConfig, Perturber};
+pub use record::{Dataset, Record, Schema, Table};
+pub use papergen::{generate_paper, paper_schema, PaperGenConfig};
+pub use productgen::{generate_product, product_schema, ProductGenConfig};
+pub use vocab::Vocab;

@@ -1,0 +1,243 @@
+//! Generator for the **Paper** workload — a stand-in for the Cora research
+//! publication dataset (997 records, five attributes, heavy-tail duplicate
+//! clusters topping out around 102 records).
+//!
+//! What the experiments depend on and what is therefore calibrated:
+//!
+//! 1. the cluster-size distribution (Figure 10(a)'s shape: many small
+//!    clusters, a tail reaching ~100), which controls how much transitivity
+//!    can save;
+//! 2. duplicate records being textual perturbations of a canonical entity,
+//!    so the matcher's likelihoods correlate with the truth.
+//!
+//! The actual strings are synthetic; see DESIGN.md §5 for the substitution
+//! argument.
+
+use crate::clusters::{assign_entities, sample_sizes, ClusterSpec};
+use crate::perturb::{PerturbConfig, Perturber};
+use crate::record::{Dataset, Record, Schema, Table};
+use crate::vocab::{Vocab, GIVEN_NAMES, SURNAMES, TITLE_WORDS, VENUES};
+use crowdjoin_util::derive_seed;
+
+/// Configuration of the Paper-like generator.
+#[derive(Debug, Clone)]
+pub struct PaperGenConfig {
+    /// Number of records (the real Cora has 997).
+    pub num_records: usize,
+    /// Cluster-size distribution.
+    pub clusters: ClusterSpec,
+    /// Perturbation profile applied to duplicates.
+    pub perturb: PerturbConfig,
+    /// Probability that a new entity is a *sibling* of an earlier one — a
+    /// distinct publication whose text closely resembles another entity's
+    /// (think conference vs. journal versions by the same authors). Siblings
+    /// are the hard negatives: non-matching candidate pairs with high
+    /// machine likelihood, which is what makes the parallel labeler need
+    /// multiple iterations (Figures 13/14) and the labeling order matter
+    /// (Figure 12).
+    pub sibling_probability: f64,
+    /// Master seed; all internal streams derive from it.
+    pub seed: u64,
+}
+
+impl Default for PaperGenConfig {
+    fn default() -> Self {
+        Self {
+            num_records: 997,
+            // Calibrated to Figure 10(a): over a hundred singletons, counts
+            // decaying by size, mid-size tail, and one ~100-record cluster.
+            clusters: ClusterSpec::PowerLaw { alpha: 1.9, max_size: 100, force_max: true },
+            // Heavy perturbation keeps duplicate similarities spread out, so
+            // the likelihood-threshold sweep (Figures 11/12) has non-trivial
+            // candidate mixes at every threshold, as in the real Cora.
+            perturb: PerturbConfig::heavy(),
+            sibling_probability: 0.35,
+            seed: 0xC04A,
+        }
+    }
+}
+
+/// The five-attribute publication schema (Author, Title, Venue, Date, Pages).
+#[must_use]
+pub fn paper_schema() -> Schema {
+    Schema::new(vec!["author", "title", "venue", "date", "pages"])
+}
+
+/// Generates the Paper dataset (a self-join/deduplication workload).
+#[must_use]
+pub fn generate_paper(config: &PaperGenConfig) -> Dataset {
+    assert!(
+        (0.0..=1.0).contains(&config.sibling_probability),
+        "sibling_probability must be in [0,1]"
+    );
+    let sizes = sample_sizes(&config.clusters, config.num_records, derive_seed(config.seed, 1));
+    let entity_of = assign_entities(&sizes);
+    let mut vocab = Vocab::new(derive_seed(config.seed, 2));
+    let mut perturber = Perturber::new(config.perturb, derive_seed(config.seed, 3));
+    // Siblings get their own, lighter perturbation stream: they must stay
+    // recognizably similar to their parent entity while not being duplicates.
+    let mut sibling_perturber =
+        Perturber::new(PerturbConfig::light(), derive_seed(config.seed, 4));
+
+    let mut table = Table::new(paper_schema());
+    let mut canonicals: Vec<Vec<String>> = Vec::with_capacity(sizes.len());
+    for (cluster_id, &k) in sizes.iter().enumerate() {
+        let canonical = if !canonicals.is_empty() && vocab.unit() < config.sibling_probability {
+            let parent = &canonicals[(vocab.int_in(0, canonicals.len() as u64)) as usize];
+            sibling_publication(parent, &mut vocab, &mut sibling_perturber, cluster_id)
+        } else {
+            canonical_publication(&mut vocab, cluster_id)
+        };
+        for copy in 0..k {
+            let record = if copy == 0 {
+                // The first member keeps the canonical form.
+                Record::new(canonical.clone())
+            } else {
+                Record::new(vec![
+                    perturber.perturb(&canonical[0]),
+                    perturber.perturb(&canonical[1]),
+                    perturber.perturb(&canonical[2]),
+                    canonical[3].clone(), // dates rarely corrupted
+                    perturber.perturb(&canonical[4]),
+                ])
+            };
+            table.push(record);
+        }
+        canonicals.push(canonical);
+    }
+
+    Dataset { table, entity_of, split: None, name: "paper".into() }
+}
+
+/// One canonical publication record: authors, title, venue, date, pages.
+fn canonical_publication(vocab: &mut Vocab, cluster_id: usize) -> Vec<String> {
+    let n_authors = vocab.int_in(1, 4);
+    let authors: Vec<String> = (0..n_authors)
+        .map(|_| format!("{} {}", vocab.pick(GIVEN_NAMES), vocab.pick(SURNAMES)))
+        .collect();
+    let n_words = vocab.int_in(4, 8);
+    let mut title_words: Vec<String> =
+        (0..n_words).map(|_| vocab.pick_or_mint(TITLE_WORDS, 0.12)).collect();
+    // Salt with the cluster id so unrelated entities stay separable.
+    title_words.push(format!("c{cluster_id}"));
+    let venue = vocab.pick(VENUES).to_string();
+    let year = vocab.int_in(1985, 2014);
+    let start = vocab.int_in(1, 400);
+    let end = start + vocab.int_in(8, 25);
+    vec![
+        authors.join(" and "),
+        title_words.join(" "),
+        venue,
+        year.to_string(),
+        format!("pages {start} {end}"),
+    ]
+}
+
+/// A distinct entity cloned from `parent` — same authors, near-identical
+/// title, different venue/year/pages (the conference-vs-journal hard case).
+fn sibling_publication(
+    parent: &[String],
+    vocab: &mut Vocab,
+    perturber: &mut Perturber,
+    cluster_id: usize,
+) -> Vec<String> {
+    let mut title = perturber.perturb(&parent[1]);
+    // Replace the parent's salt token with this entity's own.
+    let parent_salt_stripped: String = title
+        .split_whitespace()
+        .filter(|t| !(t.starts_with('c') && t[1..].chars().all(|c| c.is_ascii_digit())))
+        .collect::<Vec<_>>()
+        .join(" ");
+    title = format!("{parent_salt_stripped} c{cluster_id}");
+    let venue = vocab.pick(VENUES).to_string();
+    let year: i64 = parent[3].parse::<i64>().unwrap_or(2000) + vocab.int_in(1, 4) as i64;
+    let start = vocab.int_in(1, 400);
+    let end = start + vocab.int_in(8, 25);
+    vec![
+        parent[0].clone(),
+        title,
+        venue,
+        year.to_string(),
+        format!("pages {start} {end}"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_generates_997_records() {
+        let ds = generate_paper(&PaperGenConfig::default());
+        assert_eq!(ds.len(), 997);
+        assert_eq!(ds.entity_of.len(), 997);
+        assert_eq!(ds.split, None);
+        assert_eq!(ds.total_join_pairs(), 997 * 996 / 2);
+    }
+
+    #[test]
+    fn has_heavy_tail_cluster() {
+        let ds = generate_paper(&PaperGenConfig::default());
+        let h = ds.cluster_size_histogram();
+        assert_eq!(h.max_bucket(), Some(100), "forced Cora-style big cluster");
+        assert!(h.count(1) > 10, "should still have many singletons");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_paper(&PaperGenConfig::default());
+        let b = generate_paper(&PaperGenConfig::default());
+        assert_eq!(a.entity_of, b.entity_of);
+        for i in 0..a.len() {
+            assert_eq!(a.table.record(i), b.table.record(i));
+        }
+        let mut other = PaperGenConfig::default();
+        other.seed ^= 1;
+        let c = generate_paper(&other);
+        assert!(
+            (0..a.len()).any(|i| a.table.record(i) != c.table.record(i)),
+            "different seed should change records"
+        );
+    }
+
+    #[test]
+    fn duplicates_share_vocabulary() {
+        // Two records of one cluster should share far more title tokens with
+        // each other than with records of other entities.
+        let ds = generate_paper(&PaperGenConfig::default());
+        let title_idx = ds.table.schema().index_of("title").unwrap();
+        // Find a cluster with >= 2 members.
+        let mut first_of: crowdjoin_util::FxHashMap<u32, usize> = Default::default();
+        let mut found = None;
+        for i in 0..ds.len() {
+            if let Some(&j) = first_of.get(&ds.entity_of[i]) {
+                found = Some((j, i));
+                break;
+            }
+            first_of.insert(ds.entity_of[i], i);
+        }
+        let (i, j) = found.expect("a duplicate cluster exists");
+        let toks = |i: usize| -> crowdjoin_util::FxHashSet<&str> {
+            ds.table.record(i).field(title_idx).split_whitespace().collect()
+        };
+        let (ti, tj) = (toks(i), toks(j));
+        let shared = ti.intersection(&tj).count();
+        assert!(shared * 2 >= ti.len().min(tj.len()), "duplicates too dissimilar");
+    }
+
+    #[test]
+    fn small_instance_generation() {
+        let cfg = PaperGenConfig {
+            num_records: 20,
+            clusters: ClusterSpec::Explicit(vec![(5, 2), (2, 3)]),
+            perturb: PerturbConfig::light(),
+            ..PaperGenConfig::default()
+        };
+        let ds = generate_paper(&cfg);
+        assert_eq!(ds.len(), 20);
+        let h = ds.cluster_size_histogram();
+        assert_eq!(h.count(5), 2);
+        assert_eq!(h.count(2), 3);
+        assert_eq!(h.count(1), 4);
+    }
+}

@@ -1,0 +1,215 @@
+//! Textual perturbation engine.
+//!
+//! Duplicate records in real dirty data differ by typos, abbreviations,
+//! dropped tokens, and reorderings ("iPad 2nd Gen" vs "iPad Two"). The
+//! [`Perturber`] applies a configurable mix of such edits to a canonical
+//! string, producing variants whose string similarity to the original (and to
+//! each other) is high but not perfect — exactly the signal the machine
+//! matcher grades.
+
+use crowdjoin_util::SplitMix64;
+
+/// Rates of each perturbation family, each in `[0, 1]`.
+#[derive(Debug, Clone, Copy)]
+pub struct PerturbConfig {
+    /// Per-token probability of a character-level typo.
+    pub typo_rate: f64,
+    /// Per-token probability of being dropped (only if >1 token remains).
+    pub drop_rate: f64,
+    /// Per-token probability of abbreviation to `first letter + '.'`.
+    pub abbrev_rate: f64,
+    /// Probability of swapping one adjacent token pair.
+    pub swap_rate: f64,
+}
+
+impl PerturbConfig {
+    /// A light perturbation profile (near-duplicates, high similarity).
+    #[must_use]
+    pub fn light() -> Self {
+        Self { typo_rate: 0.05, drop_rate: 0.03, abbrev_rate: 0.05, swap_rate: 0.1 }
+    }
+
+    /// A heavier profile (messier duplicates, lower similarity).
+    #[must_use]
+    pub fn heavy() -> Self {
+        Self { typo_rate: 0.15, drop_rate: 0.12, abbrev_rate: 0.15, swap_rate: 0.25 }
+    }
+
+    fn validate(&self) {
+        for (name, v) in [
+            ("typo_rate", self.typo_rate),
+            ("drop_rate", self.drop_rate),
+            ("abbrev_rate", self.abbrev_rate),
+            ("swap_rate", self.swap_rate),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{name} must be in [0,1], got {v}");
+        }
+    }
+}
+
+/// Deterministic string perturber.
+#[derive(Debug, Clone)]
+pub struct Perturber {
+    config: PerturbConfig,
+    rng: SplitMix64,
+}
+
+impl Perturber {
+    /// Creates a perturber.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate in `config` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(config: PerturbConfig, seed: u64) -> Self {
+        config.validate();
+        Self { config, rng: SplitMix64::new(seed) }
+    }
+
+    /// Produces a perturbed variant of `text` (whitespace-tokenized).
+    ///
+    /// The output is never empty if the input has at least one token: drops
+    /// are suppressed when only one token remains.
+    pub fn perturb(&mut self, text: &str) -> String {
+        let mut tokens: Vec<String> = text.split_whitespace().map(str::to_string).collect();
+        if tokens.is_empty() {
+            return String::new();
+        }
+
+        // Token drops (keep at least one token).
+        let mut kept: Vec<String> = Vec::with_capacity(tokens.len());
+        for t in tokens.drain(..) {
+            // The first token is always kept (no RNG draw), so the output is
+            // never empty.
+            if kept.is_empty() || self.rng.next_f64() >= self.config.drop_rate {
+                kept.push(t);
+            }
+        }
+        let mut tokens = kept;
+
+        // Abbreviations and typos per token.
+        for t in &mut tokens {
+            if t.len() > 2 && self.rng.next_f64() < self.config.abbrev_rate {
+                let first = t.chars().next().expect("non-empty token");
+                *t = format!("{first}.");
+            } else if self.rng.next_f64() < self.config.typo_rate {
+                *t = self.typo(t);
+            }
+        }
+
+        // One adjacent swap.
+        if tokens.len() >= 2 && self.rng.next_f64() < self.config.swap_rate {
+            let i = (self.rng.next_u64() % (tokens.len() as u64 - 1)) as usize;
+            tokens.swap(i, i + 1);
+        }
+
+        tokens.join(" ")
+    }
+
+    /// Character-level typo: delete, duplicate, replace, or transpose.
+    fn typo(&mut self, token: &str) -> String {
+        let chars: Vec<char> = token.chars().collect();
+        if chars.is_empty() {
+            return String::new();
+        }
+        let pos = (self.rng.next_u64() % chars.len() as u64) as usize;
+        let mut out: Vec<char> = chars.clone();
+        match self.rng.next_u64() % 4 {
+            0 if out.len() > 1 => {
+                out.remove(pos);
+            }
+            1 => out.insert(pos, chars[pos]),
+            2 => {
+                let alphabet = "abcdefghijklmnopqrstuvwxyz";
+                let c = alphabet
+                    .chars()
+                    .nth((self.rng.next_u64() % 26) as usize)
+                    .expect("alphabet has 26 letters");
+                out[pos] = c;
+            }
+            _ if pos + 1 < out.len() => out.swap(pos, pos + 1),
+            _ => out.push(chars[0]),
+        }
+        out.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn deterministic_output() {
+        let mut a = Perturber::new(PerturbConfig::light(), 42);
+        let mut b = Perturber::new(PerturbConfig::light(), 42);
+        for _ in 0..20 {
+            assert_eq!(
+                a.perturb("efficient parallel labeling for entity resolution"),
+                b.perturb("efficient parallel labeling for entity resolution")
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        let mut p = Perturber::new(PerturbConfig::heavy(), 1);
+        assert_eq!(p.perturb(""), "");
+        assert_eq!(p.perturb("   "), "");
+    }
+
+    #[test]
+    fn zero_rates_are_identity() {
+        let cfg = PerturbConfig { typo_rate: 0.0, drop_rate: 0.0, abbrev_rate: 0.0, swap_rate: 0.0 };
+        let mut p = Perturber::new(cfg, 7);
+        let s = "sony digital camera silver";
+        assert_eq!(p.perturb(s), s);
+    }
+
+    #[test]
+    fn heavy_rates_usually_change_text() {
+        let mut p = Perturber::new(PerturbConfig::heavy(), 3);
+        let s = "scalable distributed query processing systems";
+        let changed = (0..50).filter(|_| p.perturb(s) != s).count();
+        assert!(changed > 30, "only {changed}/50 perturbations changed the text");
+    }
+
+    #[test]
+    #[should_panic(expected = "typo_rate")]
+    fn invalid_rate_rejected() {
+        let cfg = PerturbConfig { typo_rate: 1.2, drop_rate: 0.0, abbrev_rate: 0.0, swap_rate: 0.0 };
+        let _ = Perturber::new(cfg, 0);
+    }
+
+    proptest! {
+        /// Perturbation never empties a non-empty input and never introduces
+        /// leading/trailing whitespace.
+        #[test]
+        fn output_well_formed(
+            words in proptest::collection::vec("[a-z]{1,10}", 1..8),
+            seed in any::<u64>()
+        ) {
+            let input = words.join(" ");
+            let mut p = Perturber::new(PerturbConfig::heavy(), seed);
+            let out = p.perturb(&input);
+            prop_assert!(!out.is_empty());
+            prop_assert_eq!(out.trim(), out.as_str());
+            prop_assert!(!out.contains("  "), "double space in {:?}", out);
+        }
+
+        /// At least one token of the original always survives in some form
+        /// (drops preserve ≥1 token).
+        #[test]
+        fn token_count_bounded(
+            words in proptest::collection::vec("[a-z]{2,8}", 1..8),
+            seed in any::<u64>()
+        ) {
+            let input = words.join(" ");
+            let mut p = Perturber::new(PerturbConfig::heavy(), seed);
+            let out = p.perturb(&input);
+            let n_out = out.split_whitespace().count();
+            prop_assert!(n_out >= 1);
+            prop_assert!(n_out <= words.len());
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Generator for the **Product** workload — a stand-in for the Abt-Buy
+//! product-matching dataset (1081 records from one retailer × 1092 from
+//! another; `name` and `price` attributes; almost all matches are 1:1, so
+//! clusters are tiny — Figure 10(b)).
+//!
+//! Records are split across two tables (A = "abt", B = "buy"); the join is a
+//! cross join, so only A×B pairs are candidates. Entities with one record on
+//! each side produce the dominant cluster size of 2; a small tail up to 6
+//! models multi-listing products; the rest are unmatched singletons.
+
+use crate::clusters::{sample_sizes, ClusterSpec};
+use crate::perturb::{PerturbConfig, Perturber};
+use crate::record::{Dataset, Record, Schema, Table};
+use crate::vocab::{Vocab, BRANDS, PRODUCT_NOUNS, PRODUCT_QUALIFIERS};
+use crowdjoin_util::derive_seed;
+
+/// Configuration of the Product-like generator.
+#[derive(Debug, Clone)]
+pub struct ProductGenConfig {
+    /// Records in table A (the real Abt side has 1081).
+    pub table_a: usize,
+    /// Records in table B (the real Buy side has 1092).
+    pub table_b: usize,
+    /// Cluster-size distribution over the *union* of both tables. Sizes ≥ 2
+    /// are split across the tables so cross-join matches exist.
+    pub clusters: ClusterSpec,
+    /// Perturbation profile between a product's listings.
+    pub perturb: PerturbConfig,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ProductGenConfig {
+    fn default() -> Self {
+        Self {
+            table_a: 1081,
+            table_b: 1092,
+            // Figure 10(b): cluster sizes 1..6, overwhelmingly 1 and 2, with
+            // enough ≥3 clusters that cross-join transitivity has material
+            // to work with (size-2 clusters admit no deduction in a cross
+            // join — savings come entirely from the ≥3 tail).
+            clusters: ClusterSpec::Explicit(vec![(2, 640), (3, 130), (4, 40), (5, 12), (6, 4)]),
+            perturb: PerturbConfig::heavy(),
+            seed: 0xAB7_BE1,
+        }
+    }
+}
+
+/// The two-attribute product schema (name, price).
+#[must_use]
+pub fn product_schema() -> Schema {
+    Schema::new(vec!["name", "price"])
+}
+
+/// Generates the Product dataset (a cross-join workload; `split` marks the
+/// A/B boundary).
+#[must_use]
+pub fn generate_product(config: &ProductGenConfig) -> Dataset {
+    let total = config.table_a + config.table_b;
+    let sizes = sample_sizes(&config.clusters, total, derive_seed(config.seed, 1));
+    let mut vocab = Vocab::new(derive_seed(config.seed, 2));
+    let mut perturber = Perturber::new(config.perturb, derive_seed(config.seed, 3));
+
+    // Plan each cluster's records, spreading multi-record clusters across the
+    // two tables (alternating sides) so the cross join can see the matches.
+    // side_budget tracks remaining capacity per side; singletons are flexible
+    // and placed last wherever space remains.
+    let mut planned: Vec<(u32, bool)> = Vec::with_capacity(total); // (entity, goes_to_a)
+    let mut budget_a = config.table_a as isize;
+    let mut budget_b = config.table_b as isize;
+    let mut entity = 0u32;
+    let mut multi: Vec<usize> = sizes.iter().copied().filter(|&k| k > 1).collect();
+    // Large clusters first so they can still be balanced across sides.
+    multi.sort_unstable_by(|a, b| b.cmp(a));
+    for k in multi {
+        let start_a = vocab.unit() < 0.5;
+        for copy in 0..k {
+            let to_a = if budget_a <= 0 {
+                false
+            } else if budget_b <= 0 {
+                true
+            } else {
+                (copy % 2 == 0) == start_a
+            };
+            planned.push((entity, to_a));
+            if to_a {
+                budget_a -= 1;
+            } else {
+                budget_b -= 1;
+            }
+        }
+        entity += 1;
+    }
+    let singles = sizes.iter().filter(|&&k| k == 1).count();
+    for _ in 0..singles {
+        let to_a = budget_a > 0;
+        planned.push((entity, to_a));
+        if to_a {
+            budget_a -= 1;
+        } else {
+            budget_b -= 1;
+        }
+        entity += 1;
+    }
+    debug_assert_eq!(budget_a, 0);
+    debug_assert_eq!(budget_b, 0);
+
+    // Materialize records: canonical listing per entity, perturbed per copy;
+    // table A first (ids 0..table_a), then table B.
+    let num_entities = entity as usize;
+    let mut canonical: Vec<Option<(String, String)>> = vec![None; num_entities];
+    let mut rows_a: Vec<(u32, Record)> = Vec::with_capacity(config.table_a);
+    let mut rows_b: Vec<(u32, Record)> = Vec::with_capacity(config.table_b);
+    let mut seen: crowdjoin_util::FxHashSet<u32> = Default::default();
+    for (e, to_a) in planned {
+        let (name, price) = canonical[e as usize]
+            .get_or_insert_with(|| canonical_product(&mut vocab, e))
+            .clone();
+        let is_first = seen.insert(e);
+        let record = if is_first {
+            Record::new(vec![name, price])
+        } else {
+            // Other listings perturb the name and jitter the price by a few
+            // percent (retailers disagree on cents).
+            let jitter = 0.97 + 0.06 * vocab.unit();
+            let price_val: f64 = price.parse().unwrap_or(100.0);
+            Record::new(vec![
+                perturber.perturb(&name),
+                format!("{:.2}", price_val * jitter),
+            ])
+        };
+        if to_a {
+            rows_a.push((e, record));
+        } else {
+            rows_b.push((e, record));
+        }
+    }
+
+    let mut table = Table::new(product_schema());
+    let mut entity_of = Vec::with_capacity(total);
+    for (e, r) in rows_a.into_iter().chain(rows_b) {
+        table.push(r);
+        entity_of.push(e);
+    }
+
+    Dataset { table, entity_of, split: Some(config.table_a), name: "product".into() }
+}
+
+/// One canonical product listing: `brand noun model qualifiers`, price.
+///
+/// Model numbers draw from a *shared* pool of series bases ("kd40", "sl46",
+/// ...), as in real catalogs where one product line ships many variants.
+/// Most entities append a discriminating suffix, but a third do not — those
+/// produce the realistic hard cases where different entities score a high
+/// machine likelihood (the non-matching candidates that survive the
+/// threshold in Figure 11(b)).
+fn canonical_product(vocab: &mut Vocab, entity: u32) -> (String, String) {
+    let brand = vocab.pick(BRANDS);
+    let noun = vocab.pick(PRODUCT_NOUNS);
+    let series = vocab.pick(&["kd", "dx", "sl", "wf", "hr", "vp"]);
+    let size = vocab.pick(&["20", "26", "32", "40", "46", "52"]);
+    let model = if vocab.unit() < 0.55 {
+        format!("{series}{size}-{entity}")
+    } else {
+        format!("{series}{size}")
+    };
+    let n_quals = vocab.int_in(1, 4);
+    let quals: Vec<&str> = (0..n_quals).map(|_| vocab.pick(PRODUCT_QUALIFIERS)).collect();
+    let name = format!("{brand} {noun} {model} {}", quals.join(" "));
+    let price = format!("{:.2}", 10.0 + vocab.unit() * 1500.0);
+    (name, price)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_generates_expected_sizes() {
+        let ds = generate_product(&ProductGenConfig::default());
+        assert_eq!(ds.len(), 1081 + 1092);
+        assert_eq!(ds.split, Some(1081));
+        assert_eq!(ds.total_join_pairs(), 1081 * 1092);
+    }
+
+    #[test]
+    fn cluster_sizes_match_spec() {
+        let ds = generate_product(&ProductGenConfig::default());
+        let h = ds.cluster_size_histogram();
+        assert_eq!(h.count(2), 640);
+        assert_eq!(h.count(3), 130);
+        assert_eq!(h.count(6), 4);
+        assert!(h.max_bucket() <= Some(6));
+        assert_eq!(h.weighted_total(), 2173);
+    }
+
+    #[test]
+    fn pairs_within_clusters_cross_tables() {
+        // Every size-2 cluster must have one record in each table, otherwise
+        // the cross join could never find the match.
+        let ds = generate_product(&ProductGenConfig::default());
+        let split = ds.split.unwrap();
+        let mut sides: crowdjoin_util::FxHashMap<u32, (usize, usize)> = Default::default();
+        for i in 0..ds.len() {
+            let entry = sides.entry(ds.entity_of[i]).or_insert((0, 0));
+            if i < split {
+                entry.0 += 1;
+            } else {
+                entry.1 += 1;
+            }
+        }
+        let mut two_sided = 0;
+        let mut clusters_ge2 = 0;
+        for (_, (a, b)) in sides {
+            if a + b >= 2 {
+                clusters_ge2 += 1;
+                if a > 0 && b > 0 {
+                    two_sided += 1;
+                }
+            }
+        }
+        assert!(
+            two_sided * 10 >= clusters_ge2 * 9,
+            "{two_sided}/{clusters_ge2} multi-record clusters span both tables"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_product(&ProductGenConfig::default());
+        let b = generate_product(&ProductGenConfig::default());
+        assert_eq!(a.entity_of, b.entity_of);
+        for i in 0..a.len() {
+            assert_eq!(a.table.record(i), b.table.record(i));
+        }
+    }
+
+    #[test]
+    fn prices_are_parsable() {
+        let ds = generate_product(&ProductGenConfig::default());
+        let price_idx = ds.table.schema().index_of("price").unwrap();
+        for i in 0..ds.len() {
+            let p: f64 = ds.table.record(i).field(price_idx).parse().expect("parsable price");
+            assert!(p > 0.0);
+        }
+    }
+
+    #[test]
+    fn small_config() {
+        let cfg = ProductGenConfig {
+            table_a: 10,
+            table_b: 12,
+            clusters: ClusterSpec::Explicit(vec![(2, 5)]),
+            perturb: PerturbConfig::light(),
+            seed: 1,
+        };
+        let ds = generate_product(&cfg);
+        assert_eq!(ds.len(), 22);
+        assert_eq!(ds.cluster_size_histogram().count(2), 5);
+    }
+}

@@ -1,0 +1,287 @@
+//! Record and table model.
+//!
+//! Records are flat tuples of string fields described by a [`Schema`]. This
+//! is all the structure the matcher needs: tokenization and similarity work
+//! per-field with per-field weights.
+
+use std::sync::Arc;
+
+/// Field names of a table, shared by all its records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<String>,
+}
+
+impl Schema {
+    /// Creates a schema from field names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fields` is empty or contains duplicates.
+    #[must_use]
+    pub fn new<S: Into<String>>(fields: Vec<S>) -> Self {
+        let fields: Vec<String> = fields.into_iter().map(Into::into).collect();
+        assert!(!fields.is_empty(), "schema needs at least one field");
+        let mut set = crowdjoin_util::FxHashSet::default();
+        for f in &fields {
+            assert!(set.insert(f.as_str()), "duplicate field name {f:?}");
+        }
+        Self { fields }
+    }
+
+    /// Number of fields.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Field names in order.
+    #[must_use]
+    pub fn fields(&self) -> &[String] {
+        &self.fields
+    }
+
+    /// Index of a field by name.
+    #[must_use]
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f == name)
+    }
+}
+
+/// One record: a value per schema field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    values: Vec<String>,
+}
+
+impl Record {
+    /// Creates a record. The caller (usually [`Table::push`]) is responsible
+    /// for arity-checking against the schema.
+    #[must_use]
+    pub fn new<S: Into<String>>(values: Vec<S>) -> Self {
+        Self { values: values.into_iter().map(Into::into).collect() }
+    }
+
+    /// Field values in schema order.
+    #[must_use]
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+
+    /// Value of field `i`.
+    #[must_use]
+    pub fn field(&self, i: usize) -> &str {
+        &self.values[i]
+    }
+}
+
+/// A table: a shared schema plus records.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Arc<Schema>,
+    records: Vec<Record>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(schema: Schema) -> Self {
+        Self { schema: Arc::new(schema), records: Vec::new() }
+    }
+
+    /// The table's schema.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Appends a record, checking arity. Returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record's arity does not match the schema.
+    pub fn push(&mut self, record: Record) -> usize {
+        assert_eq!(
+            record.values().len(),
+            self.schema.arity(),
+            "record arity {} does not match schema arity {}",
+            record.values().len(),
+            self.schema.arity()
+        );
+        self.records.push(record);
+        self.records.len() - 1
+    }
+
+    /// Number of records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when the table has no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Record at index `i`.
+    #[must_use]
+    pub fn record(&self, i: usize) -> &Record {
+        &self.records[i]
+    }
+
+    /// All records.
+    #[must_use]
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+}
+
+/// A generated benchmark dataset: one logical record universe (possibly the
+/// concatenation of two source tables), the ground-truth entity of every
+/// record, and the join mode.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// All records; for a cross join, table A occupies `0..split` and table
+    /// B occupies `split..len`.
+    pub table: Table,
+    /// Ground-truth entity id per record (same index space as `table`).
+    pub entity_of: Vec<u32>,
+    /// `None` for a self join (dedup within one table); `Some(split)` for a
+    /// cross join between `0..split` and `split..len`.
+    pub split: Option<usize>,
+    /// Human-readable dataset name for reports.
+    pub name: String,
+}
+
+impl Dataset {
+    /// Number of records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// `true` when the dataset has no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Number of pairs the join considers: `C(n,2)` for a self join,
+    /// `|A|·|B|` for a cross join.
+    #[must_use]
+    pub fn total_join_pairs(&self) -> u64 {
+        let n = self.len() as u64;
+        match self.split {
+            None => n * (n - 1) / 2,
+            Some(split) => {
+                let a = split as u64;
+                a * (n - a)
+            }
+        }
+    }
+
+    /// `true` when `(i, j)` is a pair the join considers (cross-table for a
+    /// cross join, any distinct pair for a self join).
+    #[must_use]
+    pub fn is_joinable(&self, i: usize, j: usize) -> bool {
+        if i == j {
+            return false;
+        }
+        match self.split {
+            None => true,
+            Some(split) => (i < split) != (j < split),
+        }
+    }
+
+    /// `true` when records `i` and `j` refer to the same entity.
+    #[must_use]
+    pub fn is_true_match(&self, i: usize, j: usize) -> bool {
+        self.entity_of[i] == self.entity_of[j]
+    }
+
+    /// Cluster sizes of the ground-truth entities **restricted to matched
+    /// groups the join can see**. For Figure 10 the paper clusters the true
+    /// matching objects; singleton records (no duplicate anywhere) are still
+    /// reported as clusters of size 1.
+    #[must_use]
+    pub fn cluster_size_histogram(&self) -> crowdjoin_util::Histogram {
+        let mut counts: crowdjoin_util::FxHashMap<u32, usize> = crowdjoin_util::FxHashMap::default();
+        for &e in &self.entity_of {
+            *counts.entry(e).or_insert(0) += 1;
+        }
+        counts.into_values().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_basics() {
+        let s = Schema::new(vec!["name", "price"]);
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.index_of("price"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate field")]
+    fn schema_rejects_duplicates() {
+        let _ = Schema::new(vec!["a", "a"]);
+    }
+
+    #[test]
+    fn table_push_and_access() {
+        let mut t = Table::new(Schema::new(vec!["name"]));
+        let i = t.push(Record::new(vec!["iPad 2"]));
+        assert_eq!(i, 0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.record(0).field(0), "iPad 2");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_wrong_arity() {
+        let mut t = Table::new(Schema::new(vec!["name", "price"]));
+        t.push(Record::new(vec!["only one"]));
+    }
+
+    fn tiny_dataset(split: Option<usize>) -> Dataset {
+        let mut table = Table::new(Schema::new(vec!["name"]));
+        for i in 0..4 {
+            table.push(Record::new(vec![format!("r{i}")]));
+        }
+        Dataset { table, entity_of: vec![0, 0, 1, 2], split, name: "tiny".into() }
+    }
+
+    #[test]
+    fn self_join_pair_accounting() {
+        let d = tiny_dataset(None);
+        assert_eq!(d.total_join_pairs(), 6);
+        assert!(d.is_joinable(0, 1));
+        assert!(!d.is_joinable(2, 2));
+        assert!(d.is_true_match(0, 1));
+        assert!(!d.is_true_match(0, 2));
+    }
+
+    #[test]
+    fn cross_join_pair_accounting() {
+        let d = tiny_dataset(Some(2));
+        assert_eq!(d.total_join_pairs(), 4);
+        assert!(d.is_joinable(0, 2));
+        assert!(d.is_joinable(3, 1));
+        assert!(!d.is_joinable(0, 1), "same-side pair");
+        assert!(!d.is_joinable(2, 3), "same-side pair");
+    }
+
+    #[test]
+    fn cluster_histogram() {
+        let d = tiny_dataset(None);
+        let h = d.cluster_size_histogram();
+        assert_eq!(h.count(2), 1);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.weighted_total(), 4);
+    }
+}

@@ -1,0 +1,186 @@
+//! Vocabularies for synthetic record generation.
+//!
+//! Small embedded word lists give the generated datasets a recognizable
+//! flavor (publication titles, product names); a syllable combinator extends
+//! them so that thousand-entity datasets don't collapse onto a handful of
+//! distinct tokens (which would destroy the similarity signal the matcher
+//! depends on).
+
+use crowdjoin_util::SplitMix64;
+
+/// Surname stems for author generation.
+pub const SURNAMES: &[&str] = &[
+    "wang", "li", "kraska", "franklin", "feng", "smith", "johnson", "garcia", "miller", "davis",
+    "martinez", "lopez", "wilson", "anderson", "taylor", "thomas", "moore", "jackson", "martin",
+    "lee", "thompson", "white", "harris", "clark", "lewis", "walker", "hall", "young", "allen",
+    "king", "wright", "scott", "green", "baker", "adams", "nelson", "hill", "campbell", "mitchell",
+    "roberts", "carter", "phillips", "evans", "turner", "torres", "parker", "collins", "edwards",
+    "stewart", "flores", "morris", "nguyen", "murphy", "rivera", "cook", "rogers", "morgan",
+    "peterson", "cooper", "reed", "bailey", "bell", "gomez", "kelly", "howard", "ward", "cox",
+];
+
+/// Given-name stems for author generation.
+pub const GIVEN_NAMES: &[&str] = &[
+    "jiannan", "guoliang", "tim", "michael", "jianhua", "james", "mary", "robert", "patricia",
+    "john", "jennifer", "david", "linda", "william", "elizabeth", "richard", "barbara", "joseph",
+    "susan", "charles", "jessica", "daniel", "sarah", "matthew", "karen", "anthony", "lisa",
+    "mark", "nancy", "donald", "betty", "steven", "margaret", "paul", "sandra", "andrew", "ashley",
+    "joshua", "kimberly", "kenneth", "emily", "kevin", "donna", "brian", "michelle", "george",
+    "dorothy", "timothy", "carol", "ronald",
+];
+
+/// Content words for publication titles.
+pub const TITLE_WORDS: &[&str] = &[
+    "crowdsourced", "transitive", "relations", "joins", "entity", "resolution", "query",
+    "processing", "parallel", "labeling", "optimal", "ordering", "hybrid", "human", "machine",
+    "database", "systems", "scalable", "distributed", "adaptive", "efficient", "approximate",
+    "learning", "probabilistic", "graph", "clustering", "similarity", "indexing", "streaming",
+    "transactional", "consistency", "replication", "partitioning", "optimization", "declarative",
+    "incremental", "sampling", "estimation", "workload", "benchmark", "storage", "memory",
+    "concurrent", "algorithms", "framework", "analysis", "evaluation", "mining", "integration",
+    "cleaning", "deduplication", "provenance", "crowdsourcing", "selection", "aggregation",
+];
+
+/// Venue names for publications.
+pub const VENUES: &[&str] = &[
+    "sigmod", "vldb", "icde", "kdd", "www", "cidr", "edbt", "sigir", "nips", "icml", "aaai",
+    "ijcai", "socc", "podc", "osdi", "sosp", "nsdi", "eurosys", "atc", "fast",
+];
+
+/// Product brand names.
+pub const BRANDS: &[&str] = &[
+    "apple", "sony", "samsung", "panasonic", "toshiba", "canon", "nikon", "bose", "philips",
+    "sharp", "sanyo", "yamaha", "pioneer", "denon", "garmin", "logitech", "netgear", "linksys",
+    "kenwood", "jvc", "olympus", "casio", "epson", "brother", "lexmark", "haier", "frigidaire",
+    "whirlpool", "delonghi", "cuisinart",
+];
+
+/// Product category nouns.
+pub const PRODUCT_NOUNS: &[&str] = &[
+    "television", "camcorder", "receiver", "headphones", "speaker", "subwoofer", "microwave",
+    "refrigerator", "dishwasher", "washer", "dryer", "camera", "lens", "printer", "scanner",
+    "monitor", "keyboard", "mouse", "router", "switch", "player", "recorder", "turntable",
+    "amplifier", "soundbar", "projector", "tablet", "notebook", "phone", "watch",
+];
+
+/// Product qualifier words (series/size/colors).
+pub const PRODUCT_QUALIFIERS: &[&str] = &[
+    "black", "white", "silver", "pro", "plus", "mini", "max", "ultra", "series", "edition",
+    "wireless", "bluetooth", "portable", "compact", "digital", "hd", "uhd", "smart", "gaming",
+    "home",
+];
+
+/// Consonant-vowel syllables used to mint extra tokens.
+const SYLLABLES: &[&str] = &[
+    "ba", "be", "bi", "bo", "bu", "da", "de", "di", "do", "du", "ka", "ke", "ki", "ko", "ku",
+    "la", "le", "li", "lo", "lu", "ma", "me", "mi", "mo", "mu", "na", "ne", "ni", "no", "nu",
+    "ra", "re", "ri", "ro", "ru", "sa", "se", "si", "so", "su", "ta", "te", "ti", "to", "tu",
+    "va", "ve", "vi", "vo", "vu", "za", "ze", "zi", "zo", "zu",
+];
+
+/// Deterministic vocabulary sampler.
+#[derive(Debug, Clone)]
+pub struct Vocab {
+    rng: SplitMix64,
+}
+
+impl Vocab {
+    /// Creates a sampler with its own RNG stream.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { rng: SplitMix64::new(seed) }
+    }
+
+    /// Uniform choice from a word list.
+    pub fn pick<'a>(&mut self, list: &'a [&'a str]) -> &'a str {
+        list[(self.rng.next_u64() % list.len() as u64) as usize]
+    }
+
+    /// A minted pseudo-word of 2–4 syllables, e.g. `"kotiva"`.
+    pub fn mint_word(&mut self) -> String {
+        let syllables = 2 + (self.rng.next_u64() % 3) as usize;
+        let mut w = String::with_capacity(syllables * 2);
+        for _ in 0..syllables {
+            w.push_str(SYLLABLES[(self.rng.next_u64() % SYLLABLES.len() as u64) as usize]);
+        }
+        w
+    }
+
+    /// A word from `list` most of the time, a minted word otherwise —
+    /// controls vocabulary breadth via `mint_probability`.
+    pub fn pick_or_mint(&mut self, list: &[&str], mint_probability: f64) -> String {
+        if self.rng.next_f64() < mint_probability {
+            self.mint_word()
+        } else {
+            self.pick(list).to_string()
+        }
+    }
+
+    /// An integer in `[lo, hi)`.
+    pub fn int_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.rng.next_u64() % (hi - lo)
+    }
+
+    /// Uniform draw in `[0,1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.rng.next_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_sampling() {
+        let mut a = Vocab::new(5);
+        let mut b = Vocab::new(5);
+        for _ in 0..50 {
+            assert_eq!(a.pick(SURNAMES), b.pick(SURNAMES));
+            assert_eq!(a.mint_word(), b.mint_word());
+        }
+    }
+
+    #[test]
+    fn minted_words_are_plausible() {
+        let mut v = Vocab::new(9);
+        for _ in 0..100 {
+            let w = v.mint_word();
+            assert!(w.len() >= 4 && w.len() <= 8, "{w}");
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn pick_or_mint_respects_extremes() {
+        let mut v = Vocab::new(1);
+        for _ in 0..20 {
+            let w = v.pick_or_mint(VENUES, 0.0);
+            assert!(VENUES.contains(&w.as_str()));
+        }
+        for _ in 0..20 {
+            let w = v.pick_or_mint(VENUES, 1.0);
+            assert!(!VENUES.contains(&w.as_str()), "minted word collided: {w}");
+        }
+    }
+
+    #[test]
+    fn int_in_bounds() {
+        let mut v = Vocab::new(2);
+        for _ in 0..1000 {
+            let x = v.int_in(10, 20);
+            assert!((10..20).contains(&x));
+        }
+    }
+
+    #[test]
+    fn word_lists_nonempty_and_lowercase() {
+        for list in [SURNAMES, GIVEN_NAMES, TITLE_WORDS, VENUES, BRANDS, PRODUCT_NOUNS, PRODUCT_QUALIFIERS] {
+            assert!(!list.is_empty());
+            for w in list {
+                assert!(w.chars().all(|c| c.is_ascii_lowercase()), "{w}");
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Platform configuration.
+
+use crate::dist::LogNormal;
+
+/// How idle workers choose among available HITs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignmentPolicy {
+    /// Uniformly random — what AMT actually does (Section 6.4 notes AMT "can
+    /// only randomly assign HITs to workers").
+    Random,
+    /// Lowest-likelihood HITs first — the *non-matching first* optimization
+    /// (Section 5.2), only realizable in simulation.
+    NonMatchingFirst,
+}
+
+/// Tunables of the simulated crowdsourcing platform.
+///
+/// Defaults follow the paper's AMT setup: 20 pairs per HIT, 3 assignments
+/// per HIT (majority vote), 2 ¢ per assignment, and a qualification test of
+/// 3 questions gating workers.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// Pairs batched into one HIT (paper: 20).
+    pub batch_size: usize,
+    /// Replicated assignments per HIT (paper: 3; majority vote decides).
+    pub assignments_per_hit: u32,
+    /// Price per completed assignment, in cents (paper: 2).
+    pub price_per_assignment_cents: u32,
+    /// Size of the worker pool.
+    pub num_workers: usize,
+    /// Fraction of low-accuracy ("spammer") workers.
+    pub spammer_fraction: f64,
+    /// Answer accuracy of diligent workers.
+    pub good_accuracy: f64,
+    /// Answer accuracy of spammers.
+    pub spammer_accuracy: f64,
+    /// Whether workers must pass a qualification test before taking HITs.
+    pub qualification_test: bool,
+    /// Number of questions in the qualification test (paper: 3, all must be
+    /// answered correctly).
+    pub qualification_questions: u32,
+    /// HIT selection policy for idle workers.
+    pub assignment_policy: AssignmentPolicy,
+    /// Per-pair labeling time (seconds).
+    pub work_time_per_pair: LogNormal,
+    /// Delay until an off-platform worker next visits and notices available
+    /// work (seconds) — the dominant AMT latency term.
+    pub revisit_delay: LogNormal,
+    /// Short pause between consecutive assignments of a busy worker
+    /// (seconds).
+    pub between_assignments: LogNormal,
+    /// Probability that a started assignment is abandoned (the worker walks
+    /// away without submitting; the assignment re-opens after
+    /// [`Self::abandonment_timeout_secs`]).
+    pub abandonment_rate: f64,
+    /// Platform-side assignment duration: an abandoned assignment is
+    /// detected and re-opened after this many seconds.
+    pub abandonment_timeout_secs: f64,
+    /// Master seed for all platform randomness.
+    pub seed: u64,
+}
+
+impl PlatformConfig {
+    /// An AMT-like profile with imperfect workers (Table 2 experiments).
+    #[must_use]
+    pub fn amt_like(seed: u64) -> Self {
+        Self {
+            batch_size: 20,
+            assignments_per_hit: 3,
+            price_per_assignment_cents: 2,
+            num_workers: 40,
+            spammer_fraction: 0.25,
+            good_accuracy: 0.9,
+            spammer_accuracy: 0.55,
+            qualification_test: true,
+            qualification_questions: 3,
+            assignment_policy: AssignmentPolicy::Random,
+            work_time_per_pair: LogNormal::from_median(12.0, 0.6),
+            revisit_delay: LogNormal::from_median(1800.0, 1.0),
+            between_assignments: LogNormal::from_median(20.0, 0.5),
+            abandonment_rate: 0.05,
+            abandonment_timeout_secs: 1800.0,
+            seed,
+        }
+    }
+
+    /// Same latency model but perfectly accurate workers — the paper's
+    /// Table 1 setting ("we simulated that the crowd in AMT always gave us
+    /// correct labels").
+    #[must_use]
+    pub fn perfect_workers(seed: u64) -> Self {
+        Self {
+            spammer_fraction: 0.0,
+            good_accuracy: 1.0,
+            qualification_test: false,
+            abandonment_rate: 0.0,
+            ..Self::amt_like(seed)
+        }
+    }
+
+    pub(crate) fn validate(&self) {
+        assert!(self.batch_size >= 1, "batch_size must be positive");
+        assert!(self.assignments_per_hit >= 1, "assignments_per_hit must be positive");
+        assert!(self.num_workers >= self.assignments_per_hit as usize,
+            "need at least as many workers as assignments per HIT (a worker may take only one assignment of a HIT)");
+        assert!(
+            self.abandonment_timeout_secs > 0.0,
+            "abandonment_timeout_secs must be positive"
+        );
+        for (name, v) in [
+            ("spammer_fraction", self.spammer_fraction),
+            ("good_accuracy", self.good_accuracy),
+            ("spammer_accuracy", self.spammer_accuracy),
+            ("abandonment_rate", self.abandonment_rate),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{name} must be in [0,1], got {v}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        PlatformConfig::amt_like(1).validate();
+        PlatformConfig::perfect_workers(1).validate();
+    }
+
+    #[test]
+    fn perfect_workers_has_no_spammers() {
+        let cfg = PlatformConfig::perfect_workers(0);
+        assert_eq!(cfg.spammer_fraction, 0.0);
+        assert_eq!(cfg.good_accuracy, 1.0);
+        assert!(!cfg.qualification_test);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least as many workers")]
+    fn too_few_workers_rejected() {
+        let cfg = PlatformConfig { num_workers: 2, ..PlatformConfig::amt_like(0) };
+        cfg.validate();
+    }
+}

@@ -1,0 +1,106 @@
+//! Distribution samplers over the workspace's deterministic PRNG.
+//!
+//! AMT task latencies are famously heavy-tailed; the simulator models worker
+//! revisit delays and per-task work times as lognormals, sampled from
+//! [`SplitMix64`] so every run is seed-reproducible without pulling in
+//! additional dependencies.
+
+use crowdjoin_util::SplitMix64;
+
+/// A lognormal distribution parameterized by the *median* (seconds) and the
+/// shape `sigma` (log-space standard deviation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    /// ln(median).
+    mu: f64,
+    /// Log-space standard deviation (≥ 0).
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a lognormal with the given median and shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `median <= 0` or `sigma < 0` or either is non-finite.
+    #[must_use]
+    pub fn from_median(median: f64, sigma: f64) -> Self {
+        assert!(median.is_finite() && median > 0.0, "median must be positive");
+        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be non-negative");
+        Self { mu: median.ln(), sigma }
+    }
+
+    /// Samples one value (always positive).
+    pub fn sample(&self, rng: &mut SplitMix64) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+
+    /// The distribution's median.
+    #[must_use]
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+}
+
+/// Standard normal draw via Box–Muller.
+fn standard_normal(rng: &mut SplitMix64) -> f64 {
+    // Avoid ln(0) by nudging u1 away from zero.
+    let u1 = rng.next_f64().max(1e-12);
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Bernoulli draw.
+pub fn bernoulli(rng: &mut SplitMix64, p: f64) -> bool {
+    rng.next_f64() < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lognormal_positive_and_median_close() {
+        let d = LogNormal::from_median(30.0, 0.8);
+        let mut rng = SplitMix64::new(7);
+        let mut samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        assert!((median - 30.0).abs() < 2.0, "sample median {median} too far from 30");
+    }
+
+    #[test]
+    fn zero_sigma_is_constant() {
+        let d = LogNormal::from_median(10.0, 0.0);
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..100 {
+            assert!((d.sample(&mut rng) - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = SplitMix64::new(99);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut rng = SplitMix64::new(3);
+        let hits = (0..10_000).filter(|_| bernoulli(&mut rng, 0.25)).count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "median must be positive")]
+    fn invalid_median_rejected() {
+        let _ = LogNormal::from_median(0.0, 1.0);
+    }
+}

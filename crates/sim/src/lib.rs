@@ -1,0 +1,39 @@
+//! # crowdjoin-sim — a discrete-event crowdsourcing-platform simulator
+//!
+//! The paper evaluates its labeling algorithms on Amazon Mechanical Turk;
+//! this crate is the in-process stand-in. It reproduces the mechanics the
+//! paper's AMT experiments measure — HIT batching, replicated assignments
+//! with majority voting, qualification tests, worker error rates, and the
+//! worker-arrival latency that makes sequential publishing an order of
+//! magnitude slower than parallel publishing (Table 1) — behind a small,
+//! deterministic, seedable API.
+//!
+//! ```
+//! use crowdjoin_sim::{Platform, PlatformConfig, TaskSpec};
+//!
+//! let mut platform = Platform::new(PlatformConfig::perfect_workers(42));
+//! platform.publish(
+//!     (0..40).map(|id| TaskSpec { id, truth: id % 2 == 0, priority: 0.5 }).collect(),
+//! );
+//! let mut labeled = 0;
+//! while let Some((_time, batch)) = platform.step() {
+//!     labeled += batch.len();
+//! }
+//! assert_eq!(labeled, 40);
+//! assert_eq!(platform.stats().hits_published, 2); // 20 pairs per HIT
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod dist;
+pub mod platform;
+pub mod time;
+pub mod vote;
+
+pub use config::{AssignmentPolicy, PlatformConfig};
+pub use dist::LogNormal;
+pub use platform::{Platform, PlatformStats, ResolvedTask, TaskSpec, WorkerStats};
+pub use time::{SimDuration, VirtualTime};
+pub use vote::majority;

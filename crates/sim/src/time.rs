@@ -1,0 +1,119 @@
+//! Virtual time.
+//!
+//! The simulator advances a millisecond-resolution virtual clock; integer
+//! ticks keep event ordering exact and runs bit-reproducible.
+
+/// A point in virtual time, in milliseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtualTime(pub u64);
+
+impl VirtualTime {
+    /// Simulation start.
+    pub const ZERO: VirtualTime = VirtualTime(0);
+
+    /// Advances by a duration.
+    #[must_use]
+    pub fn after(self, d: SimDuration) -> VirtualTime {
+        VirtualTime(self.0.saturating_add(d.0))
+    }
+
+    /// Elapsed duration since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    #[must_use]
+    pub fn since(self, earlier: VirtualTime) -> SimDuration {
+        assert!(earlier <= self, "time went backwards");
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// Time in fractional hours (for paper-style reporting).
+    #[must_use]
+    pub fn as_hours(self) -> f64 {
+        self.0 as f64 / 3_600_000.0
+    }
+}
+
+/// A span of virtual time, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Builds from whole seconds.
+    #[must_use]
+    pub fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1000)
+    }
+
+    /// Builds from whole minutes.
+    #[must_use]
+    pub fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60_000)
+    }
+
+    /// Builds from fractional seconds (sub-millisecond truncated; negative
+    /// inputs clamp to zero).
+    #[must_use]
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 || !s.is_finite() {
+            SimDuration::ZERO
+        } else {
+            SimDuration((s * 1000.0) as u64)
+        }
+    }
+
+    /// Duration in fractional seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+}
+
+impl std::ops::Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl std::fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t+{:.2}h", self.as_hours())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = VirtualTime::ZERO.after(SimDuration::from_secs(90));
+        assert_eq!(t, VirtualTime(90_000));
+        assert_eq!(t.since(VirtualTime::ZERO), SimDuration(90_000));
+        assert_eq!(t.after(SimDuration::from_mins(1)), VirtualTime(150_000));
+    }
+
+    #[test]
+    fn hours_conversion() {
+        let t = VirtualTime::ZERO.after(SimDuration::from_mins(90));
+        assert!((t.as_hours() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_secs_f64_clamps() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(1.5), SimDuration(1500));
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn since_rejects_future() {
+        let _ = VirtualTime(5).since(VirtualTime(10));
+    }
+}

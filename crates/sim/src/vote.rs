@@ -1,0 +1,51 @@
+//! Majority voting.
+
+/// Majority vote over boolean answers; ties break toward `false`
+/// (conservative: an undecided pair is treated as non-matching, which costs
+/// recall rather than precision).
+///
+/// Returns `(label, yes_votes, no_votes)`.
+///
+/// # Panics
+///
+/// Panics on an empty vote set.
+#[must_use]
+pub fn majority(votes: &[bool]) -> (bool, u32, u32) {
+    assert!(!votes.is_empty(), "majority vote needs at least one vote");
+    let yes = votes.iter().filter(|&&v| v).count() as u32;
+    let no = votes.len() as u32 - yes;
+    (yes > no, yes, no)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn simple_majorities() {
+        assert_eq!(majority(&[true, true, false]), (true, 2, 1));
+        assert_eq!(majority(&[false, false, true]), (false, 1, 2));
+        assert_eq!(majority(&[true]), (true, 1, 0));
+    }
+
+    #[test]
+    fn tie_breaks_to_false() {
+        assert_eq!(majority(&[true, false]), (false, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vote")]
+    fn empty_votes_rejected() {
+        let _ = majority(&[]);
+    }
+
+    proptest! {
+        #[test]
+        fn vote_counts_partition(votes in proptest::collection::vec(any::<bool>(), 1..20)) {
+            let (label, yes, no) = majority(&votes);
+            prop_assert_eq!((yes + no) as usize, votes.len());
+            prop_assert_eq!(label, yes > no);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Integer histograms.
+//!
+//! Used for cluster-size distributions (Figure 10) and per-iteration pair
+//! counts (Figures 13/14). Keys are `usize` buckets; values are counts.
+
+use crate::FxHashMap;
+
+/// A sparse histogram over non-negative integer buckets.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    counts: FxHashMap<usize, u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments the count for `bucket` by one.
+    pub fn record(&mut self, bucket: usize) {
+        *self.counts.entry(bucket).or_insert(0) += 1;
+    }
+
+    /// Increments the count for `bucket` by `n`.
+    pub fn record_n(&mut self, bucket: usize, n: u64) {
+        if n > 0 {
+            *self.counts.entry(bucket).or_insert(0) += n;
+        }
+    }
+
+    /// Count stored for `bucket` (zero if never recorded).
+    #[must_use]
+    pub fn count(&self, bucket: usize) -> u64 {
+        self.counts.get(&bucket).copied().unwrap_or(0)
+    }
+
+    /// Total number of recorded observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Number of distinct buckets with a non-zero count.
+    #[must_use]
+    pub fn num_buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Largest bucket with a non-zero count.
+    #[must_use]
+    pub fn max_bucket(&self) -> Option<usize> {
+        self.counts.keys().copied().max()
+    }
+
+    /// `(bucket, count)` pairs sorted by bucket, for stable reporting.
+    #[must_use]
+    pub fn sorted_entries(&self) -> Vec<(usize, u64)> {
+        let mut entries: Vec<(usize, u64)> = self.counts.iter().map(|(&k, &v)| (k, v)).collect();
+        entries.sort_unstable_by_key(|&(bucket, _)| bucket);
+        entries
+    }
+
+    /// Weighted sum `Σ bucket · count` — e.g. total objects when buckets are
+    /// cluster sizes and counts are numbers of clusters.
+    #[must_use]
+    pub fn weighted_total(&self) -> u64 {
+        self.counts.iter().map(|(&b, &c)| b as u64 * c).sum()
+    }
+
+    /// Renders a compact one-line-per-bucket table, used by experiment
+    /// binaries for Figure-10-style output.
+    #[must_use]
+    pub fn render_table(&self, bucket_label: &str, count_label: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{bucket_label:>12}  {count_label:>12}");
+        for (bucket, count) in self.sorted_entries() {
+            let _ = writeln!(out, "{bucket:>12}  {count:>12}");
+        }
+        out
+    }
+}
+
+impl FromIterator<usize> for Histogram {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut h = Histogram::new();
+        for bucket in iter {
+            h.record(bucket);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_count() {
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(3);
+        h.record(7);
+        assert_eq!(h.count(3), 2);
+        assert_eq!(h.count(7), 1);
+        assert_eq!(h.count(5), 0);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.num_buckets(), 2);
+        assert_eq!(h.max_bucket(), Some(7));
+    }
+
+    #[test]
+    fn record_n_zero_is_noop() {
+        let mut h = Histogram::new();
+        h.record_n(4, 0);
+        assert_eq!(h.num_buckets(), 0);
+        h.record_n(4, 5);
+        assert_eq!(h.count(4), 5);
+    }
+
+    #[test]
+    fn sorted_entries_and_weighted_total() {
+        let h: Histogram = vec![2, 2, 2, 102, 1].into_iter().collect();
+        assert_eq!(h.sorted_entries(), vec![(1, 1), (2, 3), (102, 1)]);
+        // 1*1 + 2*3 + 102*1 = 109 objects in total.
+        assert_eq!(h.weighted_total(), 109);
+    }
+
+    #[test]
+    fn render_table_contains_rows() {
+        let h: Histogram = vec![1, 1, 5].into_iter().collect();
+        let table = h.render_table("size", "clusters");
+        assert!(table.contains("size"));
+        assert!(table.contains("clusters"));
+        assert!(table.lines().count() >= 3);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.max_bucket(), None);
+        assert!(h.sorted_entries().is_empty());
+    }
+}

@@ -1,0 +1,77 @@
+//! Deduplicating a bibliography: the full hybrid human–machine pipeline on a
+//! Cora-style publication dataset with heavy-tail duplicate clusters.
+//!
+//! Walks the whole stack end to end:
+//! 1. generate a dirty publication table (duplicates are typo'd,
+//!    abbreviated, reordered variants of a canonical record),
+//! 2. machine stage: tf-idf + Jaccard similarity join produces scored
+//!    candidate pairs,
+//! 3. crowd stage: the transitive labeling framework labels all candidates
+//!    while crowdsourcing only a spanning core,
+//! 4. compare labeling orders and report savings and quality.
+//!
+//! ```bash
+//! cargo run --release -p crowdjoin --example publication_dedup
+//! ```
+
+use crowdjoin::matcher::MatcherConfig;
+use crowdjoin::records::{generate_paper, ClusterSpec, PaperGenConfig, PerturbConfig};
+use crowdjoin::{
+    build_task, optimal_cost, GroundTruthOracle, QualityMetrics, SortStrategy,
+};
+
+fn main() {
+    // A 300-record bibliography with one 40-duplicate cluster and a spread
+    // of smaller ones — a miniature Cora.
+    let dataset = generate_paper(&PaperGenConfig {
+        num_records: 300,
+        clusters: ClusterSpec::PowerLaw { alpha: 1.9, max_size: 40, force_max: true },
+        perturb: PerturbConfig::heavy(),
+        sibling_probability: 0.3,
+        seed: 7,
+    });
+    println!(
+        "dataset: {} records, {} true duplicate pairs, largest cluster {}",
+        dataset.len(),
+        crowdjoin::ground_truth_of(&dataset).num_matching_pairs(),
+        dataset.cluster_size_histogram().max_bucket().unwrap_or(0),
+    );
+
+    // Machine stage + threshold: only pairs the matcher considers plausible
+    // go to the crowd.
+    let (task, truth) = build_task(&dataset, &MatcherConfig::for_arity(5), 0.3);
+    println!(
+        "machine stage kept {} candidate pairs (of {} possible)",
+        task.candidates().len(),
+        dataset.total_join_pairs()
+    );
+    println!(
+        "information-theoretic floor (optimal order): {} crowd answers\n",
+        optimal_cost(task.candidates(), &truth).total()
+    );
+
+    // Crowd stage under different labeling orders.
+    for strategy in [
+        SortStrategy::Optimal(&truth),
+        SortStrategy::ExpectedLikelihood,
+        SortStrategy::Random { seed: 1 },
+        SortStrategy::Worst(&truth),
+    ] {
+        let mut crowd = GroundTruthOracle::new(&truth);
+        let result = task.run_sequential(strategy, &mut crowd);
+        let quality = QualityMetrics::of_result(&result, &truth);
+        println!(
+            "{:>9} order: {:>6} crowdsourced, {:>6} deduced ({:>4.1}% saved)  {}",
+            strategy.name(),
+            result.num_crowdsourced(),
+            result.num_deduced(),
+            result.savings_ratio() * 100.0,
+            quality,
+        );
+    }
+
+    println!(
+        "\n(the 'optimal'/'worst' orders need the true labels upfront — they are the\n\
+         experiment bounds; 'expected' = likelihood-descending is what production uses)"
+    );
+}

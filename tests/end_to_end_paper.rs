@@ -1,0 +1,109 @@
+//! End-to-end integration: Cora-style self-join through the whole stack
+//! (records → matcher → framework) with a perfect crowd.
+
+use crowdjoin::matcher::MatcherConfig;
+use crowdjoin::records::{generate_paper, ClusterSpec, PaperGenConfig, PerturbConfig};
+use crowdjoin::{
+    build_task, optimal_cost, run_parallel_rounds, sort_pairs, GroundTruthOracle,
+    QualityMetrics, SortStrategy,
+};
+
+fn dataset() -> crowdjoin::records::Dataset {
+    generate_paper(&PaperGenConfig {
+        num_records: 200,
+        clusters: ClusterSpec::PowerLaw { alpha: 1.9, max_size: 30, force_max: true },
+        perturb: PerturbConfig::heavy(),
+        sibling_probability: 0.3,
+        seed: 2024,
+    })
+}
+
+#[test]
+fn perfect_crowd_reproduces_ground_truth_under_every_order() {
+    let ds = dataset();
+    let (task, truth) = build_task(&ds, &MatcherConfig::for_arity(5), 0.3);
+    assert!(task.candidates().len() > 100, "matcher found too few candidates");
+
+    for strategy in [
+        SortStrategy::Optimal(&truth),
+        SortStrategy::ExpectedLikelihood,
+        SortStrategy::Random { seed: 9 },
+        SortStrategy::Worst(&truth),
+    ] {
+        let mut crowd = GroundTruthOracle::new(&truth);
+        let result = task.run_sequential(strategy, &mut crowd);
+        assert_eq!(result.num_labeled(), task.candidates().len());
+        let q = QualityMetrics::of_result(&result, &truth);
+        assert_eq!(q.precision(), 1.0, "order {}", strategy.name());
+        assert_eq!(q.recall(), 1.0, "order {}", strategy.name());
+    }
+}
+
+#[test]
+fn optimal_order_matches_closed_form_at_scale() {
+    let ds = dataset();
+    let (task, truth) = build_task(&ds, &MatcherConfig::for_arity(5), 0.2);
+    let closed = optimal_cost(task.candidates(), &truth).total();
+    let mut crowd = GroundTruthOracle::new(&truth);
+    let result = task.run_sequential(SortStrategy::Optimal(&truth), &mut crowd);
+    assert_eq!(result.num_crowdsourced(), closed);
+}
+
+#[test]
+fn order_hierarchy_holds() {
+    // optimal <= expected <= worst on a realistic workload (the expected
+    // order is a heuristic, but the matcher's signal is informative here).
+    let ds = dataset();
+    let (task, truth) = build_task(&ds, &MatcherConfig::for_arity(5), 0.3);
+    let cost = |strategy| {
+        let mut crowd = GroundTruthOracle::new(&truth);
+        task.run_sequential(strategy, &mut crowd).num_crowdsourced()
+    };
+    let optimal = cost(SortStrategy::Optimal(&truth));
+    let expected = cost(SortStrategy::ExpectedLikelihood);
+    let worst = cost(SortStrategy::Worst(&truth));
+    assert!(optimal <= expected, "{optimal} > {expected}");
+    assert!(expected <= worst, "{expected} > {worst}");
+    assert!(
+        worst > optimal,
+        "worst ({worst}) should strictly exceed optimal ({optimal}) on this workload"
+    );
+}
+
+#[test]
+fn transitivity_saves_most_pairs_on_heavy_tail_data() {
+    let ds = dataset();
+    let (task, truth) = build_task(&ds, &MatcherConfig::for_arity(5), 0.3);
+    let mut crowd = GroundTruthOracle::new(&truth);
+    let result = task.run_sequential(SortStrategy::ExpectedLikelihood, &mut crowd);
+    assert!(
+        result.savings_ratio() > 0.5,
+        "heavy-tail clusters should save >50%, got {:.1}%",
+        result.savings_ratio() * 100.0
+    );
+}
+
+#[test]
+fn parallel_run_agrees_with_sequential_labels() {
+    let ds = dataset();
+    let (task, truth) = build_task(&ds, &MatcherConfig::for_arity(5), 0.3);
+    let order = sort_pairs(task.candidates(), SortStrategy::ExpectedLikelihood);
+    let mut crowd = GroundTruthOracle::new(&truth);
+    let (par, stats) =
+        run_parallel_rounds(task.candidates().num_objects(), order, &mut crowd);
+    assert_eq!(par.num_labeled(), task.candidates().len());
+    assert!(stats.num_iterations() < 40, "too many iterations: {}", stats.num_iterations());
+    for sp in task.candidates().pairs() {
+        assert_eq!(par.label_of(sp.pair), Some(truth.label_of(sp.pair)));
+    }
+}
+
+#[test]
+fn threshold_sweep_is_monotone_in_candidates() {
+    let ds = dataset();
+    let (task01, _) = build_task(&ds, &MatcherConfig::for_arity(5), 0.1);
+    let (task03, _) = build_task(&ds, &MatcherConfig::for_arity(5), 0.3);
+    let (task05, _) = build_task(&ds, &MatcherConfig::for_arity(5), 0.5);
+    assert!(task01.candidates().len() >= task03.candidates().len());
+    assert!(task03.candidates().len() >= task05.candidates().len());
+}
