@@ -14,7 +14,8 @@ use std::hint::black_box;
 /// universe, ~4n candidate edges).
 fn sequence(n: u32, seed: u64) -> Vec<(u32, u32, EdgeLabel)> {
     let mut rng = SplitMix64::new(seed);
-    let entity: Vec<u32> = (0..n).map(|_| (rng.next_u64() % (n as u64 / 2).max(1)) as u32).collect();
+    let entity: Vec<u32> =
+        (0..n).map(|_| (rng.next_u64() % (n as u64 / 2).max(1)) as u32).collect();
     let mut out = Vec::new();
     for _ in 0..n * 4 {
         let a = (rng.next_u64() % n as u64) as u32;

@@ -1,0 +1,117 @@
+//! Sharded-engine scaling: wall-clock of the full labeling job at 1, 2, 4,
+//! and 8 shards on a generated 5k-record Product dataset (the Abt-Buy
+//! stand-in), plus the engine-vs-core-labeler framework comparison.
+//!
+//! Candidate generation runs once outside the timing loops; the benchmark
+//! measures the execution engine itself (partitioning, scheduling, labeling,
+//! deduction, merging).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowdjoin::engine::SharedGroundTruth;
+use crowdjoin::matcher::MatcherConfig;
+use crowdjoin::records::{generate_product, ClusterSpec, ProductGenConfig};
+use crowdjoin::{
+    build_task, run_parallel_rounds, sort_pairs, CandidateSet, EngineConfig, GroundTruth,
+    GroundTruthOracle, ScoredPair, SortStrategy,
+};
+use std::hint::black_box;
+
+/// 5k-record product workload: the default Figure 10(b) cluster mix scaled
+/// ×2.6 to fill 2×2500 records.
+fn product_5k() -> (CandidateSet, GroundTruth, Vec<ScoredPair>) {
+    let dataset = generate_product(&ProductGenConfig {
+        table_a: 2500,
+        table_b: 2500,
+        clusters: ClusterSpec::Explicit(vec![(2, 1664), (3, 338), (4, 104), (5, 31), (6, 10)]),
+        ..ProductGenConfig::default()
+    });
+    let matcher = MatcherConfig { field_weights: vec![1.0, 0.25], ..MatcherConfig::for_arity(2) };
+    let (task, truth) = build_task(&dataset, &matcher, 0.3);
+    let candidates = task.candidates().clone();
+    let order = sort_pairs(&candidates, SortStrategy::ExpectedLikelihood);
+    (candidates, truth, order)
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let (candidates, truth, order) = product_5k();
+    println!(
+        "engine bench workload: {} records, {} candidate pairs",
+        candidates.num_objects(),
+        candidates.len()
+    );
+
+    let mut group = c.benchmark_group("engine/product_5k_shards");
+    group.sample_size(10);
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &shards| {
+            let cfg = EngineConfig { num_shards: shards, ..EngineConfig::default() };
+            b.iter(|| {
+                let oracle = SharedGroundTruth::new(&truth);
+                let report = crowdjoin::run_sharded_with_oracle(
+                    candidates.num_objects(),
+                    &order,
+                    &oracle,
+                    &cfg,
+                );
+                black_box(report.result.num_crowdsourced())
+            });
+        });
+    }
+    group.finish();
+
+    // Reference arm: the single-threaded core labeler (rescan-based
+    // deduction sweeps) on the same workload.
+    let mut group = c.benchmark_group("engine/product_5k_core_labeler");
+    group.sample_size(10);
+    group.bench_function("run_parallel_rounds", |b| {
+        b.iter(|| {
+            let mut oracle = GroundTruthOracle::new(&truth);
+            let (result, _) =
+                run_parallel_rounds(candidates.num_objects(), order.clone(), &mut oracle);
+            black_box(result.num_crowdsourced())
+        });
+    });
+    group.finish();
+
+    // Headline summary: median-of-5 wall-clock for the single-threaded core
+    // labeler vs the engine at 1 and 8 shards, with explicit speedups (the
+    // numbers recorded in CHANGES.md).
+    let median = |f: &mut dyn FnMut() -> usize| {
+        let mut times: Vec<f64> = (0..5)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                black_box(f());
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        times[times.len() / 2]
+    };
+    let t_core = median(&mut || {
+        let mut oracle = GroundTruthOracle::new(&truth);
+        run_parallel_rounds(candidates.num_objects(), order.clone(), &mut oracle)
+            .0
+            .num_crowdsourced()
+    });
+    let engine_time = |shards: usize| {
+        let cfg = EngineConfig { num_shards: shards, ..EngineConfig::default() };
+        median(&mut || {
+            let oracle = SharedGroundTruth::new(&truth);
+            crowdjoin::run_sharded_with_oracle(candidates.num_objects(), &order, &oracle, &cfg)
+                .result
+                .num_crowdsourced()
+        })
+    };
+    let t1 = engine_time(1);
+    let t8 = engine_time(8);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!("\nengine summary ({cores} core(s) available):");
+    println!("  core labeler (single-threaded rescan): {:>9.2} ms", t_core * 1e3);
+    println!("  engine, 1 shard:                        {:>9.2} ms", t1 * 1e3);
+    println!("  engine, 8 shards:                       {:>9.2} ms", t8 * 1e3);
+    println!("  speedup engine@8 vs core labeler:       {:>9.2}x", t_core / t8);
+    println!("  speedup engine@8 vs engine@1:           {:>9.2}x", t1 / t8);
+}
+
+criterion_group!(benches, bench_shard_scaling);
+criterion_main!(benches);

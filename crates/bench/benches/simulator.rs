@@ -6,7 +6,9 @@ use crowdjoin_sim::{AssignmentPolicy, Platform, PlatformConfig, TaskSpec};
 use std::hint::black_box;
 
 fn tasks(n: u64) -> Vec<TaskSpec> {
-    (0..n).map(|id| TaskSpec { id, truth: id % 3 != 0, priority: (id % 100) as f64 / 100.0 }).collect()
+    (0..n)
+        .map(|id| TaskSpec { id, truth: id % 3 != 0, priority: (id % 100) as f64 / 100.0 })
+        .collect()
 }
 
 fn bench_run_to_completion(c: &mut Criterion) {
@@ -51,10 +53,15 @@ fn bench_incremental_publish(c: &mut Criterion) {
             let mut p = Platform::new(PlatformConfig::perfect_workers(2));
             let mut resolved = 0usize;
             for round in 0..100u64 {
-                p.publish(tasks(20).into_iter().map(|mut t| {
-                    t.id += round * 1_000;
-                    t
-                }).collect());
+                p.publish(
+                    tasks(20)
+                        .into_iter()
+                        .map(|mut t| {
+                            t.id += round * 1_000;
+                            t
+                        })
+                        .collect(),
+                );
                 let mut remaining = 20usize;
                 while remaining > 0 {
                     let (_, batch) = p.step().expect("resolves");

@@ -7,10 +7,10 @@
 //! latency, coarser instant decisions). This sweep shows the trade-off on
 //! the Paper workload.
 
+use crowdjoin::runner::run_parallel_on_platform;
 use crowdjoin_bench::{paper_workload, print_table};
 use crowdjoin_core::{sort_pairs, SortStrategy};
 use crowdjoin_sim::{Platform, PlatformConfig};
-use crowdjoin::runner::run_parallel_on_platform;
 
 fn main() {
     let wl = paper_workload();

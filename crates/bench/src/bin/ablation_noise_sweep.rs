@@ -10,8 +10,7 @@
 
 use crowdjoin_bench::{paper_workload, print_table};
 use crowdjoin_core::{
-    label_non_transitive, label_sequential, sort_pairs, NoisyOracle, QualityMetrics,
-    SortStrategy,
+    label_non_transitive, label_sequential, sort_pairs, NoisyOracle, QualityMetrics, SortStrategy,
 };
 
 fn main() {

@@ -11,18 +11,22 @@ fn main() {
         for t in THRESHOLDS {
             let task = wl.task_at(t);
             let n = task.candidates().len();
-            let n_match = task.candidates().pairs().iter()
-                .filter(|sp| wl.truth.is_matching(sp.pair)).count();
+            let n_match =
+                task.candidates().pairs().iter().filter(|sp| wl.truth.is_matching(sp.pair)).count();
             let opt = optimal_cost(task.candidates(), &wl.truth);
             let mut o = GroundTruthOracle::new(&wl.truth);
             let exp = task.run_sequential(SortStrategy::ExpectedLikelihood, &mut o);
-            println!("t={t:.1}: candidates={n} (match={n_match}) optimal={} expected={} savings={:.1}%",
-                opt.total(), exp.num_crowdsourced(),
-                100.0 * (1.0 - opt.total() as f64 / n.max(1) as f64));
+            println!(
+                "t={t:.1}: candidates={n} (match={n_match}) optimal={} expected={} savings={:.1}%",
+                opt.total(),
+                exp.num_crowdsourced(),
+                100.0 * (1.0 - opt.total() as f64 / n.max(1) as f64)
+            );
         }
         // recall of the candidate set at floor: fraction of true pairs captured
         let total_true = wl.truth.num_matching_pairs();
-        let captured = wl.candidates.pairs().iter().filter(|sp| wl.truth.is_matching(sp.pair)).count();
+        let captured =
+            wl.candidates.pairs().iter().filter(|sp| wl.truth.is_matching(sp.pair)).count();
         println!("true matching pairs={total_true} captured at floor={captured}");
     }
 }

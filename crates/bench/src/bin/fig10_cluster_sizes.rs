@@ -16,8 +16,11 @@ fn main() {
             .map(|(size, count)| vec![size.to_string(), count.to_string()])
             .collect();
         print_table(
-            &format!("Figure 10({}) — {} cluster-size distribution",
-                if wl.name == "Paper" { "a" } else { "b" }, wl.name),
+            &format!(
+                "Figure 10({}) — {} cluster-size distribution",
+                if wl.name == "Paper" { "a" } else { "b" },
+                wl.name
+            ),
             &["cluster size", "# clusters"],
             &rows,
         );

@@ -37,5 +37,7 @@ fn main() {
             &rows,
         );
     }
-    println!("\npaper reference @0.3: Paper 29,281 -> 1,065 (96%); Product @0.2: 8,315 -> 6,134 (26%)");
+    println!(
+        "\npaper reference @0.3: Paper 29,281 -> 1,065 (96%); Product @0.2: 8,315 -> 6,134 (26%)"
+    );
 }

@@ -14,10 +14,8 @@ use crowdjoin_bench::{paper_workload, print_table, product_workload};
 use crowdjoin_core::{run_parallel_rounds, sort_pairs, GroundTruthOracle, SortStrategy};
 
 fn main() {
-    let mut threshold: f64 = std::env::var("CROWDJOIN_THRESHOLD")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.3);
+    let mut threshold: f64 =
+        std::env::var("CROWDJOIN_THRESHOLD").ok().and_then(|s| s.parse().ok()).unwrap_or(0.3);
     let args: Vec<String> = std::env::args().collect();
     if let Some(i) = args.iter().position(|a| a == "--threshold") {
         threshold = args

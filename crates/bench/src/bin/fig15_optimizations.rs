@@ -7,10 +7,10 @@
 //! plain Parallel had 1 available pair on the platform while Parallel(ID)
 //! had 219 and Parallel(ID+NF) 281 — the optimizations keep workers fed.
 
+use crowdjoin::runner::{run_parallel_on_platform, AvailabilitySample};
 use crowdjoin_bench::{paper_workload, print_table, product_workload, Workload};
 use crowdjoin_core::{sort_pairs, SortStrategy};
 use crowdjoin_sim::{AssignmentPolicy, Platform, PlatformConfig};
-use crowdjoin::runner::{run_parallel_on_platform, AvailabilitySample};
 
 struct Arm {
     label: &'static str,
@@ -21,16 +21,18 @@ struct Arm {
 const ARMS: [Arm; 3] = [
     Arm { label: "Parallel", instant_decision: false, policy: AssignmentPolicy::Random },
     Arm { label: "Parallel(ID)", instant_decision: true, policy: AssignmentPolicy::Random },
-    Arm { label: "Parallel(ID+NF)", instant_decision: true, policy: AssignmentPolicy::NonMatchingFirst },
+    Arm {
+        label: "Parallel(ID+NF)",
+        instant_decision: true,
+        policy: AssignmentPolicy::NonMatchingFirst,
+    },
 ];
 
 fn run_arm(wl: &Workload, arm: &Arm, threshold: f64, seed: u64) -> Vec<AvailabilitySample> {
     let task = wl.task_at(threshold);
     let order = sort_pairs(task.candidates(), SortStrategy::ExpectedLikelihood);
-    let cfg = PlatformConfig {
-        assignment_policy: arm.policy,
-        ..PlatformConfig::perfect_workers(seed)
-    };
+    let cfg =
+        PlatformConfig { assignment_policy: arm.policy, ..PlatformConfig::perfect_workers(seed) };
     let mut platform = Platform::new(cfg);
     let report = run_parallel_on_platform(
         task.candidates().num_objects(),
@@ -45,10 +47,7 @@ fn run_arm(wl: &Workload, arm: &Arm, threshold: f64, seed: u64) -> Vec<Availabil
 /// Open-pair level at selected progress points (fractions of total
 /// crowdsourced pairs), interpolated from the series.
 fn level_at(series: &[AvailabilitySample], crowdsourced: usize) -> usize {
-    series
-        .iter()
-        .rfind(|s| s.crowdsourced <= crowdsourced)
-        .map_or(0, |s| s.open_pairs)
+    series.iter().rfind(|s| s.crowdsourced <= crowdsourced).map_or(0, |s| s.open_pairs)
 }
 
 fn main() {
@@ -57,11 +56,8 @@ fn main() {
     for wl in [paper_workload(), product_workload()] {
         let series: Vec<(&str, Vec<AvailabilitySample>)> =
             ARMS.iter().map(|arm| (arm.label, run_arm(&wl, arm, threshold, seed))).collect();
-        let total = series
-            .iter()
-            .map(|(_, s)| s.last().map_or(0, |x| x.crowdsourced))
-            .max()
-            .unwrap_or(0);
+        let total =
+            series.iter().map(|(_, s)| s.last().map_or(0, |x| x.crowdsourced)).max().unwrap_or(0);
 
         let mut rows = Vec::new();
         for pct in [10, 25, 50, 75, 90] {

@@ -6,10 +6,10 @@
 //! Paper reference: Paper dataset, 68 HITs — 78 hours sequential vs 8 hours
 //! parallel; Product, 144 HITs — 97 hours vs 14 hours.
 
+use crowdjoin::runner::{replay_pairs_sequentially, run_parallel_on_platform};
 use crowdjoin_bench::{paper_workload, print_table, product_workload};
 use crowdjoin_core::{sort_pairs, Provenance, ScoredPair, SortStrategy};
 use crowdjoin_sim::{Platform, PlatformConfig};
-use crowdjoin::runner::{replay_pairs_sequentially, run_parallel_on_platform};
 
 fn main() {
     let threshold = 0.3;
@@ -43,10 +43,7 @@ fn main() {
             par.stats.hits_published.to_string(),
             format!("{:.1} hours", seq.completion.as_hours()),
             format!("{:.1} hours", par.completion.as_hours()),
-            format!(
-                "{:.1}x",
-                seq.completion.as_hours() / par.completion.as_hours().max(1e-9)
-            ),
+            format!("{:.1}x", seq.completion.as_hours() / par.completion.as_hours().max(1e-9)),
         ]);
     }
     print_table(
@@ -54,5 +51,7 @@ fn main() {
         &["dataset", "# of HITs", "Non-Parallel", "Parallel(ID)", "speedup"],
         &rows,
     );
-    println!("\npaper reference: Paper 68 HITs, 78h vs 8h (9.8x); Product 144 HITs, 97h vs 14h (6.9x)");
+    println!(
+        "\npaper reference: Paper 68 HITs, 78h vs 8h (9.8x); Product 144 HITs, 97h vs 14h (6.9x)"
+    );
 }

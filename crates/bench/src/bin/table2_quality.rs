@@ -10,10 +10,10 @@
 //!   HITs / 30 h / F 79.71% (≈10% fewer HITs, quality preserved, slightly
 //!   longer because publishing is iterative).
 
+use crowdjoin::runner::{run_non_transitive_on_platform, run_parallel_on_platform};
 use crowdjoin_bench::{paper_workload, print_table, product_workload};
 use crowdjoin_core::{sort_pairs, QualityMetrics, SortStrategy};
 use crowdjoin_sim::{Platform, PlatformConfig};
-use crowdjoin::runner::{run_non_transitive_on_platform, run_parallel_on_platform};
 
 fn main() {
     let threshold = 0.3;

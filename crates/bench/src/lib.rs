@@ -10,7 +10,9 @@
 
 use crowdjoin_core::{CandidateSet, GroundTruth, LabelingTask};
 use crowdjoin_matcher::{generate_candidates, MatcherConfig};
-use crowdjoin_records::{generate_paper, generate_product, Dataset, PaperGenConfig, ProductGenConfig};
+use crowdjoin_records::{
+    generate_paper, generate_product, Dataset, PaperGenConfig, ProductGenConfig,
+};
 
 /// Master seed for all experiments (override with `CROWDJOIN_SEED`).
 #[must_use]
@@ -86,10 +88,7 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
         println!("| {} |", padded.join(" | "));
     };
     fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    println!(
-        "|{}|",
-        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
-    );
+    println!("|{}|", widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|"));
     for row in rows {
         fmt_row(row);
     }

@@ -138,10 +138,7 @@ impl WorldEnumeration {
     #[must_use]
     pub fn expected_cost(&self, order: &[usize]) -> f64 {
         self.check_permutation(order);
-        self.worlds
-            .iter()
-            .map(|w| w.probability * self.world_cost(order, &w.labels) as f64)
-            .sum()
+        self.worlds.iter().map(|w| w.probability * self.world_cost(order, &w.labels) as f64).sum()
     }
 
     /// Expected cost of an order expressed as pairs rather than indices.
@@ -394,10 +391,8 @@ mod tests {
     fn disconnected_pairs_all_cost_one() {
         // Two disjoint pairs: nothing is ever deducible, expected cost = 2
         // for every order.
-        let pairs = vec![
-            ScoredPair::new(Pair::new(0, 1), 0.7),
-            ScoredPair::new(Pair::new(2, 3), 0.4),
-        ];
+        let pairs =
+            vec![ScoredPair::new(Pair::new(0, 1), 0.7), ScoredPair::new(Pair::new(2, 3), 0.4)];
         let we = WorldEnumeration::new(4, &pairs).unwrap();
         assert_eq!(we.num_worlds(), 4, "all four labelings are consistent");
         assert!((we.expected_cost(&[0, 1]) - 2.0).abs() < 1e-12);

@@ -74,7 +74,9 @@ pub mod types;
 pub use analysis::{optimal_cost, OptimalCost};
 pub use baseline::label_non_transitive;
 pub use budget::{label_with_budget, BudgetedResult};
-pub use expected::{estimate_expected_cost, is_consistent, World, WorldEnumeration, MAX_ENUMERABLE_PAIRS};
+pub use expected::{
+    estimate_expected_cost, is_consistent, World, WorldEnumeration, MAX_ENUMERABLE_PAIRS,
+};
 pub use framework::LabelingTask;
 pub use metrics::QualityMetrics;
 pub use one_to_one::{enforce_one_to_one, OneToOneDeducer, OneToOneOutcome};

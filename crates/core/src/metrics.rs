@@ -32,12 +32,8 @@ impl QualityMetrics {
     where
         I: IntoIterator<Item = (Pair, Label)>,
     {
-        let mut m = Self {
-            true_positives: 0,
-            false_positives: 0,
-            false_negatives: 0,
-            true_negatives: 0,
-        };
+        let mut m =
+            Self { true_positives: 0, false_positives: 0, false_negatives: 0, true_negatives: 0 };
         for (pair, predicted) in predictions {
             match (predicted, truth.label_of(pair)) {
                 (Label::Matching, Label::Matching) => m.true_positives += 1,

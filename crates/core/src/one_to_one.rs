@@ -46,9 +46,7 @@ impl OneToOneOutcome {
 #[must_use]
 pub fn enforce_one_to_one(matches: &[ScoredPair]) -> OneToOneOutcome {
     let mut sorted: Vec<ScoredPair> = matches.to_vec();
-    sorted.sort_by(|x, y| {
-        y.likelihood.total_cmp(&x.likelihood).then_with(|| x.pair.cmp(&y.pair))
-    });
+    sorted.sort_by(|x, y| y.likelihood.total_cmp(&x.likelihood).then_with(|| x.pair.cmp(&y.pair)));
     let mut used: FxHashSet<u32> = FxHashSet::default();
     let mut kept = Vec::new();
     let mut demoted = Vec::new();

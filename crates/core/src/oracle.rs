@@ -12,6 +12,12 @@ use crate::types::{Label, Pair};
 use crowdjoin_util::SplitMix64;
 
 /// A source of crowd answers for object pairs.
+///
+/// The trait itself is single-threaded; the multi-threaded execution engine
+/// (`crowdjoin-engine`) requires `Oracle + Send` only at its own boundary
+/// (`SyncOracle`), so exotic non-`Send` oracles remain usable with the
+/// sequential labelers. Every stock oracle here is plain data and `Send`
+/// (asserted below).
 pub trait Oracle {
     /// Answers whether the pair is matching. Called once per crowdsourced
     /// pair; implementations may be stateful (e.g. track cost, inject noise).
@@ -20,6 +26,26 @@ pub trait Oracle {
     /// Number of questions answered so far.
     fn questions_asked(&self) -> u64;
 }
+
+impl<O: Oracle + ?Sized> Oracle for &mut O {
+    fn answer(&mut self, pair: Pair) -> Label {
+        (**self).answer(pair)
+    }
+
+    fn questions_asked(&self) -> u64 {
+        (**self).questions_asked()
+    }
+}
+
+// The labeling state machines and stock oracles must stay thread-portable:
+// the engine moves them into worker threads.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<crate::parallel::ParallelLabeler>();
+    assert_send::<GroundTruthOracle<'static>>();
+    assert_send::<NoisyOracle<'static>>();
+    assert_send::<FixedOracle>();
+};
 
 /// A perfect oracle backed by the ground truth.
 #[derive(Debug, Clone)]
@@ -76,8 +102,7 @@ impl<'a> NoisyOracle<'a> {
 
     fn flips(&self, pair: Pair) -> bool {
         // Hash the pair into a deterministic uniform draw.
-        let mut mix =
-            SplitMix64::new(self.seed ^ ((pair.a() as u64) << 32 | pair.b() as u64));
+        let mut mix = SplitMix64::new(self.seed ^ ((pair.a() as u64) << 32 | pair.b() as u64));
         mix.next_f64() < self.error_rate
     }
 }

@@ -156,10 +156,8 @@ impl ParallelLabeler {
                     // because of earlier assumed-matching merges) is skipped
                     // — that is conservative: it can only cause extra
                     // publishing, never a wrong skip.
-                    let label = self
-                        .result
-                        .label_of(sp.pair)
-                        .expect("labeled pair must be in result");
+                    let label =
+                        self.result.label_of(sp.pair).expect("labeled pair must be in result");
                     if scan.insert(a, b, label).is_err() {
                         self.scan_conflicts += 1;
                     }
@@ -424,7 +422,8 @@ mod tests {
         (3usize..14)
             .prop_flat_map(|n| {
                 let entities = proptest::collection::vec(0u32..(n as u32 / 2).max(1), n);
-                let edges = proptest::collection::btree_set((0u32..n as u32, 0u32..n as u32), 0..30);
+                let edges =
+                    proptest::collection::btree_set((0u32..n as u32, 0u32..n as u32), 0..30);
                 let seed = any::<u64>();
                 (Just(n), entities, edges, seed)
             })

@@ -100,10 +100,7 @@ impl LabelingResult {
 
     /// Iterator over pairs labeled matching.
     pub fn matching_pairs(&self) -> impl Iterator<Item = Pair> + '_ {
-        self.in_order
-            .iter()
-            .filter(|lp| lp.label == Label::Matching)
-            .map(|lp| lp.pair)
+        self.in_order.iter().filter(|lp| lp.label == Label::Matching).map(|lp| lp.pair)
     }
 }
 

@@ -36,9 +36,7 @@ pub fn label_sequential(
         } else {
             let label = oracle.answer(sp.pair);
             // `deduce` returned None, so the insert cannot conflict.
-            graph
-                .insert(a, b, label)
-                .expect("insert after failed deduction cannot conflict");
+            graph.insert(a, b, label).expect("insert after failed deduction cannot conflict");
             result.record(sp.pair, label, Provenance::Crowdsourced);
         }
     }

@@ -86,11 +86,7 @@ pub fn sort_pairs(candidates: &CandidateSet, strategy: SortStrategy<'_>) -> Vec<
 /// Sorts by likelihood descending with deterministic tie-breaking on the pair
 /// ids (likelihoods are clamped finite by `ScoredPair::new`).
 fn sort_by_likelihood_desc(pairs: &mut [ScoredPair]) {
-    pairs.sort_by(|x, y| {
-        y.likelihood
-            .total_cmp(&x.likelihood)
-            .then_with(|| x.pair.cmp(&y.pair))
-    });
+    pairs.sort_by(|x, y| y.likelihood.total_cmp(&x.likelihood).then_with(|| x.pair.cmp(&y.pair)));
 }
 
 #[cfg(test)]
@@ -130,8 +126,7 @@ mod tests {
         let (cs, truth) = candidates();
         let sorted = sort_pairs(&cs, SortStrategy::Optimal(&truth));
         let labels: Vec<Label> = sorted.iter().map(|sp| truth.label_of(sp.pair)).collect();
-        let first_nonmatching =
-            labels.iter().position(|&l| l == Label::NonMatching).unwrap();
+        let first_nonmatching = labels.iter().position(|&l| l == Label::NonMatching).unwrap();
         assert!(
             labels[first_nonmatching..].iter().all(|&l| l == Label::NonMatching),
             "matching pair found after a non-matching pair"

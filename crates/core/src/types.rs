@@ -228,10 +228,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate candidate pair")]
     fn candidate_set_rejects_duplicates() {
-        let pairs = vec![
-            ScoredPair::new(Pair::new(0, 1), 0.9),
-            ScoredPair::new(Pair::new(1, 0), 0.4),
-        ];
+        let pairs =
+            vec![ScoredPair::new(Pair::new(0, 1), 0.9), ScoredPair::new(Pair::new(1, 0), 0.4)];
         let _ = CandidateSet::new(2, pairs);
     }
 

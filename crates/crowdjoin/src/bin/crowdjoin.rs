@@ -3,7 +3,7 @@
 //! ```text
 //! crowdjoin demo  [--seed N]
 //! crowdjoin dedup --input FILE  [--threshold T] [--crowd auto|interactive]
-//!                 [--auto-threshold X] [--output FILE]
+//!                 [--auto-threshold X] [--output FILE] [--shards N]
 //! crowdjoin join  --left FILE --right FILE  [same options]
 //! ```
 //!
@@ -52,6 +52,9 @@ struct JoinOpts {
     /// Enforce a one-to-one constraint on the matches (cross joins of
     /// internally deduplicated tables).
     one_to_one: bool,
+    /// Shard count for the execution engine: 1 = single-threaded sequential
+    /// labeler (the classic path), 0 = one shard per CPU, N = N shards.
+    shards: usize,
 }
 
 impl Default for JoinOpts {
@@ -63,6 +66,7 @@ impl Default for JoinOpts {
             output: None,
             resolve: false,
             one_to_one: false,
+            shards: 1,
         }
     }
 }
@@ -84,7 +88,10 @@ options:
   --auto-threshold X    auto crowd answers matching iff likelihood >= X (default 0.8)
   --output FILE         write CSV here instead of stdout
   --resolve yes         output entity clusters instead of pair labels
-  --one-to-one yes      keep at most one match per record (join only)";
+  --one-to-one yes      keep at most one match per record (join only)
+  --shards N            run the sharded engine on N shards (0 = one per CPU;
+                        default 1 = classic single-threaded labeling;
+                        auto crowd only — interactive stays sequential)";
 
 /// Parses argv (without the program name). Pure for testability.
 fn parse_args(args: &[String]) -> Result<Command, String> {
@@ -97,9 +104,8 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         let key = rest[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("unexpected argument {:?}\n{USAGE}", rest[i]))?;
-        let value = rest
-            .get(i + 1)
-            .ok_or_else(|| format!("flag --{key} needs a value\n{USAGE}"))?;
+        let value =
+            rest.get(i + 1).ok_or_else(|| format!("flag --{key} needs a value\n{USAGE}"))?;
         if flags.insert(key.to_string(), value.to_string()).is_some() {
             return Err(format!("duplicate flag --{key}"));
         }
@@ -109,8 +115,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     let parse_opts = |flags: &mut dyn FnMut(&str) -> Option<String>| -> Result<JoinOpts, String> {
         let mut opts = JoinOpts::default();
         if let Some(t) = flags("threshold") {
-            opts.threshold =
-                t.parse().map_err(|_| format!("--threshold: not a number: {t:?}"))?;
+            opts.threshold = t.parse().map_err(|_| format!("--threshold: not a number: {t:?}"))?;
         }
         if let Some(c) = flags("crowd") {
             opts.crowd = match c.as_str() {
@@ -133,6 +138,9 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         }
         if let Some(v) = flags("one-to-one") {
             opts.one_to_one = parse_bool("one-to-one", v)?;
+        }
+        if let Some(s) = flags("shards") {
+            opts.shards = s.parse().map_err(|_| format!("--shards: not a number: {s:?}"))?;
         }
         opts.output = flags("output");
         Ok(opts)
@@ -226,8 +234,7 @@ impl Oracle for InteractiveOracle<'_> {
 }
 
 fn load_table(path: &str) -> Result<Table, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
     table_from_csv(&text).map_err(|e| format!("{path}: {e}"))
 }
 
@@ -243,19 +250,58 @@ fn run_join(dataset: &Dataset, opts: &JoinOpts) -> Result<(), String> {
     );
 
     let order: Vec<ScoredPair> = sort_pairs(&candidates, SortStrategy::ExpectedLikelihood);
-    let result: LabelingResult = match opts.crowd {
-        CrowdMode::Auto => {
-            let mut oracle = AutoOracle {
-                likelihoods: order.iter().map(|sp| (sp.pair, sp.likelihood)).collect(),
-                cutoff: opts.auto_threshold,
-                asked: 0,
-            };
-            crowdjoin::label_sequential(candidates.num_objects(), &order, &mut oracle)
+    // Interactive mode is a crowd of one human answering serially: the
+    // sequential labeler asks them the provably minimal question sequence,
+    // while the engine's batch publishing would ask strictly more (a batch
+    // is chosen before any of its answers arrive) in thread-dependent
+    // order. So a human always gets the sequential path.
+    let use_engine = opts.shards != 1 && opts.crowd != CrowdMode::Interactive;
+    if opts.shards != 1 && opts.crowd == CrowdMode::Interactive {
+        eprintln!(
+            "note: --shards is ignored with --crowd interactive (a single human answers \
+             sequentially; batching would ask you more questions)"
+        );
+    }
+    let result: LabelingResult = if !use_engine {
+        match opts.crowd {
+            CrowdMode::Auto => {
+                let mut oracle = AutoOracle {
+                    likelihoods: order.iter().map(|sp| (sp.pair, sp.likelihood)).collect(),
+                    cutoff: opts.auto_threshold,
+                    asked: 0,
+                };
+                crowdjoin::label_sequential(candidates.num_objects(), &order, &mut oracle)
+            }
+            CrowdMode::Interactive => {
+                let mut oracle = InteractiveOracle { dataset, asked: 0 };
+                crowdjoin::label_sequential(candidates.num_objects(), &order, &mut oracle)
+            }
         }
-        CrowdMode::Interactive => {
-            let mut oracle = InteractiveOracle { dataset, asked: 0 };
-            crowdjoin::label_sequential(candidates.num_objects(), &order, &mut oracle)
-        }
+    } else {
+        // Sharded engine: connected-component shards labeled on a worker
+        // pool, questions answered through a thread-safe oracle front-end.
+        let engine_cfg = crowdjoin::EngineConfig {
+            num_shards: opts.shards,
+            ..crowdjoin::EngineConfig::default()
+        };
+        let oracle = crowdjoin::SyncOracle::new(AutoOracle {
+            likelihoods: order.iter().map(|sp| (sp.pair, sp.likelihood)).collect(),
+            cutoff: opts.auto_threshold,
+            asked: 0,
+        });
+        let report = crowdjoin::run_sharded_with_oracle(
+            candidates.num_objects(),
+            &order,
+            &oracle,
+            &engine_cfg,
+        );
+        eprintln!(
+            "engine: {} component(s) across {} shard(s), critical path {} publish round(s)",
+            report.num_components,
+            report.num_shards(),
+            report.critical_path_rounds()
+        );
+        report.result
     };
     eprintln!(
         "labeled {} pairs: {} answered, {} deduced for free ({:.0}% saved)",
@@ -333,7 +379,9 @@ fn run_join(dataset: &Dataset, opts: &JoinOpts) -> Result<(), String> {
         write_csv(&rows)
     };
     match &opts.output {
-        Some(path) => std::fs::write(path, csv).map_err(|e| format!("cannot write {path:?}: {e}"))?,
+        Some(path) => {
+            std::fs::write(path, csv).map_err(|e| format!("cannot write {path:?}: {e}"))?
+        }
         None => print!("{csv}"),
     }
     Ok(())
@@ -448,7 +496,8 @@ mod tests {
 
     #[test]
     fn parses_resolve_and_one_to_one() {
-        let cmd = parse_args(&args("join --left a --right b --resolve yes --one-to-one yes")).unwrap();
+        let cmd =
+            parse_args(&args("join --left a --right b --resolve yes --one-to-one yes")).unwrap();
         match cmd {
             Command::Join { opts, .. } => {
                 assert!(opts.resolve);
@@ -463,6 +512,19 @@ mod tests {
     fn parses_join() {
         let cmd = parse_args(&args("join --left a.csv --right b.csv")).unwrap();
         assert!(matches!(cmd, Command::Join { .. }));
+    }
+
+    #[test]
+    fn parses_shards() {
+        match parse_args(&args("dedup --input a.csv --shards 8")).unwrap() {
+            Command::Dedup { opts, .. } => assert_eq!(opts.shards, 8),
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse_args(&args("dedup --input a.csv")).unwrap() {
+            Command::Dedup { opts, .. } => assert_eq!(opts.shards, 1),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse_args(&args("dedup --input a.csv --shards many")).is_err());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | machine matcher | [`matcher`] | tokenizers, similarity, tf-idf join |
 //! | labeling framework | [`core`] | orders, sequential/parallel labelers, expected cost |
 //! | crowd platform | [`sim`] | discrete-event AMT simulator |
+//! | execution engine | [`engine`] | component sharding, incremental closure, worker-pool scheduler |
 //! | integration | [`pipeline`], [`runner`] | dataset→task glue, platform-driven runs |
 //!
 //! ## End-to-end example
@@ -51,6 +52,8 @@ pub mod runner;
 
 /// The labeling framework (re-export of `crowdjoin-core`).
 pub use crowdjoin_core as core;
+/// The sharded execution engine (re-export of `crowdjoin-engine`).
+pub use crowdjoin_engine as engine;
 /// The deduction substrate (re-export of `crowdjoin-graph`).
 pub use crowdjoin_graph as graph;
 /// The machine matcher (re-export of `crowdjoin-matcher`).
@@ -70,8 +73,11 @@ pub use crowdjoin_core::{
     Oracle, Pair, ParallelLabeler, ParallelRunStats, Provenance, QualityMetrics, ScoredPair,
     SortStrategy, WorldEnumeration,
 };
+pub use crowdjoin_engine::{
+    EngineConfig, EngineReport, ShardReport, SharedGroundTruth, SharedOracle, SyncOracle,
+};
 pub use pipeline::{build_task, ground_truth_of, to_candidate_set};
 pub use runner::{
     replay_pairs_sequentially, run_non_transitive_on_platform, run_parallel_on_platform,
-    AvailabilitySample, CrowdRunReport,
+    run_sharded_on_platform, run_sharded_with_oracle, AvailabilitySample, CrowdRunReport,
 };

@@ -16,10 +16,8 @@ use crowdjoin_records::Dataset;
 /// Panics if a candidate references a record outside the dataset.
 #[must_use]
 pub fn to_candidate_set(dataset: &Dataset, candidates: &[ScoredCandidate]) -> CandidateSet {
-    let pairs = candidates
-        .iter()
-        .map(|c| ScoredPair::new(Pair::new(c.a, c.b), c.likelihood))
-        .collect();
+    let pairs =
+        candidates.iter().map(|c| ScoredPair::new(Pair::new(c.a, c.b), c.likelihood)).collect();
     CandidateSet::new(dataset.len(), pairs)
 }
 

@@ -12,11 +12,13 @@
 //!   published up front and taken at face value (the prior-work baseline).
 //! * **Sequential replay** — [`replay_pairs_sequentially`]: the Table 1
 //!   Non-Parallel arm, publishing the same pairs one HIT at a time.
+//! * **Sharded** — [`run_sharded_on_platform`] /
+//!   [`run_sharded_with_oracle`]: the `crowdjoin-engine` execution engine,
+//!   partitioning the candidate graph into connected-component shards and
+//!   labeling them on a worker pool.
 
-use crowdjoin_core::{
-    Label, LabelingResult, Pair, ParallelLabeler, Provenance, ScoredPair,
-};
 use crowdjoin_core::GroundTruth;
+use crowdjoin_core::{Label, LabelingResult, Pair, ParallelLabeler, Provenance, ScoredPair};
 use crowdjoin_sim::{Platform, PlatformStats, TaskSpec, VirtualTime};
 use crowdjoin_util::FxHashMap;
 
@@ -91,70 +93,20 @@ pub fn run_parallel_on_platform(
     platform: &mut Platform,
     instant_decision: bool,
 ) -> CrowdRunReport {
-    let batch_size = platform.batch_size();
     let mut labeler = ParallelLabeler::new(num_objects, order);
-    let mut ids: FxHashMap<u64, Pair> = FxHashMap::default();
-    let mut next_id = 0u64;
     let mut series = Vec::new();
-    let mut publish_rounds = 0usize;
-    let mut staged: Vec<TaskSpec> = Vec::new();
-
-    // Releases staged tasks as full HITs; `flush` forces out the partial
-    // remainder too.
-    let release = |staged: &mut Vec<TaskSpec>,
-                   platform: &mut Platform,
-                   publish_rounds: &mut usize,
-                   flush: bool| {
-        let full = (staged.len() / batch_size) * batch_size;
-        let take = if flush { staged.len() } else { full };
-        if take > 0 {
-            let tasks: Vec<TaskSpec> = staged.drain(..take).collect();
-            *publish_rounds += 1;
-            platform.publish(tasks);
-        }
-    };
-
-    let first = labeler.next_batch();
-    staged.extend(to_tasks(&first, truth, &mut ids, &mut next_id));
-    release(&mut staged, platform, &mut publish_rounds, true);
-
-    while !labeler.is_complete() {
-        match platform.step() {
-            Some((time, resolved)) => {
-                for r in &resolved {
-                    let pair = ids[&r.id];
-                    let label = if r.label { Label::Matching } else { Label::NonMatching };
-                    labeler.submit_answer(pair, label);
-                }
-                series.push(AvailabilitySample {
-                    crowdsourced: labeler.result().num_crowdsourced(),
-                    open_pairs: platform.num_open_pairs(),
-                    time,
-                });
-                let may_publish =
-                    instant_decision || platform.num_unresolved_pairs() == 0;
-                if may_publish && !labeler.is_complete() {
-                    let batch = labeler.next_batch();
-                    staged.extend(to_tasks(&batch, truth, &mut ids, &mut next_id));
-                    // Flush partial HITs only when the platform would
-                    // otherwise go idle waiting for them.
-                    let flush = platform.num_unresolved_pairs() == 0;
-                    release(&mut staged, platform, &mut publish_rounds, flush);
-                }
-            }
-            None => {
-                // Platform drained; labeling must still be able to progress.
-                let batch = labeler.next_batch();
-                staged.extend(to_tasks(&batch, truth, &mut ids, &mut next_id));
-                assert!(
-                    !staged.is_empty(),
-                    "labeler stuck: platform idle but {} pairs unlabeled",
-                    labeler.result().num_labeled()
-                );
-                release(&mut staged, platform, &mut publish_rounds, true);
-            }
-        }
-    }
+    // The drive loop (staging, full-HIT batching, instant decision, idle
+    // flush) is the engine's shared implementation, so the single-platform
+    // and sharded arms cannot drift apart.
+    let publish_rounds = crowdjoin_engine::drive_to_completion(
+        &mut labeler,
+        platform,
+        instant_decision,
+        &|pair| truth.is_matching(pair),
+        &mut |crowdsourced, open_pairs, time| {
+            series.push(AvailabilitySample { crowdsourced, open_pairs, time });
+        },
+    );
 
     CrowdRunReport {
         result: labeler.into_result(),
@@ -246,6 +198,34 @@ pub fn replay_pairs_sequentially(
     }
 }
 
+/// Runs the sharded execution engine against per-shard platform instances
+/// (one deterministic simulator per shard, virtual completion time = the
+/// critical path over shards). Thin facade over
+/// [`crowdjoin_engine::run_on_platform`] taking the same inputs as
+/// [`run_parallel_on_platform`].
+#[must_use]
+pub fn run_sharded_on_platform(
+    num_objects: usize,
+    order: &[ScoredPair],
+    truth: &GroundTruth,
+    platform: &crowdjoin_sim::PlatformConfig,
+    engine: &crowdjoin_engine::EngineConfig,
+) -> crowdjoin_engine::EngineReport {
+    crowdjoin_engine::run_on_platform(num_objects, order, truth, platform, engine)
+}
+
+/// Runs the sharded execution engine against any thread-safe oracle. Thin
+/// facade over [`crowdjoin_engine::run_with_oracle`].
+#[must_use]
+pub fn run_sharded_with_oracle<O: crowdjoin_engine::SharedOracle + ?Sized>(
+    num_objects: usize,
+    order: &[ScoredPair],
+    oracle: &O,
+    engine: &crowdjoin_engine::EngineConfig,
+) -> crowdjoin_engine::EngineReport {
+    crowdjoin_engine::run_with_oracle(num_objects, order, oracle, engine)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,8 +253,7 @@ mod tests {
         let (cs, truth) = running_example();
         let order = sort_pairs(&cs, SortStrategy::ExpectedLikelihood);
         let mut platform = Platform::new(PlatformConfig::perfect_workers(7));
-        let report =
-            run_parallel_on_platform(cs.num_objects(), order, &truth, &mut platform, true);
+        let report = run_parallel_on_platform(cs.num_objects(), order, &truth, &mut platform, true);
         assert_eq!(report.result.num_crowdsourced(), 6);
         assert_eq!(report.result.num_deduced(), 2);
         for sp in cs.pairs() {
@@ -304,9 +283,7 @@ mod tests {
         let crowdsourced: Vec<ScoredPair> = order
             .iter()
             .copied()
-            .filter(|sp| {
-                par.result.provenance_of(sp.pair) == Some(Provenance::Crowdsourced)
-            })
+            .filter(|sp| par.result.provenance_of(sp.pair) == Some(Provenance::Crowdsourced))
             .collect();
         let mut p2 = Platform::new(PlatformConfig::perfect_workers(4));
         let seq = replay_pairs_sequentially(&crowdsourced, &truth, &mut p2, 2);

@@ -1,0 +1,314 @@
+//! Job-level entry points: partition, schedule, run, stitch.
+
+use crate::driver::drive_to_completion;
+use crate::labeler::ShardLabeler;
+use crate::oracle::SharedOracle;
+use crate::partition::{partition_candidates, Shard};
+use crate::report::{EngineReport, ShardReport};
+use crate::scheduler::run_sharded;
+use crowdjoin_core::{GroundTruth, LabelingResult, Pair, Provenance, ScoredPair};
+use crowdjoin_sim::{Platform, PlatformConfig, SharedClock, VirtualTime};
+use crowdjoin_util::derive_seed;
+
+/// Engine tunables.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Target shard count; the partitioner may produce fewer when there are
+    /// fewer connected components. `0` means one shard per available CPU.
+    pub num_shards: usize,
+    /// Worker threads; `0` means `min(num_shards, available parallelism)`.
+    pub num_threads: usize,
+    /// Platform-driven runs: recompute the publishable set after every HIT
+    /// resolution (`true`, the paper's instant-decision optimization) or
+    /// only when all outstanding pairs are labeled (`false`).
+    pub instant_decision: bool,
+    /// Master seed for per-shard platform derivation.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self { num_shards: 0, num_threads: 0, instant_decision: true, seed: 0 }
+    }
+}
+
+impl EngineConfig {
+    /// Config with an explicit shard count and defaults elsewhere.
+    #[must_use]
+    pub fn with_shards(num_shards: usize) -> Self {
+        Self { num_shards, ..Self::default() }
+    }
+
+    fn effective_shards(&self) -> usize {
+        if self.num_shards == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.num_shards
+        }
+    }
+}
+
+/// Maps a shard-local labeling result back into global object ids.
+fn globalize(shard: &Shard, local: &LabelingResult) -> LabelingResult {
+    let mut global = LabelingResult::new();
+    for lp in local.labeled_pairs() {
+        global.record(shard.to_global(lp.pair), lp.label, lp.provenance);
+    }
+    for _ in 0..local.num_conflicts() {
+        global.record_conflict();
+    }
+    global
+}
+
+/// Runs the sharded engine against a thread-safe oracle.
+///
+/// Each shard drives its own labeler; crowd questions are issued in one
+/// batched `answer_batch` call per publish round. With a consistent oracle
+/// the merged labels equal a single-threaded run's on every pair (pinned by
+/// the `engine_equivalence` tests).
+///
+/// # Panics
+///
+/// Panics if a pair references an object `>= num_objects` or appears twice
+/// in `order`.
+#[must_use]
+pub fn run_with_oracle<O: SharedOracle + ?Sized>(
+    num_objects: usize,
+    order: &[ScoredPair],
+    oracle: &O,
+    config: &EngineConfig,
+) -> EngineReport {
+    let partition = partition_candidates(num_objects, order, config.effective_shards());
+    let num_components = partition.num_components;
+    let reports = run_sharded(partition.shards, config.num_threads, |shard| {
+        let mut labeler = ShardLabeler::new(shard.num_objects(), shard.pairs.clone());
+        let mut publish_rounds = 0usize;
+        while !labeler.is_complete() {
+            let batch = labeler.next_batch();
+            assert!(
+                !batch.is_empty(),
+                "labeler stuck: shard {} incomplete with nothing to publish",
+                shard.index
+            );
+            publish_rounds += 1;
+            let globals: Vec<Pair> = batch.iter().map(|sp| shard.to_global(sp.pair)).collect();
+            let answers = oracle.answer_batch(&globals);
+            assert_eq!(answers.len(), batch.len(), "oracle must answer every question");
+            for (sp, answer) in batch.iter().zip(answers) {
+                labeler.submit_answer(sp.pair, answer);
+            }
+        }
+        ShardReport {
+            shard: shard.index,
+            num_objects: shard.num_objects(),
+            num_pairs: shard.pairs.len(),
+            num_components: shard.num_components,
+            result: globalize(shard, &labeler.into_result()),
+            stats: None,
+            completion: VirtualTime::ZERO,
+            publish_rounds,
+        }
+    });
+    EngineReport::from_shards(reports, num_components)
+}
+
+/// Runs the sharded engine against simulated crowd platforms: one
+/// deterministic [`Platform`] per shard (seed derived from the engine seed
+/// and the shard index), all publishing into a [`SharedClock`] so the job's
+/// completion time is the per-shard maximum — the virtual-time critical
+/// path.
+///
+/// Shards stage publishable pairs and release them in full HITs of the
+/// platform's batch size ([`crowdjoin_sim::HitStager`] — the same batching
+/// policy object the single-platform runner uses), flushing partial HITs
+/// only when the shard's platform would otherwise idle.
+///
+/// The `platform` config's worker pool models the **whole crowd**, so it is
+/// divided evenly across shards (each shard's platform gets
+/// `num_workers / shards`, floored at `assignments_per_hit` so HITs can
+/// still resolve). Completion times at different shard counts therefore
+/// compare runs with (nearly) equal total crowd labor — the speedup shown
+/// is the engine's, not extra hired workers'.
+///
+/// # Panics
+///
+/// Panics if a pair references an object `>= num_objects`, appears twice in
+/// `order`, or the platform configuration is invalid.
+#[must_use]
+pub fn run_on_platform(
+    num_objects: usize,
+    order: &[ScoredPair],
+    truth: &GroundTruth,
+    platform: &PlatformConfig,
+    config: &EngineConfig,
+) -> EngineReport {
+    let partition = partition_candidates(num_objects, order, config.effective_shards());
+    let num_components = partition.num_components;
+    let num_shards = partition.shards.len().max(1);
+    let clock = SharedClock::new();
+    let reports = run_sharded(partition.shards, config.num_threads, |shard| {
+        let report = run_shard_on_platform(shard, num_shards, truth, platform, config);
+        clock.advance_to(report.completion);
+        report
+    });
+    let mut report = EngineReport::from_shards(reports, num_components);
+    // The shared clock and the per-shard maxima agree by construction; keep
+    // the clock authoritative so future async backends (shards reporting
+    // progress mid-run) stay correct.
+    report.completion = clock.now();
+    report
+}
+
+/// Drives one shard against its own platform instance (an equal slice of
+/// the configured crowd) via the shared [`drive_to_completion`] loop.
+fn run_shard_on_platform(
+    shard: &Shard,
+    num_shards: usize,
+    truth: &GroundTruth,
+    platform_cfg: &PlatformConfig,
+    config: &EngineConfig,
+) -> ShardReport {
+    let cfg = PlatformConfig {
+        seed: derive_seed(config.seed ^ platform_cfg.seed, shard.index as u64),
+        num_workers: (platform_cfg.num_workers / num_shards)
+            .max(platform_cfg.assignments_per_hit as usize),
+        ..platform_cfg.clone()
+    };
+    let mut platform = Platform::new(cfg);
+    let mut labeler = ShardLabeler::new(shard.num_objects(), shard.pairs.clone());
+    let publish_rounds = drive_to_completion(
+        &mut labeler,
+        &mut platform,
+        config.instant_decision,
+        &|local| truth.is_matching(shard.to_global(local)),
+        &mut |_, _, _| {},
+    );
+
+    ShardReport {
+        shard: shard.index,
+        num_objects: shard.num_objects(),
+        num_pairs: shard.pairs.len(),
+        num_components: shard.num_components,
+        result: globalize(shard, &labeler.into_result()),
+        stats: Some(platform.stats()),
+        completion: platform.stats().last_resolution,
+        publish_rounds,
+    }
+}
+
+/// Runs the non-transitive baseline (publish everything, accept every
+/// answer) through the same sharded machinery — the prior-work arm for
+/// engine-level comparisons.
+#[must_use]
+pub fn run_non_transitive_with_oracle<O: SharedOracle + ?Sized>(
+    num_objects: usize,
+    order: &[ScoredPair],
+    oracle: &O,
+    config: &EngineConfig,
+) -> EngineReport {
+    let partition = partition_candidates(num_objects, order, config.effective_shards());
+    let num_components = partition.num_components;
+    let reports = run_sharded(partition.shards, config.num_threads, |shard| {
+        let globals: Vec<Pair> = shard.pairs.iter().map(|sp| shard.to_global(sp.pair)).collect();
+        let answers = oracle.answer_batch(&globals);
+        let mut result = LabelingResult::new();
+        for (pair, label) in globals.into_iter().zip(answers) {
+            result.record(pair, label, Provenance::Crowdsourced);
+        }
+        ShardReport {
+            shard: shard.index,
+            num_objects: shard.num_objects(),
+            num_pairs: shard.pairs.len(),
+            num_components: shard.num_components,
+            result,
+            stats: None,
+            completion: VirtualTime::ZERO,
+            publish_rounds: 1,
+        }
+    });
+    EngineReport::from_shards(reports, num_components)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::SharedGroundTruth;
+    use crowdjoin_core::{sort_pairs, CandidateSet, SortStrategy};
+
+    fn running_example() -> (CandidateSet, GroundTruth) {
+        let truth = GroundTruth::from_clusters(6, &[vec![0, 1, 2], vec![3, 4]]);
+        let pairs = vec![
+            ScoredPair::new(Pair::new(0, 1), 0.95),
+            ScoredPair::new(Pair::new(1, 2), 0.90),
+            ScoredPair::new(Pair::new(0, 5), 0.85),
+            ScoredPair::new(Pair::new(0, 2), 0.80),
+            ScoredPair::new(Pair::new(3, 4), 0.75),
+            ScoredPair::new(Pair::new(3, 5), 0.70),
+            ScoredPair::new(Pair::new(1, 3), 0.65),
+            ScoredPair::new(Pair::new(4, 5), 0.60),
+        ];
+        (CandidateSet::new(6, pairs), truth)
+    }
+
+    #[test]
+    fn oracle_run_labels_everything_correctly() {
+        let (cs, truth) = running_example();
+        let order = sort_pairs(&cs, SortStrategy::ExpectedLikelihood);
+        let oracle = SharedGroundTruth::new(&truth);
+        let report =
+            run_with_oracle(cs.num_objects(), &order, &oracle, &EngineConfig::with_shards(4));
+        assert_eq!(report.result.num_labeled(), cs.len());
+        for sp in cs.pairs() {
+            assert_eq!(report.result.label_of(sp.pair), Some(truth.label_of(sp.pair)));
+        }
+        // One connected component: cannot shard further.
+        assert_eq!(report.num_shards(), 1);
+        assert_eq!(report.num_components, 1);
+        assert_eq!(report.num_crowdsourced() as u64, oracle.questions_asked());
+    }
+
+    #[test]
+    fn platform_run_matches_oracle_run_costs() {
+        let (cs, truth) = running_example();
+        let order = sort_pairs(&cs, SortStrategy::ExpectedLikelihood);
+        let report = run_on_platform(
+            cs.num_objects(),
+            &order,
+            &truth,
+            &PlatformConfig::perfect_workers(7),
+            &EngineConfig::with_shards(2),
+        );
+        assert_eq!(report.result.num_crowdsourced(), 6);
+        assert_eq!(report.result.num_deduced(), 2);
+        assert!(report.completion > VirtualTime::ZERO);
+        assert!(report.total_cost_cents > 0);
+        for sp in cs.pairs() {
+            assert_eq!(report.result.label_of(sp.pair), Some(truth.label_of(sp.pair)));
+        }
+    }
+
+    #[test]
+    fn non_transitive_baseline_crowdsources_everything() {
+        let (cs, truth) = running_example();
+        let order = sort_pairs(&cs, SortStrategy::ExpectedLikelihood);
+        let oracle = SharedGroundTruth::new(&truth);
+        let report = run_non_transitive_with_oracle(
+            cs.num_objects(),
+            &order,
+            &oracle,
+            &EngineConfig::with_shards(2),
+        );
+        assert_eq!(report.num_crowdsourced(), cs.len());
+        assert_eq!(report.num_deduced(), 0);
+    }
+
+    #[test]
+    fn empty_workload() {
+        let truth = GroundTruth::all_distinct(4);
+        let oracle = SharedGroundTruth::new(&truth);
+        let report = run_with_oracle(4, &[], &oracle, &EngineConfig::default());
+        assert_eq!(report.num_shards(), 0);
+        assert_eq!(report.result.num_labeled(), 0);
+        assert_eq!(report.completion, VirtualTime::ZERO);
+    }
+}

@@ -1,0 +1,66 @@
+//! # crowdjoin-engine — sharded, multi-threaded execution engine
+//!
+//! The labelers in `crowdjoin-core` process one candidate graph in one
+//! thread. Their deduction substrate is naturally partitionable, though:
+//! transitive relations (positive and negative alike) propagate only along
+//! candidate edges, so **pairs in different connected components can never
+//! deduce each other**. This crate turns that observation into a
+//! job-oriented execution engine:
+//!
+//! 1. **Partitioner** ([`partition`]) — extracts connected components with
+//!    the `crowdjoin-graph` union–find and bin-packs them (LPT) into
+//!    balanced shards.
+//! 2. **Scheduler** ([`scheduler`]) — runs shards on a `std::thread` worker
+//!    pool; each shard drives its own labeler against a shared, thread-safe
+//!    oracle front-end ([`oracle::SharedOracle`]) with batched question
+//!    issue, or against its own deterministic crowd-platform instance.
+//! 3. **Incremental closure** ([`closure`]) — per-shard positive/negative
+//!    transitive closure maintained eagerly as labels stream in (semi-naive
+//!    delta propagation on `ClusterGraph` structural events), so cross-round
+//!    deduction never recomputes from scratch.
+//! 4. **Merged report** ([`report`]) — per-shard `LabelingResult`s stitched
+//!    into a global result with platform stats summed and completion time
+//!    taken as the virtual-time critical path (max over shards).
+//!
+//! ## Example
+//!
+//! ```
+//! use crowdjoin_core::{sort_pairs, CandidateSet, GroundTruth, Pair, ScoredPair, SortStrategy};
+//! use crowdjoin_engine::{run_with_oracle, EngineConfig, SharedGroundTruth};
+//!
+//! // Two disjoint entity clusters → two components → two shards.
+//! let truth = GroundTruth::from_clusters(6, &[vec![0, 1, 2], vec![3, 4, 5]]);
+//! let candidates = CandidateSet::new(6, vec![
+//!     ScoredPair::new(Pair::new(0, 1), 0.9),
+//!     ScoredPair::new(Pair::new(1, 2), 0.8),
+//!     ScoredPair::new(Pair::new(3, 4), 0.9),
+//!     ScoredPair::new(Pair::new(4, 5), 0.8),
+//! ]);
+//! let order = sort_pairs(&candidates, SortStrategy::ExpectedLikelihood);
+//!
+//! let oracle = SharedGroundTruth::new(&truth);
+//! let report = run_with_oracle(6, &order, &oracle, &EngineConfig::with_shards(2));
+//! assert_eq!(report.num_shards(), 2);
+//! assert_eq!(report.result.num_labeled(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod closure;
+pub mod driver;
+mod engine;
+pub mod labeler;
+pub mod oracle;
+pub mod partition;
+pub mod report;
+pub mod scheduler;
+
+pub use closure::IncrementalClosure;
+pub use driver::{drive_to_completion, PlatformDriveable};
+pub use engine::{run_non_transitive_with_oracle, run_on_platform, run_with_oracle, EngineConfig};
+pub use labeler::ShardLabeler;
+pub use oracle::{SharedGroundTruth, SharedOracle, SyncOracle};
+pub use partition::{partition_candidates, Partition, Shard};
+pub use report::{EngineReport, ShardReport};
+pub use scheduler::{effective_threads, run_sharded};

@@ -1,0 +1,90 @@
+//! Merged outcome of a sharded engine run.
+
+use crowdjoin_core::LabelingResult;
+use crowdjoin_sim::{PlatformStats, VirtualTime};
+
+/// Outcome of one shard's labeling run. `result` is expressed in **global**
+/// object ids (the engine maps back before reporting).
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Shard index within the partition.
+    pub shard: usize,
+    /// Objects in the shard.
+    pub num_objects: usize,
+    /// Candidate pairs the shard labeled.
+    pub num_pairs: usize,
+    /// Connected components packed into the shard.
+    pub num_components: usize,
+    /// The shard's labeling result, in global ids.
+    pub result: LabelingResult,
+    /// Platform statistics (platform-driven runs only).
+    pub stats: Option<PlatformStats>,
+    /// Virtual completion time of the shard (zero for oracle-driven runs).
+    pub completion: VirtualTime,
+    /// Publish rounds the shard's labeler needed.
+    pub publish_rounds: usize,
+}
+
+/// The stitched, job-level outcome of a sharded run.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Per-shard reports, ascending by shard index.
+    pub shards: Vec<ShardReport>,
+    /// Merged labeling result over the global id space.
+    pub result: LabelingResult,
+    /// Job completion time: the virtual-time critical path, i.e. the
+    /// maximum over shards (shards run concurrently on the platform).
+    pub completion: VirtualTime,
+    /// Total money cost in cents: the sum over shards.
+    pub total_cost_cents: u64,
+    /// Connected components found by the partitioner.
+    pub num_components: usize,
+}
+
+impl EngineReport {
+    /// Stitches shard reports (assumed ascending by shard index) into the
+    /// job-level view.
+    #[must_use]
+    pub fn from_shards(shards: Vec<ShardReport>, num_components: usize) -> Self {
+        let mut result = LabelingResult::new();
+        let mut completion = VirtualTime::ZERO;
+        let mut total_cost_cents = 0u64;
+        for shard in &shards {
+            for lp in shard.result.labeled_pairs() {
+                result.record(lp.pair, lp.label, lp.provenance);
+            }
+            for _ in 0..shard.result.num_conflicts() {
+                result.record_conflict();
+            }
+            completion = completion.max(shard.completion);
+            if let Some(stats) = &shard.stats {
+                total_cost_cents += stats.total_cost_cents;
+            }
+        }
+        EngineReport { shards, result, completion, total_cost_cents, num_components }
+    }
+
+    /// Number of shards the job ran on.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total pairs answered by the crowd (the money metric).
+    #[must_use]
+    pub fn num_crowdsourced(&self) -> usize {
+        self.result.num_crowdsourced()
+    }
+
+    /// Total pairs deduced for free.
+    #[must_use]
+    pub fn num_deduced(&self) -> usize {
+        self.result.num_deduced()
+    }
+
+    /// Publish rounds on the critical path (max over shards).
+    #[must_use]
+    pub fn critical_path_rounds(&self) -> usize {
+        self.shards.iter().map(|s| s.publish_rounds).max().unwrap_or(0)
+    }
+}

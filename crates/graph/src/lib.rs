@@ -43,7 +43,7 @@ mod cluster_graph;
 mod path_oracle;
 mod union_find;
 
-pub use cluster_graph::{ClusterGraph, ConflictError};
+pub use cluster_graph::{ClusterGraph, ConflictError, InsertOutcome, TrackedInsert};
 pub use path_oracle::PathOracleGraph;
 pub use union_find::UnionFind;
 

@@ -24,11 +24,7 @@ impl PathOracleGraph {
     /// Creates an oracle over objects `0..n`.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        Self {
-            n,
-            matching_adj: vec![Vec::new(); n],
-            nonmatching_edges: Vec::new(),
-        }
+        Self { n, matching_adj: vec![Vec::new(); n], nonmatching_edges: Vec::new() }
     }
 
     /// Number of objects.

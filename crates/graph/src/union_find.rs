@@ -29,11 +29,7 @@ impl UnionFind {
     #[must_use]
     pub fn new(n: usize) -> Self {
         assert!(n <= u32::MAX as usize, "UnionFind supports at most u32::MAX elements");
-        Self {
-            parent: (0..n as u32).collect(),
-            size: vec![1; n],
-            components: n,
-        }
+        Self { parent: (0..n as u32).collect(), size: vec![1; n], components: n }
     }
 
     /// Number of elements in the universe.
@@ -111,11 +107,8 @@ impl UnionFind {
         if ra == rb {
             return None;
         }
-        let (winner, absorbed) = if self.size[ra as usize] >= self.size[rb as usize] {
-            (ra, rb)
-        } else {
-            (rb, ra)
-        };
+        let (winner, absorbed) =
+            if self.size[ra as usize] >= self.size[rb as usize] { (ra, rb) } else { (rb, ra) };
         self.parent[absorbed as usize] = winner;
         self.size[winner as usize] += self.size[absorbed as usize];
         self.components -= 1;
@@ -126,6 +119,29 @@ impl UnionFind {
     pub fn component_size(&mut self, x: u32) -> u32 {
         let r = self.find(x);
         self.size[r as usize]
+    }
+
+    /// Dense component labeling: returns `ids` with `ids[x]` a component
+    /// index in `0..num_components()`, numbered by first occurrence (so the
+    /// labeling is canonical for a given universe). This is the cheap bulk
+    /// form of component extraction used by the execution engine's
+    /// partitioner — one pass, no hashing.
+    pub fn component_ids(&mut self) -> Vec<u32> {
+        let n = self.parent.len();
+        const UNASSIGNED: u32 = u32::MAX;
+        let mut of_root = vec![UNASSIGNED; n];
+        let mut ids = Vec::with_capacity(n);
+        let mut next = 0u32;
+        for x in 0..n as u32 {
+            let r = self.find(x) as usize;
+            if of_root[r] == UNASSIGNED {
+                of_root[r] = next;
+                next += 1;
+            }
+            ids.push(of_root[r]);
+        }
+        debug_assert_eq!(next as usize, self.components);
+        ids
     }
 
     /// Groups all elements by root; returned groups are sorted internally and
@@ -181,7 +197,7 @@ mod tests {
         uf.union(0, 1); // {0,1}
         uf.union(2, 3); // {2,3}
         uf.union(0, 2); // {0,1,2,3}
-        // Now union size-4 with singleton 4; winner must be the big root.
+                        // Now union size-4 with singleton 4; winner must be the big root.
         let (winner, absorbed) = uf.union(4, 0).unwrap();
         assert_eq!(uf.find(4), winner);
         assert_eq!(uf.find(absorbed), winner);
@@ -206,6 +222,17 @@ mod tests {
         uf.union(1, 2);
         let clusters = uf.clusters();
         assert_eq!(clusters, vec![vec![0], vec![1, 2], vec![3, 5], vec![4]]);
+    }
+
+    #[test]
+    fn component_ids_are_dense_and_canonical() {
+        let mut uf = UnionFind::new(6);
+        uf.union(5, 3);
+        uf.union(1, 2);
+        let ids = uf.component_ids();
+        // First-occurrence numbering: 0→0, 1→1, 2→1, 3→2, 4→3, 5→2.
+        assert_eq!(ids, vec![0, 1, 1, 2, 3, 2]);
+        assert_eq!(ids.iter().copied().max().unwrap() as usize + 1, uf.num_components());
     }
 
     #[test]

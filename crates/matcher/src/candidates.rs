@@ -75,10 +75,7 @@ impl MatcherConfig {
             assert!(em.weight >= 0.0, "blend weights must be non-negative");
             assert!(em.field < arity, "extra measure references field {} of {arity}", em.field);
         }
-        assert!(
-            self.total_weight() > 0.0,
-            "at least one blend weight must be positive"
-        );
+        assert!(self.total_weight() > 0.0, "at least one blend weight must be positive");
         assert!((0.0..=1.0).contains(&self.min_likelihood), "min_likelihood must be in [0,1]");
     }
 
@@ -273,8 +270,10 @@ mod tests {
             seed: 33,
         };
         let ds = generate_paper(&cfg);
-        let cands =
-            generate_candidates(&ds, &MatcherConfig { min_likelihood: 0.0, ..MatcherConfig::for_arity(5) });
+        let cands = generate_candidates(
+            &ds,
+            &MatcherConfig { min_likelihood: 0.0, ..MatcherConfig::for_arity(5) },
+        );
         let mut match_scores = vec![];
         let mut nonmatch_scores = vec![];
         for c in &cands {
@@ -296,20 +295,14 @@ mod tests {
     #[test]
     fn numeric_price_measure_sharpens_product_scores() {
         use crate::fields::{ExtraMeasure, FieldMeasure};
-        let mut table = crowdjoin_records::Table::new(crowdjoin_records::Schema::new(vec![
-            "name", "price",
-        ]));
+        let mut table =
+            crowdjoin_records::Table::new(crowdjoin_records::Schema::new(vec!["name", "price"]));
         // Same listing at two retailers (price within 2%), and a different
         // product of the same line (price 4x apart).
         table.push(crowdjoin_records::Record::new(vec!["sony kd40 tv black", "499.99"]));
         table.push(crowdjoin_records::Record::new(vec!["sony kd40 tv", "489.99"]));
         table.push(crowdjoin_records::Record::new(vec!["sony kd40 tv black", "129.99"]));
-        let ds = Dataset {
-            table,
-            entity_of: vec![0, 0, 1],
-            split: None,
-            name: "t".into(),
-        };
+        let ds = Dataset { table, entity_of: vec![0, 0, 1], split: None, name: "t".into() };
         let plain = MatcherConfig {
             min_likelihood: 0.0,
             field_weights: vec![1.0, 0.0],

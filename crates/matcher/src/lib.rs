@@ -36,8 +36,12 @@ pub mod similarity;
 pub mod tfidf;
 pub mod tokenize;
 
-pub use candidates::{generate_candidates, generate_candidates_bruteforce, MatcherConfig, ScoredCandidate};
+pub use candidates::{
+    generate_candidates, generate_candidates_bruteforce, MatcherConfig, ScoredCandidate,
+};
 pub use fields::{ExtraMeasure, FieldMeasure};
-pub use similarity::{dice, jaccard, jaro, jaro_winkler, levenshtein, levenshtein_similarity, overlap};
+pub use similarity::{
+    dice, jaccard, jaro, jaro_winkler, levenshtein, levenshtein_similarity, overlap,
+};
 pub use tfidf::TfIdfIndex;
 pub use tokenize::{qgrams, token_set, tokenize_words};

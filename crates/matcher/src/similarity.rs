@@ -119,8 +119,7 @@ pub fn jaro(a: &str, b: &str) -> f64 {
     }
     let matches_b: Vec<char> =
         b.iter().zip(b_used.iter()).filter(|(_, &u)| u).map(|(&c, _)| c).collect();
-    let transpositions =
-        matches_a.iter().zip(matches_b.iter()).filter(|(x, y)| x != y).count() / 2;
+    let transpositions = matches_a.iter().zip(matches_b.iter()).filter(|(x, y)| x != y).count() / 2;
     let m = m as f64;
     (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
 }
@@ -129,12 +128,7 @@ pub fn jaro(a: &str, b: &str) -> f64 {
 #[must_use]
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
     let j = jaro(a, b);
-    let prefix = a
-        .chars()
-        .zip(b.chars())
-        .take(4)
-        .take_while(|(x, y)| x == y)
-        .count();
+    let prefix = a.chars().zip(b.chars()).take(4).take_while(|(x, y)| x == y).count();
     j + prefix as f64 * 0.1 * (1.0 - j)
 }
 

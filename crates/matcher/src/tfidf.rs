@@ -62,10 +62,7 @@ impl TfIdfIndex {
         }
 
         // Pass 2: tf-idf weights, L2 normalization, postings.
-        let idf: Vec<f64> = doc_freq
-            .iter()
-            .map(|&df| (1.0 + n as f64 / df as f64).ln())
-            .collect();
+        let idf: Vec<f64> = doc_freq.iter().map(|&df| (1.0 + n as f64 / df as f64).ln()).collect();
         let mut vectors: Vec<Vec<(u32, f32)>> = Vec::with_capacity(n);
         let mut postings: Vec<Vec<(u32, f32)>> = vec![Vec::new(); doc_freq.len()];
         for (i, counts) in record_counts.into_iter().enumerate() {

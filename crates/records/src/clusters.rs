@@ -80,7 +80,7 @@ pub fn sample_sizes(spec: &ClusterSpec, n_objects: usize, seed: u64) -> Vec<usiz
                 used <= n_objects,
                 "explicit clusters need {used} objects but only {n_objects} available"
             );
-            sizes.extend(std::iter::repeat(1).take(n_objects - used));
+            sizes.extend(std::iter::repeat_n(1, n_objects - used));
             sizes
         }
     }
@@ -93,7 +93,7 @@ pub fn assign_entities(sizes: &[usize]) -> Vec<u32> {
     let total: usize = sizes.iter().sum();
     let mut entity_of = Vec::with_capacity(total);
     for (cluster, &k) in sizes.iter().enumerate() {
-        entity_of.extend(std::iter::repeat(cluster as u32).take(k));
+        entity_of.extend(std::iter::repeat_n(cluster as u32, k));
     }
     entity_of
 }

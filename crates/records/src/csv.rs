@@ -117,8 +117,7 @@ pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
 
 /// Escapes one field for CSV output (quotes only when needed).
 fn escape_field(field: &str) -> String {
-    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r')
-    {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
         format!("\"{}\"", field.replace('"', "\"\""))
     } else {
         field.to_string()

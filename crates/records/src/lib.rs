@@ -23,16 +23,16 @@
 
 pub mod clusters;
 pub mod csv;
-pub mod perturb;
-pub mod record;
 pub mod papergen;
+pub mod perturb;
 pub mod productgen;
+pub mod record;
 pub mod vocab;
 
 pub use clusters::{assign_entities, sample_sizes, ClusterSpec};
 pub use csv::{parse_csv, table_from_csv, table_to_csv, write_csv, CsvError};
-pub use perturb::{PerturbConfig, Perturber};
-pub use record::{Dataset, Record, Schema, Table};
 pub use papergen::{generate_paper, paper_schema, PaperGenConfig};
+pub use perturb::{PerturbConfig, Perturber};
 pub use productgen::{generate_product, product_schema, ProductGenConfig};
+pub use record::{Dataset, Record, Schema, Table};
 pub use vocab::Vocab;

@@ -76,8 +76,7 @@ pub fn generate_paper(config: &PaperGenConfig) -> Dataset {
     let mut perturber = Perturber::new(config.perturb, derive_seed(config.seed, 3));
     // Siblings get their own, lighter perturbation stream: they must stay
     // recognizably similar to their parent entity while not being duplicates.
-    let mut sibling_perturber =
-        Perturber::new(PerturbConfig::light(), derive_seed(config.seed, 4));
+    let mut sibling_perturber = Perturber::new(PerturbConfig::light(), derive_seed(config.seed, 4));
 
     let mut table = Table::new(paper_schema());
     let mut canonicals: Vec<Vec<String>> = Vec::with_capacity(sizes.len());
@@ -153,13 +152,7 @@ fn sibling_publication(
     let year: i64 = parent[3].parse::<i64>().unwrap_or(2000) + vocab.int_in(1, 4) as i64;
     let start = vocab.int_in(1, 400);
     let end = start + vocab.int_in(8, 25);
-    vec![
-        parent[0].clone(),
-        title,
-        venue,
-        year.to_string(),
-        format!("pages {start} {end}"),
-    ]
+    vec![parent[0].clone(), title, venue, year.to_string(), format!("pages {start} {end}")]
 }
 
 #[cfg(test)]

@@ -160,7 +160,8 @@ mod tests {
 
     #[test]
     fn zero_rates_are_identity() {
-        let cfg = PerturbConfig { typo_rate: 0.0, drop_rate: 0.0, abbrev_rate: 0.0, swap_rate: 0.0 };
+        let cfg =
+            PerturbConfig { typo_rate: 0.0, drop_rate: 0.0, abbrev_rate: 0.0, swap_rate: 0.0 };
         let mut p = Perturber::new(cfg, 7);
         let s = "sony digital camera silver";
         assert_eq!(p.perturb(s), s);
@@ -177,7 +178,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "typo_rate")]
     fn invalid_rate_rejected() {
-        let cfg = PerturbConfig { typo_rate: 1.2, drop_rate: 0.0, abbrev_rate: 0.0, swap_rate: 0.0 };
+        let cfg =
+            PerturbConfig { typo_rate: 1.2, drop_rate: 0.0, abbrev_rate: 0.0, swap_rate: 0.0 };
         let _ = Perturber::new(cfg, 0);
     }
 

@@ -113,9 +113,8 @@ pub fn generate_product(config: &ProductGenConfig) -> Dataset {
     let mut rows_b: Vec<(u32, Record)> = Vec::with_capacity(config.table_b);
     let mut seen: crowdjoin_util::FxHashSet<u32> = Default::default();
     for (e, to_a) in planned {
-        let (name, price) = canonical[e as usize]
-            .get_or_insert_with(|| canonical_product(&mut vocab, e))
-            .clone();
+        let (name, price) =
+            canonical[e as usize].get_or_insert_with(|| canonical_product(&mut vocab, e)).clone();
         let is_first = seen.insert(e);
         let record = if is_first {
             Record::new(vec![name, price])
@@ -124,10 +123,7 @@ pub fn generate_product(config: &ProductGenConfig) -> Dataset {
             // percent (retailers disagree on cents).
             let jitter = 0.97 + 0.06 * vocab.unit();
             let price_val: f64 = price.parse().unwrap_or(100.0);
-            Record::new(vec![
-                perturber.perturb(&name),
-                format!("{:.2}", price_val * jitter),
-            ])
+            Record::new(vec![perturber.perturb(&name), format!("{:.2}", price_val * jitter)])
         };
         if to_a {
             rows_a.push((e, record));

@@ -206,7 +206,8 @@ impl Dataset {
     /// reported as clusters of size 1.
     #[must_use]
     pub fn cluster_size_histogram(&self) -> crowdjoin_util::Histogram {
-        let mut counts: crowdjoin_util::FxHashMap<u32, usize> = crowdjoin_util::FxHashMap::default();
+        let mut counts: crowdjoin_util::FxHashMap<u32, usize> =
+            crowdjoin_util::FxHashMap::default();
         for &e in &self.entity_of {
             *counts.entry(e).or_insert(0) += 1;
         }

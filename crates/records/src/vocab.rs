@@ -9,6 +9,7 @@
 use crowdjoin_util::SplitMix64;
 
 /// Surname stems for author generation.
+#[rustfmt::skip]
 pub const SURNAMES: &[&str] = &[
     "wang", "li", "kraska", "franklin", "feng", "smith", "johnson", "garcia", "miller", "davis",
     "martinez", "lopez", "wilson", "anderson", "taylor", "thomas", "moore", "jackson", "martin",
@@ -20,6 +21,7 @@ pub const SURNAMES: &[&str] = &[
 ];
 
 /// Given-name stems for author generation.
+#[rustfmt::skip]
 pub const GIVEN_NAMES: &[&str] = &[
     "jiannan", "guoliang", "tim", "michael", "jianhua", "james", "mary", "robert", "patricia",
     "john", "jennifer", "david", "linda", "william", "elizabeth", "richard", "barbara", "joseph",
@@ -30,6 +32,7 @@ pub const GIVEN_NAMES: &[&str] = &[
 ];
 
 /// Content words for publication titles.
+#[rustfmt::skip]
 pub const TITLE_WORDS: &[&str] = &[
     "crowdsourced", "transitive", "relations", "joins", "entity", "resolution", "query",
     "processing", "parallel", "labeling", "optimal", "ordering", "hybrid", "human", "machine",
@@ -42,12 +45,14 @@ pub const TITLE_WORDS: &[&str] = &[
 ];
 
 /// Venue names for publications.
+#[rustfmt::skip]
 pub const VENUES: &[&str] = &[
     "sigmod", "vldb", "icde", "kdd", "www", "cidr", "edbt", "sigir", "nips", "icml", "aaai",
     "ijcai", "socc", "podc", "osdi", "sosp", "nsdi", "eurosys", "atc", "fast",
 ];
 
 /// Product brand names.
+#[rustfmt::skip]
 pub const BRANDS: &[&str] = &[
     "apple", "sony", "samsung", "panasonic", "toshiba", "canon", "nikon", "bose", "philips",
     "sharp", "sanyo", "yamaha", "pioneer", "denon", "garmin", "logitech", "netgear", "linksys",
@@ -56,6 +61,7 @@ pub const BRANDS: &[&str] = &[
 ];
 
 /// Product category nouns.
+#[rustfmt::skip]
 pub const PRODUCT_NOUNS: &[&str] = &[
     "television", "camcorder", "receiver", "headphones", "speaker", "subwoofer", "microwave",
     "refrigerator", "dishwasher", "washer", "dryer", "camera", "lens", "printer", "scanner",
@@ -64,6 +70,7 @@ pub const PRODUCT_NOUNS: &[&str] = &[
 ];
 
 /// Product qualifier words (series/size/colors).
+#[rustfmt::skip]
 pub const PRODUCT_QUALIFIERS: &[&str] = &[
     "black", "white", "silver", "pro", "plus", "mini", "max", "ultra", "series", "edition",
     "wireless", "bluetooth", "portable", "compact", "digital", "hd", "uhd", "smart", "gaming",
@@ -71,6 +78,7 @@ pub const PRODUCT_QUALIFIERS: &[&str] = &[
 ];
 
 /// Consonant-vowel syllables used to mint extra tokens.
+#[rustfmt::skip]
 const SYLLABLES: &[&str] = &[
     "ba", "be", "bi", "bo", "bu", "da", "de", "di", "do", "du", "ka", "ke", "ki", "ko", "ku",
     "la", "le", "li", "lo", "lu", "ma", "me", "mi", "mo", "mu", "na", "ne", "ni", "no", "nu",
@@ -176,7 +184,9 @@ mod tests {
 
     #[test]
     fn word_lists_nonempty_and_lowercase() {
-        for list in [SURNAMES, GIVEN_NAMES, TITLE_WORDS, VENUES, BRANDS, PRODUCT_NOUNS, PRODUCT_QUALIFIERS] {
+        for list in
+            [SURNAMES, GIVEN_NAMES, TITLE_WORDS, VENUES, BRANDS, PRODUCT_NOUNS, PRODUCT_QUALIFIERS]
+        {
             assert!(!list.is_empty());
             for w in list {
                 assert!(w.chars().all(|c| c.is_ascii_lowercase()), "{w}");

@@ -1,0 +1,251 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build container has no registry access, so this shim implements the
+//! surface the workspace's benches use — `Criterion::bench_function`,
+//! `benchmark_group` (with `sample_size`, `bench_function`,
+//! `bench_with_input`, `finish`), `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: each benchmark auto-calibrates an iteration count to
+//! roughly [`TARGET_SAMPLE_MS`] per sample, takes `sample_size` samples, and
+//! prints min/median/mean per-iteration times. No plots, no statistics
+//! beyond that — swap in real criterion when a registry is available.
+//!
+//! Filtering: a single CLI argument (as passed by `cargo bench -- <filter>`)
+//! restricts runs to benchmark ids containing the filter substring.
+//! `--bench`/`--test` harness flags are accepted and ignored.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock per sample used by iteration-count calibration.
+pub const TARGET_SAMPLE_MS: u64 = 40;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    #[must_use]
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Parameter-only form.
+    #[must_use]
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the calibrated iteration count, timing the whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Calibrate: grow the iteration count until one batch takes long enough.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(TARGET_SAMPLE_MS) || iters >= 1 << 24 {
+            break;
+        }
+        // Aim straight for the target with headroom, at least doubling.
+        let scale = (TARGET_SAMPLE_MS as f64 * 1.2)
+            / b.elapsed.as_secs_f64().max(1e-9).mul_add(1000.0, 0.0);
+        iters = (iters as f64 * scale.clamp(2.0, 100.0)).ceil() as u64;
+    }
+
+    let mut per_iter: Vec<f64> = (0..sample_size.max(2))
+        .map(|_| {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            b.elapsed.as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    let min = per_iter[0];
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    println!(
+        "bench: {id:<60} min {:>12}  median {:>12}  mean {:>12}  ({} samples x {} iters)",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(mean),
+        per_iter.len(),
+        iters,
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// The benchmark manager: registers and runs benchmarks.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` forwards harness args; ignore flags.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    fn enabled(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if self.enabled(id) {
+            run_one(id, 10, &mut f);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.into(), sample_size: 10 }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timing samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        if self.parent.enabled(&full) {
+            run_one(&full, self.sample_size, &mut f);
+        }
+        self
+    }
+
+    /// Benchmarks a function against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        if self.parent.enabled(&full) {
+            run_one(&full, self.sample_size, &mut |b| f(b, input));
+        }
+        self
+    }
+
+    /// Ends the group (printing is immediate in this shim; this is a no-op
+    /// kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Prevents the optimizer from eliding a value (re-export convenience; the
+/// workspace's benches use `std::hint::black_box` directly).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function running the listed benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_forms() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").id, "p");
+    }
+
+    #[test]
+    fn fmt_time_scales() {
+        assert!(fmt_time(5e-9).ends_with("ns"));
+        assert!(fmt_time(5e-6).ends_with("µs"));
+        assert!(fmt_time(5e-3).ends_with("ms"));
+        assert!(fmt_time(5.0).ends_with('s'));
+    }
+
+    #[test]
+    fn bencher_measures() {
+        let mut c = Criterion { filter: Some("never-matches".into()) };
+        // Disabled by filter: closure must not run.
+        c.bench_function("skipped", |_| panic!("should be filtered out"));
+    }
+}

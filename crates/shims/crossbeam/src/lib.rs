@@ -1,0 +1,30 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::channel::unbounded` is used in this workspace (by the
+//! `async_labeling` example); `std::sync::mpsc` provides the identical
+//! `send`/`recv` surface, so the shim simply re-exports it.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer channels (`crossbeam::channel` subset).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+
+    /// Creates an unbounded MPSC channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn round_trip() {
+        let (tx, rx) = super::channel::unbounded::<u32>();
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv().unwrap(), 5);
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

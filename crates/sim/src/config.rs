@@ -103,10 +103,7 @@ impl PlatformConfig {
         assert!(self.assignments_per_hit >= 1, "assignments_per_hit must be positive");
         assert!(self.num_workers >= self.assignments_per_hit as usize,
             "need at least as many workers as assignments per HIT (a worker may take only one assignment of a HIT)");
-        assert!(
-            self.abandonment_timeout_secs > 0.0,
-            "abandonment_timeout_secs must be positive"
-        );
+        assert!(self.abandonment_timeout_secs > 0.0, "abandonment_timeout_secs must be positive");
         for (name, v) in [
             ("spammer_fraction", self.spammer_fraction),
             ("good_accuracy", self.good_accuracy),

@@ -26,14 +26,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod config;
 pub mod dist;
 pub mod platform;
+pub mod stager;
 pub mod time;
 pub mod vote;
 
+pub use clock::SharedClock;
 pub use config::{AssignmentPolicy, PlatformConfig};
 pub use dist::LogNormal;
 pub use platform::{Platform, PlatformStats, ResolvedTask, TaskSpec, WorkerStats};
+pub use stager::HitStager;
 pub use time::{SimDuration, VirtualTime};
 pub use vote::majority;

@@ -260,8 +260,7 @@ impl Platform {
         self.unresolved_pair_count += tasks.len();
         self.open_pair_count += tasks.len();
         for chunk in tasks.chunks(self.cfg.batch_size) {
-            let priority =
-                chunk.iter().map(|t| t.priority).sum::<f64>() / chunk.len() as f64;
+            let priority = chunk.iter().map(|t| t.priority).sum::<f64>() / chunk.len() as f64;
             let id = self.hits.len() as u32;
             self.hits.push(Hit {
                 tasks: chunk.to_vec(),
@@ -282,8 +281,9 @@ impl Platform {
         for w in 0..self.workers.len() {
             if self.workers[w].idle && self.workers[w].qualified {
                 self.workers[w].idle = false;
-                let delay =
-                    SimDuration::from_secs_f64(self.cfg.revisit_delay.sample(&mut self.workers[w].rng));
+                let delay = SimDuration::from_secs_f64(
+                    self.cfg.revisit_delay.sample(&mut self.workers[w].rng),
+                );
                 self.schedule(self.now.after(delay), EventKind::WorkerCheck { worker: w as u32 });
             }
         }
@@ -343,15 +343,13 @@ impl Platform {
                 let k = (self.pick_rng.next_u64() % eligible.len() as u64) as usize;
                 Some(eligible[k])
             }
-            AssignmentPolicy::NonMatchingFirst => eligible
-                .into_iter()
-                .min_by(|&i, &j| {
-                    let (a, b) = (self.open_hits[i], self.open_hits[j]);
-                    self.hits[a as usize]
-                        .priority
-                        .total_cmp(&self.hits[b as usize].priority)
-                        .then(a.cmp(&b))
-                }),
+            AssignmentPolicy::NonMatchingFirst => eligible.into_iter().min_by(|&i, &j| {
+                let (a, b) = (self.open_hits[i], self.open_hits[j]);
+                self.hits[a as usize]
+                    .priority
+                    .total_cmp(&self.hits[b as usize].priority)
+                    .then(a.cmp(&b))
+            }),
         }
     }
 
@@ -372,8 +370,7 @@ impl Platform {
                 if bernoulli(&mut w.rng, self.cfg.abandonment_rate) {
                     // The worker walks away; the platform notices at the
                     // assignment timeout and re-opens the slot.
-                    let timeout =
-                        SimDuration::from_secs_f64(self.cfg.abandonment_timeout_secs);
+                    let timeout = SimDuration::from_secs_f64(self.cfg.abandonment_timeout_secs);
                     self.schedule(
                         self.now.after(timeout),
                         EventKind::AssignmentAbandoned { worker, hit: hit_id },
@@ -609,10 +606,7 @@ mod tests {
         assert_eq!(resolved, 100, "every task resolves despite abandonment");
         assert!(p.stats().assignments_abandoned > 0, "30% rate must abandon something");
         // Abandoned assignments are not paid.
-        assert_eq!(
-            p.stats().total_cost_cents,
-            p.stats().assignments_completed as u64 * 2
-        );
+        assert_eq!(p.stats().total_cost_cents, p.stats().assignments_completed as u64 * 2);
     }
 
     #[test]
@@ -630,10 +624,7 @@ mod tests {
         };
         let clean = run(0.0);
         let flaky = run(0.4);
-        assert!(
-            flaky > clean,
-            "abandonment should delay completion: {flaky:?} vs {clean:?}"
-        );
+        assert!(flaky > clean, "abandonment should delay completion: {flaky:?} vs {clean:?}");
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! HIT staging policy shared by every platform driver.
+//!
+//! Iterative publishing (instant decision) would fragment tasks into tiny
+//! HITs and waste money; the batching optimization of Section 6.4 says to
+//! publish in full HITs of the platform's batch size. [`HitStager`]
+//! centralizes that policy so the single-platform runner and the sharded
+//! engine cannot drift apart: stage publishable tasks as the labeler emits
+//! them, release full HITs immediately, and flush the partial remainder
+//! only when the platform would otherwise sit idle waiting for it.
+
+use crate::platform::{Platform, TaskSpec};
+
+/// Stages publishable tasks and releases them to a [`Platform`] in full
+/// HITs, counting publish rounds.
+#[derive(Debug, Clone, Default)]
+pub struct HitStager {
+    staged: Vec<TaskSpec>,
+    publish_rounds: usize,
+}
+
+impl HitStager {
+    /// An empty stager.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds tasks to the staging buffer (publishes nothing yet).
+    pub fn stage(&mut self, tasks: impl IntoIterator<Item = TaskSpec>) {
+        self.staged.extend(tasks);
+    }
+
+    /// Tasks currently staged and unpublished.
+    #[must_use]
+    pub fn num_staged(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Publish rounds so far (a release that publishes nothing is not a
+    /// round).
+    #[must_use]
+    pub fn publish_rounds(&self) -> usize {
+        self.publish_rounds
+    }
+
+    /// Publishes every staged full HIT; with `flush`, the partial remainder
+    /// too. Uses the platform's configured batch size.
+    pub fn release(&mut self, platform: &mut Platform, flush: bool) {
+        let batch_size = platform.batch_size();
+        let full = (self.staged.len() / batch_size) * batch_size;
+        let take = if flush { self.staged.len() } else { full };
+        if take > 0 {
+            let tasks: Vec<TaskSpec> = self.staged.drain(..take).collect();
+            self.publish_rounds += 1;
+            platform.publish(tasks);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PlatformConfig;
+
+    fn tasks(n: usize) -> Vec<TaskSpec> {
+        (0..n).map(|i| TaskSpec { id: i as u64, truth: true, priority: 0.5 }).collect()
+    }
+
+    #[test]
+    fn holds_partial_hits_until_flush() {
+        // batch_size 20 in the perfect_workers preset.
+        let mut platform = Platform::new(PlatformConfig::perfect_workers(3));
+        let mut stager = HitStager::new();
+        stager.stage(tasks(25));
+        stager.release(&mut platform, false);
+        assert_eq!(stager.num_staged(), 5, "partial HIT stays staged");
+        assert_eq!(platform.stats().hits_published, 1);
+        stager.release(&mut platform, true);
+        assert_eq!(stager.num_staged(), 0);
+        assert_eq!(platform.stats().hits_published, 2);
+        assert_eq!(stager.publish_rounds(), 2);
+    }
+
+    #[test]
+    fn empty_release_is_not_a_round() {
+        let mut platform = Platform::new(PlatformConfig::perfect_workers(3));
+        let mut stager = HitStager::new();
+        stager.release(&mut platform, true);
+        assert_eq!(stager.publish_rounds(), 0);
+        assert_eq!(platform.stats().hits_published, 0);
+    }
+}

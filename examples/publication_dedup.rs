@@ -16,9 +16,7 @@
 
 use crowdjoin::matcher::MatcherConfig;
 use crowdjoin::records::{generate_paper, ClusterSpec, PaperGenConfig, PerturbConfig};
-use crowdjoin::{
-    build_task, optimal_cost, GroundTruthOracle, QualityMetrics, SortStrategy,
-};
+use crowdjoin::{build_task, optimal_cost, GroundTruthOracle, QualityMetrics, SortStrategy};
 
 fn main() {
     // A 300-record bibliography with one 40-duplicate cluster and a spread

@@ -17,12 +17,12 @@ fn main() {
     // Six product records; records 0–2 are one real-world entity
     // ("iPad 2nd Gen" / "iPad Two" / "iPad 2"), records 3–4 another.
     let names = [
-        "iPad 2nd Gen",  // o1
-        "iPad Two",      // o2
-        "iPad 2",        // o3
-        "iPhone 4th Gen",// o4
-        "iPhone Four",   // o5
-        "iPad 3",        // o6
+        "iPad 2nd Gen",   // o1
+        "iPad Two",       // o2
+        "iPad 2",         // o3
+        "iPhone 4th Gen", // o4
+        "iPhone Four",    // o5
+        "iPad 3",         // o6
     ];
     let truth = GroundTruth::from_clusters(6, &[vec![0, 1, 2], vec![3, 4]]);
 

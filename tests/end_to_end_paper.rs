@@ -4,8 +4,8 @@
 use crowdjoin::matcher::MatcherConfig;
 use crowdjoin::records::{generate_paper, ClusterSpec, PaperGenConfig, PerturbConfig};
 use crowdjoin::{
-    build_task, optimal_cost, run_parallel_rounds, sort_pairs, GroundTruthOracle,
-    QualityMetrics, SortStrategy,
+    build_task, optimal_cost, run_parallel_rounds, sort_pairs, GroundTruthOracle, QualityMetrics,
+    SortStrategy,
 };
 
 fn dataset() -> crowdjoin::records::Dataset {
@@ -89,8 +89,7 @@ fn parallel_run_agrees_with_sequential_labels() {
     let (task, truth) = build_task(&ds, &MatcherConfig::for_arity(5), 0.3);
     let order = sort_pairs(task.candidates(), SortStrategy::ExpectedLikelihood);
     let mut crowd = GroundTruthOracle::new(&truth);
-    let (par, stats) =
-        run_parallel_rounds(task.candidates().num_objects(), order, &mut crowd);
+    let (par, stats) = run_parallel_rounds(task.candidates().num_objects(), order, &mut crowd);
     assert_eq!(par.num_labeled(), task.candidates().len());
     assert!(stats.num_iterations() < 40, "too many iterations: {}", stats.num_iterations());
     for sp in task.candidates().pairs() {

@@ -107,12 +107,8 @@ fn pure_one_to_one_clusters_admit_no_deduction() {
     // Keep only *matching* candidates: between 1:1 clusters any non-matching
     // near-pair could still be deduced through a matching path, so restrict
     // the claim to the matching core, where no deduction is possible.
-    let matching_only: Vec<_> = candidates
-        .pairs()
-        .iter()
-        .filter(|sp| truth.is_matching(sp.pair))
-        .copied()
-        .collect();
+    let matching_only: Vec<_> =
+        candidates.pairs().iter().filter(|sp| truth.is_matching(sp.pair)).copied().collect();
     let n = matching_only.len();
     assert!(n > 20, "need a meaningful number of matching candidates, got {n}");
     let cs = crowdjoin::CandidateSet::new(candidates.num_objects(), matching_only);

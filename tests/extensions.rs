@@ -5,13 +5,12 @@
 
 use crowdjoin::matcher::MatcherConfig;
 use crowdjoin::records::{
-    generate_paper, generate_product, ClusterSpec, PaperGenConfig, PerturbConfig,
-    ProductGenConfig,
+    generate_paper, generate_product, ClusterSpec, PaperGenConfig, PerturbConfig, ProductGenConfig,
 };
 use crowdjoin::{
     build_task, enforce_one_to_one, ground_truth_of, label_with_budget, resolve_entities,
-    sort_pairs, to_candidate_set, GroundTruthOracle, Label, OneToOneDeducer, Pair,
-    QualityMetrics, ScoredPair, SortStrategy,
+    sort_pairs, to_candidate_set, GroundTruthOracle, Label, OneToOneDeducer, Pair, QualityMetrics,
+    ScoredPair, SortStrategy,
 };
 
 #[test]
@@ -73,15 +72,11 @@ fn one_to_one_cleanup_improves_noisy_cross_join_precision() {
         .copied()
         .filter(|sp| result.label_of(sp.pair) == Some(Label::Matching))
         .collect();
-    let before = QualityMetrics::evaluate(
-        matches.iter().map(|sp| (sp.pair, Label::Matching)),
-        &truth,
-    );
+    let before =
+        QualityMetrics::evaluate(matches.iter().map(|sp| (sp.pair, Label::Matching)), &truth);
     let cleaned = enforce_one_to_one(&matches);
-    let after = QualityMetrics::evaluate(
-        cleaned.kept.iter().map(|sp| (sp.pair, Label::Matching)),
-        &truth,
-    );
+    let after =
+        QualityMetrics::evaluate(cleaned.kept.iter().map(|sp| (sp.pair, Label::Matching)), &truth);
     assert!(
         after.precision() >= before.precision(),
         "cleanup lowered precision: {:.3} -> {:.3}",

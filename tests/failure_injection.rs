@@ -99,10 +99,7 @@ fn noise_sweep_quality_monotonically_degrades() {
         f_scores.push(QualityMetrics::of_result(&result, &truth).f_measure());
     }
     assert_eq!(f_scores[0], 1.0);
-    assert!(
-        f_scores[2] < f_scores[0],
-        "30% noise must hurt: {f_scores:?}"
-    );
+    assert!(f_scores[2] < f_scores[0], "30% noise must hurt: {f_scores:?}");
 }
 
 #[test]
@@ -141,11 +138,8 @@ fn empty_and_singleton_candidate_sets() {
     assert_eq!(r.num_labeled(), 0);
 
     let single = CandidateSet::new(3, vec![ScoredPair::new(Pair::new(0, 2), 0.5)]);
-    let (result, stats) = run_parallel_rounds(
-        3,
-        sort_pairs(&single, SortStrategy::ExpectedLikelihood),
-        &mut oracle,
-    );
+    let (result, stats) =
+        run_parallel_rounds(3, sort_pairs(&single, SortStrategy::ExpectedLikelihood), &mut oracle);
     assert_eq!(result.num_crowdsourced(), 1);
     assert_eq!(stats.num_iterations(), 1);
 }

@@ -26,8 +26,13 @@ fn perfect_platform_run_is_exact() {
     let (task, truth) = workload();
     let order = sort_pairs(task.candidates(), SortStrategy::ExpectedLikelihood);
     let mut platform = Platform::new(PlatformConfig::perfect_workers(1));
-    let report =
-        run_parallel_on_platform(task.candidates().num_objects(), order, &truth, &mut platform, true);
+    let report = run_parallel_on_platform(
+        task.candidates().num_objects(),
+        order,
+        &truth,
+        &mut platform,
+        true,
+    );
     assert_eq!(report.result.num_labeled(), task.candidates().len());
     assert_eq!(report.result.num_conflicts(), 0);
     let q = QualityMetrics::of_result(&report.result, &truth);
@@ -124,7 +129,8 @@ fn instant_decision_and_plain_parallel_same_final_labels() {
         false,
     );
     let mut p2 = Platform::new(PlatformConfig::perfect_workers(6));
-    let id = run_parallel_on_platform(task.candidates().num_objects(), order, &truth, &mut p2, true);
+    let id =
+        run_parallel_on_platform(task.candidates().num_objects(), order, &truth, &mut p2, true);
     for sp in task.candidates().pairs() {
         assert_eq!(plain.result.label_of(sp.pair), id.result.label_of(sp.pair));
     }
