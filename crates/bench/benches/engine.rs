@@ -10,9 +10,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crowdjoin::engine::SharedGroundTruth;
 use crowdjoin::matcher::MatcherConfig;
 use crowdjoin::records::{generate_product, ClusterSpec, ProductGenConfig};
+use crowdjoin::sim::PlatformConfig;
 use crowdjoin::{
-    build_task, run_parallel_rounds, sort_pairs, CandidateSet, EngineConfig, GroundTruth,
-    GroundTruthOracle, ScoredPair, SortStrategy,
+    build_task, run_parallel_rounds, run_sharded_on_platform, run_sharded_on_platform_threaded,
+    sort_pairs, CandidateSet, EngineConfig, GroundTruth, GroundTruthOracle, ScoredPair,
+    SortStrategy,
 };
 use std::hint::black_box;
 
@@ -57,6 +59,47 @@ fn bench_shard_scaling(c: &mut Criterion) {
             });
         });
     }
+    group.finish();
+
+    // Platform-driven drivers head to head: the non-blocking event loop
+    // (poll-based ShardTask state machines, earliest-event scheduling) vs
+    // the blocking thread-per-shard pool, on identical per-shard platform
+    // simulations — plus the event loop with dynamic re-sharding merging
+    // shards between rounds.
+    let mut group = c.benchmark_group("engine/product_5k_platform_drivers");
+    group.sample_size(10);
+    let platform = PlatformConfig::perfect_workers(7);
+    let platform_cfg =
+        |reshard: bool| EngineConfig { num_shards: 8, seed: 3, reshard, ..EngineConfig::default() };
+    group.bench_function("event_loop", |b| {
+        let cfg = platform_cfg(false);
+        b.iter(|| {
+            let report =
+                run_sharded_on_platform(candidates.num_objects(), &order, &truth, &platform, &cfg);
+            black_box(report.total_cost_cents)
+        });
+    });
+    group.bench_function("event_loop_reshard", |b| {
+        let cfg = platform_cfg(true);
+        b.iter(|| {
+            let report =
+                run_sharded_on_platform(candidates.num_objects(), &order, &truth, &platform, &cfg);
+            black_box(report.total_cost_cents)
+        });
+    });
+    group.bench_function("thread_per_shard", |b| {
+        let cfg = platform_cfg(false);
+        b.iter(|| {
+            let report = run_sharded_on_platform_threaded(
+                candidates.num_objects(),
+                &order,
+                &truth,
+                &platform,
+                &cfg,
+            );
+            black_box(report.total_cost_cents)
+        });
+    });
     group.finish();
 
     // Reference arm: the single-threaded core labeler (rescan-based

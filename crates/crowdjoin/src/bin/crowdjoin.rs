@@ -55,6 +55,13 @@ struct JoinOpts {
     /// Shard count for the execution engine: 1 = single-threaded sequential
     /// labeler (the classic path), 0 = one shard per CPU, N = N shards.
     shards: usize,
+    /// Simulated-crowd mode: drive the event-loop engine against a
+    /// deterministic platform and report cost/latency Table-1 style.
+    platform: Option<PlatformPreset>,
+    /// Dynamically re-shard between publish rounds (platform mode only).
+    reshard: bool,
+    /// Seed for the simulated platform.
+    seed: u64,
 }
 
 impl Default for JoinOpts {
@@ -67,6 +74,9 @@ impl Default for JoinOpts {
             resolve: false,
             one_to_one: false,
             shards: 1,
+            platform: None,
+            reshard: false,
+            seed: 42,
         }
     }
 }
@@ -75,6 +85,16 @@ impl Default for JoinOpts {
 enum CrowdMode {
     Auto,
     Interactive,
+}
+
+/// Worker-pool profile of the simulated platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PlatformPreset {
+    /// The paper's Table 1 setting: AMT latency model, perfectly accurate
+    /// workers.
+    Perfect,
+    /// The Table 2 setting: 25% spammers, qualification test, majority vote.
+    Amt,
 }
 
 const USAGE: &str = "usage:
@@ -91,7 +111,16 @@ options:
   --one-to-one yes      keep at most one match per record (join only)
   --shards N            run the sharded engine on N shards (0 = one per CPU;
                         default 1 = classic single-threaded labeling;
-                        auto crowd only — interactive stays sequential)";
+                        auto crowd only — interactive stays sequential)
+  --platform PRESET     simulate the crowd on the event-loop engine and
+                        report cost/completion Table-1 style:
+                        perfect (accurate workers) | amt (25% spammers,
+                        majority vote). Labels come from the simulated run;
+                        ground truth is the auto-threshold clustering.
+  --reshard yes         platform mode: dynamically merge shards between
+                        publish rounds as components collapse (less
+                        partial-HIT waste)
+  --seed N              seed for the simulated platform (default 42)";
 
 /// Parses argv (without the program name). Pure for testability.
 fn parse_args(args: &[String]) -> Result<Command, String> {
@@ -141,6 +170,19 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         }
         if let Some(s) = flags("shards") {
             opts.shards = s.parse().map_err(|_| format!("--shards: not a number: {s:?}"))?;
+        }
+        if let Some(p) = flags("platform") {
+            opts.platform = Some(match p.as_str() {
+                "perfect" => PlatformPreset::Perfect,
+                "amt" => PlatformPreset::Amt,
+                other => return Err(format!("--platform must be perfect|amt, got {other:?}")),
+            });
+        }
+        if let Some(v) = flags("reshard") {
+            opts.reshard = parse_bool("reshard", v)?;
+        }
+        if let Some(s) = flags("seed") {
+            opts.seed = s.parse().map_err(|_| format!("--seed: not a number: {s:?}"))?;
         }
         opts.output = flags("output");
         Ok(opts)
@@ -238,6 +280,79 @@ fn load_table(path: &str) -> Result<Table, String> {
     table_from_csv(&text).map_err(|e| format!("{path}: {e}"))
 }
 
+/// `--platform` mode: simulate the whole crowdsourced job on the event-loop
+/// engine — one deterministic platform per shard, thousands of shards on a
+/// bounded worker pool — and report money/latency the way the paper's
+/// Table 1 does. The simulated workers answer according to the
+/// auto-threshold clustering (likelihood ≥ cutoff, made transitively
+/// consistent), so the run predicts what a real crowd posting would cost
+/// before any money is spent.
+fn simulate_on_platform(
+    num_objects: usize,
+    order: &[ScoredPair],
+    opts: &JoinOpts,
+    preset: PlatformPreset,
+) -> LabelingResult {
+    use crowdjoin::graph::UnionFind;
+    use crowdjoin::sim::PlatformConfig;
+
+    let mut uf = UnionFind::new(num_objects);
+    for sp in order {
+        if sp.likelihood >= opts.auto_threshold {
+            uf.union(sp.pair.a(), sp.pair.b());
+        }
+    }
+    let truth = crowdjoin::GroundTruth::new(uf.component_ids());
+    let platform = match preset {
+        PlatformPreset::Perfect => PlatformConfig::perfect_workers(opts.seed),
+        PlatformPreset::Amt => PlatformConfig::amt_like(opts.seed),
+    };
+    let engine = crowdjoin::EngineConfig {
+        num_shards: opts.shards,
+        reshard: opts.reshard,
+        seed: opts.seed,
+        ..crowdjoin::EngineConfig::default()
+    };
+    let report = crowdjoin::run_sharded_on_platform(num_objects, order, &truth, &platform, &engine);
+
+    let (hits, assignments) = report
+        .shards
+        .iter()
+        .filter_map(|s| s.stats.as_ref())
+        .fold((0usize, 0usize), |(h, a), st| (h + st.hits_published, a + st.assignments_completed));
+    eprintln!("=== simulated crowd run (event-loop engine) ===");
+    if report.reshard_generations > 0 {
+        // With re-sharding, `shards` holds one report per shard
+        // *incarnation* (retired generations plus their merged successors),
+        // not a concurrent shard count.
+        eprintln!(
+            "  shard runs         {} incarnations over {} component(s), {} re-shard generation(s)",
+            report.num_shards(),
+            report.num_components,
+            report.reshard_generations
+        );
+    } else {
+        eprintln!(
+            "  shards             {} over {} component(s)",
+            report.num_shards(),
+            report.num_components
+        );
+    }
+    eprintln!("  publish rounds     {} (critical path)", report.critical_path_rounds());
+    eprintln!(
+        "  pairs labeled      {} = {} crowdsourced + {} deduced ({:.0}% saved)",
+        report.result.num_labeled(),
+        report.num_crowdsourced(),
+        report.num_deduced(),
+        report.result.savings_ratio() * 100.0
+    );
+    eprintln!("  HITs               {hits} published, {assignments} assignments completed");
+    eprintln!("  partial-HIT waste  {:.1}% of paid pair slots", report.partial_hit_waste() * 100.0);
+    eprintln!("  cost               ${:.2}", report.total_cost_cents as f64 / 100.0);
+    eprintln!("  completion         {:.2} virtual hours", report.completion.as_hours());
+    report.result
+}
+
 fn run_join(dataset: &Dataset, opts: &JoinOpts) -> Result<(), String> {
     let arity = dataset.table.schema().arity();
     let candidates_raw = generate_candidates(dataset, &MatcherConfig::for_arity(arity));
@@ -262,7 +377,15 @@ fn run_join(dataset: &Dataset, opts: &JoinOpts) -> Result<(), String> {
              sequentially; batching would ask you more questions)"
         );
     }
-    let result: LabelingResult = if !use_engine {
+    let result: LabelingResult = if let Some(preset) = opts.platform {
+        if opts.crowd == CrowdMode::Interactive {
+            return Err(
+                "--platform simulates a crowd; it cannot be combined with --crowd interactive"
+                    .to_string(),
+            );
+        }
+        simulate_on_platform(candidates.num_objects(), &order, opts, preset)
+    } else if !use_engine {
         match opts.crowd {
             CrowdMode::Auto => {
                 let mut oracle = AutoOracle {
@@ -525,6 +648,39 @@ mod tests {
             other => panic!("wrong command {other:?}"),
         }
         assert!(parse_args(&args("dedup --input a.csv --shards many")).is_err());
+    }
+
+    #[test]
+    fn parses_platform_mode() {
+        match parse_args(&args("dedup --input a.csv --platform perfect --shards 0 --seed 9"))
+            .unwrap()
+        {
+            Command::Dedup { opts, .. } => {
+                assert_eq!(opts.platform, Some(PlatformPreset::Perfect));
+                assert_eq!(opts.shards, 0);
+                assert_eq!(opts.seed, 9);
+                assert!(!opts.reshard);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse_args(&args("join --left a --right b --platform amt --reshard yes")).unwrap() {
+            Command::Join { opts, .. } => {
+                assert_eq!(opts.platform, Some(PlatformPreset::Amt));
+                assert!(opts.reshard);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Defaults: platform off, seed 42.
+        match parse_args(&args("dedup --input a.csv")).unwrap() {
+            Command::Dedup { opts, .. } => {
+                assert_eq!(opts.platform, None);
+                assert_eq!(opts.seed, 42);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse_args(&args("dedup --input a.csv --platform mturk")).is_err());
+        assert!(parse_args(&args("dedup --input a.csv --seed soon")).is_err());
+        assert!(parse_args(&args("dedup --input a.csv --reshard maybe")).is_err());
     }
 
     #[test]

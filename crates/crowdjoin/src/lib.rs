@@ -79,5 +79,6 @@ pub use crowdjoin_engine::{
 pub use pipeline::{build_task, ground_truth_of, to_candidate_set};
 pub use runner::{
     replay_pairs_sequentially, run_non_transitive_on_platform, run_parallel_on_platform,
-    run_sharded_on_platform, run_sharded_with_oracle, AvailabilitySample, CrowdRunReport,
+    run_sharded_on_platform, run_sharded_on_platform_threaded, run_sharded_with_oracle,
+    AvailabilitySample, CrowdRunReport,
 };

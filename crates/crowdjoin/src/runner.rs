@@ -200,7 +200,9 @@ pub fn replay_pairs_sequentially(
 
 /// Runs the sharded execution engine against per-shard platform instances
 /// (one deterministic simulator per shard, virtual completion time = the
-/// critical path over shards). Thin facade over
+/// critical path over shards), multiplexed by the non-blocking event loop —
+/// thousands of shards run on a bounded worker pool, with optional dynamic
+/// re-sharding between publish rounds. Thin facade over
 /// [`crowdjoin_engine::run_on_platform`] taking the same inputs as
 /// [`run_parallel_on_platform`].
 #[must_use]
@@ -212,6 +214,22 @@ pub fn run_sharded_on_platform(
     engine: &crowdjoin_engine::EngineConfig,
 ) -> crowdjoin_engine::EngineReport {
     crowdjoin_engine::run_on_platform(num_objects, order, truth, platform, engine)
+}
+
+/// The blocking thread-per-shard reference arm of
+/// [`run_sharded_on_platform`]: identical per-shard simulations driven to
+/// completion one worker thread at a time. Kept for equivalence testing and
+/// comparison; prefer the event-loop entry point. Thin facade over
+/// [`crowdjoin_engine::run_on_platform_threaded`].
+#[must_use]
+pub fn run_sharded_on_platform_threaded(
+    num_objects: usize,
+    order: &[ScoredPair],
+    truth: &GroundTruth,
+    platform: &crowdjoin_sim::PlatformConfig,
+    engine: &crowdjoin_engine::EngineConfig,
+) -> crowdjoin_engine::EngineReport {
+    crowdjoin_engine::run_on_platform_threaded(num_objects, order, truth, platform, engine)
 }
 
 /// Runs the sharded execution engine against any thread-safe oracle. Thin

@@ -8,7 +8,6 @@ use crate::report::{EngineReport, ShardReport};
 use crate::scheduler::run_sharded;
 use crowdjoin_core::{GroundTruth, LabelingResult, Pair, Provenance, ScoredPair};
 use crowdjoin_sim::{Platform, PlatformConfig, SharedClock, VirtualTime};
-use crowdjoin_util::derive_seed;
 
 /// Engine tunables.
 #[derive(Debug, Clone)]
@@ -22,13 +21,18 @@ pub struct EngineConfig {
     /// resolution (`true`, the paper's instant-decision optimization) or
     /// only when all outstanding pairs are labeled (`false`).
     pub instant_decision: bool,
+    /// Event-loop runs: dynamically re-shard between publish rounds —
+    /// retire components that collapsed early and merge the shrinking
+    /// working set into fewer, fuller shards (less partial-HIT waste).
+    /// Ignored by the blocking thread-per-shard driver.
+    pub reshard: bool,
     /// Master seed for per-shard platform derivation.
     pub seed: u64,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        Self { num_shards: 0, num_threads: 0, instant_decision: true, seed: 0 }
+        Self { num_shards: 0, num_threads: 0, instant_decision: true, reshard: false, seed: 0 }
     }
 }
 
@@ -46,18 +50,6 @@ impl EngineConfig {
             self.num_shards
         }
     }
-}
-
-/// Maps a shard-local labeling result back into global object ids.
-fn globalize(shard: &Shard, local: &LabelingResult) -> LabelingResult {
-    let mut global = LabelingResult::new();
-    for lp in local.labeled_pairs() {
-        global.record(shard.to_global(lp.pair), lp.label, lp.provenance);
-    }
-    for _ in 0..local.num_conflicts() {
-        global.record_conflict();
-    }
-    global
 }
 
 /// Runs the sharded engine against a thread-safe oracle.
@@ -103,7 +95,7 @@ pub fn run_with_oracle<O: SharedOracle + ?Sized>(
             num_objects: shard.num_objects(),
             num_pairs: shard.pairs.len(),
             num_components: shard.num_components,
-            result: globalize(shard, &labeler.into_result()),
+            result: shard.globalize(&labeler.into_result()),
             stats: None,
             completion: VirtualTime::ZERO,
             publish_rounds,
@@ -112,11 +104,13 @@ pub fn run_with_oracle<O: SharedOracle + ?Sized>(
     EngineReport::from_shards(reports, num_components)
 }
 
-/// Runs the sharded engine against simulated crowd platforms: one
-/// deterministic [`Platform`] per shard (seed derived from the engine seed
-/// and the shard index), all publishing into a [`SharedClock`] so the job's
-/// completion time is the per-shard maximum — the virtual-time critical
-/// path.
+/// Runs the sharded engine against simulated crowd platforms on the
+/// **event loop**: one deterministic [`Platform`] per shard (seed derived
+/// from the engine seed and the shard index), every shard a poll-based
+/// [`crate::ShardTask`] state machine, multiplexed over
+/// [`crate::effective_threads`] workers by earliest pending virtual event.
+/// Thousands of shards run fine on two threads — shard count is bounded by
+/// memory, not the thread limit.
 ///
 /// Shards stage publishable pairs and release them in full HITs of the
 /// platform's batch size ([`crowdjoin_sim::HitStager`] — the same batching
@@ -130,12 +124,43 @@ pub fn run_with_oracle<O: SharedOracle + ?Sized>(
 /// compare runs with (nearly) equal total crowd labor — the speedup shown
 /// is the engine's, not extra hired workers'.
 ///
+/// Per-shard outcomes are bit-identical to the blocking
+/// [`run_on_platform_threaded`] driver whenever `config.reshard` is off
+/// (pinned by `tests/event_loop.rs`). With `config.reshard` on, the loop
+/// additionally merges shards between publish rounds as early answers
+/// collapse components (see [`crate::EngineConfig::reshard`]).
+///
 /// # Panics
 ///
 /// Panics if a pair references an object `>= num_objects`, appears twice in
 /// `order`, or the platform configuration is invalid.
 #[must_use]
 pub fn run_on_platform(
+    num_objects: usize,
+    order: &[ScoredPair],
+    truth: &GroundTruth,
+    platform: &PlatformConfig,
+    config: &EngineConfig,
+) -> EngineReport {
+    let partition = partition_candidates(num_objects, order, config.effective_shards());
+    crate::event_loop::run_event_loop(num_objects, order, partition, truth, platform, config)
+}
+
+/// The blocking thread-per-shard driver: each worker thread drives one
+/// shard's platform to completion before taking the next shard. Kept as the
+/// reference arm the event loop is verified against; prefer
+/// [`run_on_platform`] (same results, bounded threads, optional dynamic
+/// re-sharding).
+///
+/// `config.reshard` is ignored — a blocked worker cannot reach a global
+/// round barrier.
+///
+/// # Panics
+///
+/// Panics if a pair references an object `>= num_objects`, appears twice in
+/// `order`, or the platform configuration is invalid.
+#[must_use]
+pub fn run_on_platform_threaded(
     num_objects: usize,
     order: &[ScoredPair],
     truth: &GroundTruth,
@@ -168,12 +193,8 @@ fn run_shard_on_platform(
     platform_cfg: &PlatformConfig,
     config: &EngineConfig,
 ) -> ShardReport {
-    let cfg = PlatformConfig {
-        seed: derive_seed(config.seed ^ platform_cfg.seed, shard.index as u64),
-        num_workers: (platform_cfg.num_workers / num_shards)
-            .max(platform_cfg.assignments_per_hit as usize),
-        ..platform_cfg.clone()
-    };
+    let cfg =
+        crate::event_loop::shard_platform_config(platform_cfg, config, 0, shard.index, num_shards);
     let mut platform = Platform::new(cfg);
     let mut labeler = ShardLabeler::new(shard.num_objects(), shard.pairs.clone());
     let publish_rounds = drive_to_completion(
@@ -189,7 +210,7 @@ fn run_shard_on_platform(
         num_objects: shard.num_objects(),
         num_pairs: shard.pairs.len(),
         num_components: shard.num_components,
-        result: globalize(shard, &labeler.into_result()),
+        result: shard.globalize(&labeler.into_result()),
         stats: Some(platform.stats()),
         completion: platform.stats().last_resolution,
         publish_rounds,

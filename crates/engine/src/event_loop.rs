@@ -1,0 +1,350 @@
+//! The cooperative event loop: multiplexes many [`ShardTask`] state
+//! machines over a bounded worker pool, with an optional re-sharding
+//! barrier between publish rounds.
+//!
+//! ## Scheduling
+//!
+//! Every task exposes the virtual time at which it next needs attention
+//! ([`ShardTask::next_wake`]); the loop keeps tasks in a min-heap on that
+//! time and workers always advance the task with the earliest pending
+//! event. Shards are disjoint workloads, so per-shard outcomes are
+//! independent of worker count and interleaving — the loop drives thousands
+//! of shards on two threads to the *same* labels, costs, and completion
+//! times as the thread-per-shard scheduler (pinned by
+//! `tests/event_loop.rs`). Workers never block on a platform: one
+//! [`ShardTask::advance`] call does a bounded amount of simulation and
+//! returns, so shard count is limited by memory, not threads.
+//!
+//! ## Dynamic re-sharding
+//!
+//! With [`crate::EngineConfig::reshard`] set, a task that drains its
+//! platform at a round boundary *parks* instead of republishing. Once every
+//! task is done or parked (a deterministic global barrier — no worker can
+//! make progress), the loop retires the parked tasks, re-runs
+//! [`partition_candidates`] over the pairs of still-open components, and
+//! packs them into fewer shards as the working set shrinks (components that
+//! collapsed early drop out entirely). Each merged shard gets a fresh
+//! platform warped to the barrier's virtual time and a labeler re-seeded
+//! with the already-paid-for crowd answers, so no deduction potential and
+//! no money is lost. Fewer, fuller shards mean later rounds pack full HITs
+//! instead of per-shard partial ones — directly shrinking
+//! [`crate::EngineReport::partial_hit_waste`].
+
+use crate::engine::EngineConfig;
+use crate::partition::{partition_candidates, Partition};
+use crate::report::{EngineReport, ShardReport};
+use crate::scheduler::effective_threads;
+use crate::task::{ShardState, ShardTask};
+use crate::ShardLabeler;
+use crowdjoin_core::{GroundTruth, Label, Pair, ScoredPair};
+use crowdjoin_sim::{Platform, PlatformConfig, VirtualTime};
+use crowdjoin_util::{derive_seed, FxHashMap};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+
+/// Derives the platform configuration for one shard of a generation: a
+/// deterministic per-shard seed, and an even split of the configured crowd
+/// across the generation's `active_shards` platforms (floored at
+/// `assignments_per_hit` so HITs can still resolve).
+///
+/// Generation 0 reproduces the historical derivation exactly, which is what
+/// keeps the event loop bit-identical to the thread-per-shard path.
+pub(crate) fn shard_platform_config(
+    base: &PlatformConfig,
+    engine: &EngineConfig,
+    generation: usize,
+    shard_index: usize,
+    active_shards: usize,
+) -> PlatformConfig {
+    PlatformConfig {
+        seed: derive_seed(
+            engine.seed ^ base.seed,
+            shard_index as u64 | ((generation as u64) << 40),
+        ),
+        num_workers: (base.num_workers / active_shards.max(1))
+            .max(base.assignments_per_hit as usize),
+        ..base.clone()
+    }
+}
+
+/// Shared mutable scheduler state (behind one mutex; workers hold it only
+/// between advances, never while simulating).
+struct LoopState {
+    /// Min-heap of `(wake time, slot)`; the slot index breaks ties
+    /// deterministically.
+    heap: BinaryHeap<Reverse<(VirtualTime, usize)>>,
+    /// Slot-indexed task storage; `None` while a worker holds the task or
+    /// after it finished.
+    slots: Vec<Option<ShardTask>>,
+    /// Tasks waiting at the re-sharding barrier.
+    parked: Vec<ShardTask>,
+    /// Tasks currently held by workers.
+    inflight: usize,
+    /// Tasks not yet `Done` (in the heap, in flight, or parked).
+    active: usize,
+    /// Completed shard reports (current and retired generations).
+    finished: Vec<ShardReport>,
+    /// Allocator for report indices across generations.
+    next_report_index: usize,
+    /// Re-sharding generations performed so far.
+    generations: usize,
+}
+
+/// Everything workers need by reference.
+struct LoopCtx<'a> {
+    truth: &'a GroundTruth,
+    platform_cfg: &'a PlatformConfig,
+    engine_cfg: &'a EngineConfig,
+    num_objects: usize,
+    initial_shards: usize,
+    total_pairs: usize,
+    /// Position of each pair in the caller's global labeling order, so
+    /// re-sharding can merge open pairs back into that exact order (the
+    /// order encodes the sort strategy — it decides which pairs get
+    /// crowdsourced vs deduced and must survive the barrier).
+    order_position: FxHashMap<Pair, usize>,
+}
+
+/// Runs a partitioned workload on the event loop and stitches the merged
+/// report. The entry point behind [`crate::run_on_platform`]; `order` is
+/// the same global labeling order the partition was built from.
+pub(crate) fn run_event_loop(
+    num_objects: usize,
+    order: &[ScoredPair],
+    partition: Partition,
+    truth: &GroundTruth,
+    platform_cfg: &PlatformConfig,
+    engine_cfg: &EngineConfig,
+) -> EngineReport {
+    let num_components = partition.num_components;
+    let shards = partition.shards;
+    if shards.is_empty() {
+        return EngineReport::from_shards(Vec::new(), num_components);
+    }
+
+    let initial_shards = shards.len();
+    let total_pairs: usize = shards.iter().map(|s| s.pairs.len()).sum();
+    let workers = effective_threads(engine_cfg.num_threads, initial_shards);
+
+    let mut state = LoopState {
+        heap: BinaryHeap::with_capacity(initial_shards),
+        slots: Vec::with_capacity(initial_shards),
+        parked: Vec::new(),
+        inflight: 0,
+        active: 0,
+        finished: Vec::new(),
+        next_report_index: initial_shards,
+        generations: 0,
+    };
+    for shard in shards {
+        let cfg = shard_platform_config(platform_cfg, engine_cfg, 0, shard.index, initial_shards);
+        let index = shard.index;
+        let task = ShardTask::new(shard, Platform::new(cfg), engine_cfg.instant_decision, index);
+        enqueue(&mut state, task);
+    }
+
+    // Only the re-sharding barrier reads the position map; don't pay the
+    // O(total pairs) build on default (reshard-off) runs.
+    let order_position: FxHashMap<Pair, usize> = if engine_cfg.reshard {
+        order.iter().enumerate().map(|(i, sp)| (sp.pair, i)).collect()
+    } else {
+        FxHashMap::default()
+    };
+    let ctx = LoopCtx {
+        truth,
+        platform_cfg,
+        engine_cfg,
+        num_objects,
+        initial_shards,
+        total_pairs,
+        order_position,
+    };
+    let state = Mutex::new(state);
+    let cv = Condvar::new();
+    if workers <= 1 {
+        worker_loop(&state, &cv, &ctx);
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| worker_loop(&state, &cv, &ctx));
+            }
+        });
+    }
+
+    let state = state.into_inner().expect("event loop mutex poisoned");
+    debug_assert_eq!(state.active, 0);
+    let mut reports = state.finished;
+    reports.sort_unstable_by_key(|r| r.shard);
+
+    // `from_shards` takes completion as the per-shard maximum — the
+    // virtual-time critical path (re-sharded generations warp past their
+    // predecessors, so the maximum spans incarnations too).
+    let mut report = EngineReport::from_shards(reports, num_components);
+    report.reshard_generations = state.generations;
+    report
+}
+
+/// Inserts a task into the scheduler (or straight into `finished` when it
+/// completed at construction, e.g. an empty workload).
+fn enqueue(state: &mut LoopState, task: ShardTask) {
+    match task.next_wake() {
+        Some(wake) => {
+            let slot = state.slots.len();
+            state.slots.push(Some(task));
+            state.heap.push(Reverse((wake, slot)));
+            state.active += 1;
+        }
+        None => {
+            debug_assert_eq!(task.state(), ShardState::Done);
+            state.finished.push(task.into_report());
+        }
+    }
+}
+
+/// Restores scheduler counters if [`ShardTask::advance`] panics while the
+/// mutex is unlocked: the task is lost, but peers must see consistent
+/// `inflight`/`active` so they can drain the remaining shards and let the
+/// thread scope re-raise the panic — instead of waiting forever on a count
+/// that will never reach zero.
+struct AdvanceGuard<'a> {
+    state: &'a Mutex<LoopState>,
+    cv: &'a Condvar,
+    armed: bool,
+}
+
+impl Drop for AdvanceGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            if let Ok(mut st) = self.state.lock() {
+                st.inflight -= 1;
+                st.active -= 1;
+            }
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// One worker: pop the earliest-event task, advance it outside the lock,
+/// reinsert/park/finish it, and run the re-sharding barrier when no task
+/// can progress otherwise.
+fn worker_loop(state: &Mutex<LoopState>, cv: &Condvar, ctx: &LoopCtx<'_>) {
+    let truth_of = |pair: Pair| ctx.truth.is_matching(pair);
+    let park_on_idle = ctx.engine_cfg.reshard;
+    let mut st = state.lock().expect("event loop mutex poisoned");
+    loop {
+        if st.active == 0 {
+            cv.notify_all();
+            return;
+        }
+        if let Some(Reverse((_, slot))) = st.heap.pop() {
+            let mut task = st.slots[slot].take().expect("scheduled slot must hold a task");
+            st.inflight += 1;
+            drop(st);
+
+            let mut guard = AdvanceGuard { state, cv, armed: true };
+            task.advance(&truth_of, park_on_idle);
+            guard.armed = false;
+
+            st = state.lock().expect("event loop mutex poisoned");
+            st.inflight -= 1;
+            match task.state() {
+                ShardState::Done => {
+                    st.active -= 1;
+                    st.finished.push(task.into_report());
+                    // Termination and the reshard barrier gate on
+                    // `active`/`inflight`; every waiter must re-check.
+                    cv.notify_all();
+                }
+                ShardState::Parked => {
+                    st.parked.push(task);
+                    cv.notify_all();
+                }
+                _ => {
+                    let wake = task.next_wake().expect("active task must have a wake time");
+                    st.slots[slot] = Some(task);
+                    st.heap.push(Reverse((wake, slot)));
+                    // Exactly one unit of work appeared; one waiter suffices.
+                    cv.notify_one();
+                }
+            }
+            continue;
+        }
+        // Nothing runnable. If peers are mid-advance they may requeue work
+        // (or park); wait for them. Otherwise every remaining task is
+        // parked: this is the deterministic re-sharding barrier.
+        if st.inflight > 0 {
+            st = cv.wait(st).expect("event loop mutex poisoned");
+            continue;
+        }
+        if !st.parked.is_empty() {
+            reshard(&mut st, ctx);
+            cv.notify_all();
+        }
+    }
+}
+
+/// The re-sharding barrier: retire every parked task, repartition the pairs
+/// of still-open components into fewer shards (proportional to how much
+/// work remains), and enqueue the merged generation on fresh platforms that
+/// continue the virtual timeline.
+fn reshard(st: &mut LoopState, ctx: &LoopCtx<'_>) {
+    st.generations += 1;
+    let parked = std::mem::take(&mut st.parked);
+    st.active -= parked.len();
+    let barrier = parked.iter().map(ShardTask::platform_now).max().unwrap_or(VirtualTime::ZERO);
+    // The merged generation runs strictly after every parked round, so its
+    // rounds chain onto the deepest critical path retired here.
+    let barrier_rounds = parked.iter().map(ShardTask::total_rounds).max().unwrap_or(0);
+
+    let mut open_pairs: Vec<ScoredPair> = Vec::new();
+    let mut known: FxHashMap<Pair, Label> = FxHashMap::default();
+    for task in parked {
+        let retired = task.retire();
+        st.finished.push(retired.report);
+        open_pairs.extend(retired.open_pairs);
+        known.extend(retired.known);
+    }
+    // Merge open pairs back into the caller's global labeling order: the
+    // order encodes the sort strategy (it decides which pairs are
+    // crowdsourced vs deduced within a component), so the barrier must not
+    // impose its own.
+    open_pairs.sort_unstable_by_key(|sp| ctx.order_position[&sp.pair]);
+
+    // Merge shards as the working set shrinks: aim for at least a full
+    // HIT's worth of pairs per shard (otherwise every merged shard still
+    // flushes a tiny partial HIT each round), and never exceed the initial
+    // pairs-per-shard balance.
+    let min_load = ctx.total_pairs.div_ceil(ctx.initial_shards).max(ctx.platform_cfg.batch_size);
+    let target = open_pairs.len().div_ceil(min_load.max(1)).clamp(1, ctx.initial_shards);
+    let partition = partition_candidates(ctx.num_objects, &open_pairs, target);
+    let active_shards = partition.shards.len().max(1);
+    for shard in partition.shards {
+        let cfg = shard_platform_config(
+            ctx.platform_cfg,
+            ctx.engine_cfg,
+            st.generations,
+            shard.index,
+            active_shards,
+        );
+        let mut platform = Platform::new(cfg);
+        platform.warp_to(barrier);
+        let mut labeler = ShardLabeler::new(shard.num_objects(), shard.pairs.clone());
+        for sp in &shard.pairs {
+            if let Some(&label) = known.get(&shard.to_global(sp.pair)) {
+                labeler.seed_known(sp.pair, label);
+            }
+        }
+        let report_index = st.next_report_index;
+        st.next_report_index += 1;
+        let task = ShardTask::resume(
+            shard,
+            labeler,
+            platform,
+            ctx.engine_cfg.instant_decision,
+            report_index,
+            barrier_rounds,
+        );
+        enqueue(st, task);
+    }
+}

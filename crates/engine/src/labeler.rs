@@ -171,6 +171,69 @@ impl ShardLabeler {
         }
     }
 
+    /// Seeds an already-known crowd answer without publishing — the replay
+    /// primitive dynamic re-sharding uses to reconstruct a merged shard's
+    /// deduction state from its predecessors' crowdsourced answers.
+    ///
+    /// The pair is recorded as crowdsourced (it was paid for in a previous
+    /// incarnation) and its deduction delta propagates exactly as a live
+    /// answer would, so replaying a shard's crowdsourced answers in labeling
+    /// order re-derives its deduced labels too. A pair that an earlier seed
+    /// already made deducible is skipped: the closure has its label, and the
+    /// money spent on the redundant answer stays accounted to the retired
+    /// platform. A replayed conflict is **not** re-counted (the incarnation
+    /// that first saw it already did); the deduced label wins as usual.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pair` is not part of this labeling task or is awaiting a
+    /// live answer.
+    pub fn seed_known(&mut self, pair: Pair, answer: Label) {
+        let &i = self
+            .index_of
+            .get(&pair)
+            .unwrap_or_else(|| panic!("pair {pair} is not part of this labeling task"));
+        match self.state[i] {
+            PairState::Labeled => return,
+            PairState::Published => {
+                panic!("pair {pair} is awaiting a live answer and cannot be seeded")
+            }
+            PairState::Unlabeled => {}
+        }
+        self.state[i] = PairState::Labeled;
+
+        let mut delta = Vec::new();
+        let label = match self.closure.insert(pair, answer, &mut delta) {
+            Ok(_) => answer,
+            Err(conflict) => conflict.deduced,
+        };
+        self.result.record(pair, label, Provenance::Crowdsourced);
+        for (j, deduced_label) in delta {
+            if self.state[j] == PairState::Unlabeled {
+                self.state[j] = PairState::Labeled;
+                self.result.record(self.order[j].pair, deduced_label, Provenance::Deduced);
+            }
+        }
+    }
+
+    /// The labeling order this labeler runs over (local ids).
+    #[must_use]
+    pub fn order(&self) -> &[ScoredPair] {
+        &self.order
+    }
+
+    /// Pairs with no label yet that are not awaiting a crowd answer — the
+    /// still-open work dynamic re-sharding repartitions.
+    #[must_use]
+    pub fn unlabeled_pairs(&self) -> Vec<ScoredPair> {
+        self.order
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.state[i] == PairState::Unlabeled)
+            .map(|(_, sp)| *sp)
+            .collect()
+    }
+
     /// Consumes the labeler and returns the labeling result.
     ///
     /// # Panics
@@ -306,6 +369,67 @@ mod tests {
         let labeler = ShardLabeler::new(4, vec![]);
         assert!(labeler.is_complete());
         assert_eq!(labeler.into_result().num_labeled(), 0);
+    }
+
+    #[test]
+    fn seeding_crowdsourced_answers_rederives_deductions() {
+        let (cs, truth) = running_example();
+        let order = sort_pairs(&cs, SortStrategy::ExpectedLikelihood);
+        let mut oracle = GroundTruthOracle::new(&truth);
+        let (live, _) = run_rounds(cs.num_objects(), order.clone(), &mut oracle);
+
+        // Replay only the crowdsourced answers, in labeling order, into a
+        // fresh labeler: every deduced label must re-derive.
+        let mut replayed = ShardLabeler::new(cs.num_objects(), order.clone());
+        for sp in &order {
+            if live.provenance_of(sp.pair) == Some(Provenance::Crowdsourced) {
+                replayed.seed_known(sp.pair, live.label_of(sp.pair).unwrap());
+            }
+        }
+        assert!(replayed.is_complete());
+        assert!(replayed.unlabeled_pairs().is_empty());
+        let result = replayed.into_result();
+        assert_eq!(result.num_labeled(), live.num_labeled());
+        for sp in cs.pairs() {
+            assert_eq!(result.label_of(sp.pair), live.label_of(sp.pair));
+        }
+    }
+
+    #[test]
+    fn seeding_partial_state_resumes_cleanly() {
+        let (cs, truth) = running_example();
+        let order = sort_pairs(&cs, SortStrategy::ExpectedLikelihood);
+
+        // Answer only the first published round, then rebuild and finish.
+        let mut first = ShardLabeler::new(cs.num_objects(), order.clone());
+        let round1 = first.next_batch();
+        for sp in &round1 {
+            first.submit_answer(sp.pair, truth.label_of(sp.pair));
+        }
+        let known: Vec<(Pair, Label)> = order
+            .iter()
+            .filter(|sp| first.result().provenance_of(sp.pair) == Some(Provenance::Crowdsourced))
+            .map(|sp| (sp.pair, first.result().label_of(sp.pair).unwrap()))
+            .collect();
+        let unlabeled = first.unlabeled_pairs().len();
+
+        let mut resumed = ShardLabeler::new(cs.num_objects(), order.clone());
+        for &(pair, label) in &known {
+            resumed.seed_known(pair, label);
+        }
+        assert_eq!(resumed.unlabeled_pairs().len(), unlabeled);
+        let mut oracle = GroundTruthOracle::new(&truth);
+        while !resumed.is_complete() {
+            let batch = resumed.next_batch();
+            assert!(!batch.is_empty());
+            for sp in batch {
+                resumed.submit_answer(sp.pair, oracle.answer(sp.pair));
+            }
+        }
+        let result = resumed.into_result();
+        for sp in cs.pairs() {
+            assert_eq!(result.label_of(sp.pair), Some(truth.label_of(sp.pair)));
+        }
     }
 
     #[test]

@@ -14,11 +14,18 @@
 //!    pool; each shard drives its own labeler against a shared, thread-safe
 //!    oracle front-end ([`oracle::SharedOracle`]) with batched question
 //!    issue, or against its own deterministic crowd-platform instance.
-//! 3. **Incremental closure** ([`closure`]) — per-shard positive/negative
+//! 3. **Event loop** ([`event_loop`]) — the platform-driven path's default
+//!    driver: every shard is a non-blocking [`task::ShardTask`] state
+//!    machine (`Publishing → AwaitingCrowd → Deducing → Done`) and a
+//!    cooperative scheduler advances the shard with the earliest pending
+//!    virtual event, multiplexing thousands of shards over a bounded worker
+//!    pool — with optional dynamic re-sharding between publish rounds
+//!    ([`EngineConfig::reshard`]).
+//! 4. **Incremental closure** ([`closure`]) — per-shard positive/negative
 //!    transitive closure maintained eagerly as labels stream in (semi-naive
 //!    delta propagation on `ClusterGraph` structural events), so cross-round
 //!    deduction never recomputes from scratch.
-//! 4. **Merged report** ([`report`]) — per-shard `LabelingResult`s stitched
+//! 5. **Merged report** ([`report`]) — per-shard `LabelingResult`s stitched
 //!    into a global result with platform stats summed and completion time
 //!    taken as the virtual-time critical path (max over shards).
 //!
@@ -50,17 +57,23 @@
 pub mod closure;
 pub mod driver;
 mod engine;
+pub mod event_loop;
 pub mod labeler;
 pub mod oracle;
 pub mod partition;
 pub mod report;
 pub mod scheduler;
+pub mod task;
 
 pub use closure::IncrementalClosure;
 pub use driver::{drive_to_completion, PlatformDriveable};
-pub use engine::{run_non_transitive_with_oracle, run_on_platform, run_with_oracle, EngineConfig};
+pub use engine::{
+    run_non_transitive_with_oracle, run_on_platform, run_on_platform_threaded, run_with_oracle,
+    EngineConfig,
+};
 pub use labeler::ShardLabeler;
 pub use oracle::{SharedGroundTruth, SharedOracle, SyncOracle};
 pub use partition::{partition_candidates, Partition, Shard};
 pub use report::{EngineReport, ShardReport};
 pub use scheduler::{effective_threads, run_sharded};
+pub use task::{ShardState, ShardTask};

@@ -52,6 +52,22 @@ impl Shard {
     pub fn to_global(&self, local: Pair) -> Pair {
         Pair::new(self.objects[local.a() as usize], self.objects[local.b() as usize])
     }
+
+    /// Maps a shard-local labeling result back into global object ids.
+    #[must_use]
+    pub fn globalize(
+        &self,
+        local: &crowdjoin_core::LabelingResult,
+    ) -> crowdjoin_core::LabelingResult {
+        let mut global = crowdjoin_core::LabelingResult::new();
+        for lp in local.labeled_pairs() {
+            global.record(self.to_global(lp.pair), lp.label, lp.provenance);
+        }
+        for _ in 0..local.num_conflicts() {
+            global.record_conflict();
+        }
+        global
+    }
 }
 
 /// A complete partition of a labeling workload.

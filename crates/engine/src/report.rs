@@ -39,6 +39,12 @@ pub struct EngineReport {
     pub total_cost_cents: u64,
     /// Connected components found by the partitioner.
     pub num_components: usize,
+    /// Dynamic re-sharding barriers the event loop ran (0 for the blocking
+    /// driver, oracle runs, and event-loop runs with re-sharding off). When
+    /// positive, `shards` holds one report per shard *incarnation*: retired
+    /// generations carry the labels of their completed components plus all
+    /// platform money they spent; merged successors carry the rest.
+    pub reshard_generations: usize,
 }
 
 impl EngineReport {
@@ -61,7 +67,14 @@ impl EngineReport {
                 total_cost_cents += stats.total_cost_cents;
             }
         }
-        EngineReport { shards, result, completion, total_cost_cents, num_components }
+        EngineReport {
+            shards,
+            result,
+            completion,
+            total_cost_cents,
+            num_components,
+            reshard_generations: 0,
+        }
     }
 
     /// Number of shards the job ran on.
@@ -86,5 +99,30 @@ impl EngineReport {
     #[must_use]
     pub fn critical_path_rounds(&self) -> usize {
         self.shards.iter().map(|s| s.publish_rounds).max().unwrap_or(0)
+    }
+
+    /// Fraction of paid-for HIT pair slots left empty by partial HITs,
+    /// aggregated over every shard platform: each published HIT reserves
+    /// `batch_size` pair slots, so
+    /// `1 − pairs_published / (hits_published × batch_size)`.
+    ///
+    /// Per-shard publishing fragments HIT packing — every shard flushes its
+    /// own partial HIT per round (~30% of slots on small sharded workloads)
+    /// — and since every HIT costs `assignments_per_hit` assignments
+    /// regardless of fill, empty slots are money spent without questions
+    /// asked. Dynamic re-sharding exists to shrink this number. Returns 0
+    /// for oracle-driven runs (no platforms).
+    #[must_use]
+    pub fn partial_hit_waste(&self) -> f64 {
+        let (published, slots) = self
+            .shards
+            .iter()
+            .filter_map(|s| s.stats.as_ref())
+            .fold((0usize, 0usize), |(p, c), st| (p + st.pairs_published, c + st.pair_slots));
+        if slots == 0 {
+            0.0
+        } else {
+            1.0 - published as f64 / slots as f64
+        }
     }
 }

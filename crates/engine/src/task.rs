@@ -1,0 +1,515 @@
+//! The per-shard non-blocking state machine driven by the event loop.
+//!
+//! [`ShardTask`] is the poll-based reformulation of the blocking
+//! [`crate::driver::drive_to_completion`] loop: instead of monopolizing a
+//! worker thread while its platform simulates, a task exposes *when* it next
+//! needs attention ([`ShardTask::next_wake`]) and does a bounded amount of
+//! work per [`ShardTask::advance`] call. The event loop can therefore
+//! multiplex thousands of shards over a handful of workers, always advancing
+//! the shard with the earliest pending virtual event.
+//!
+//! The state machine:
+//!
+//! ```text
+//! Publishing ──publish round──▶ AwaitingCrowd ──resolution──▶ Deducing
+//!     ▲                               ▲       (feed answers)    │ │ │
+//!     │ platform idle                 └─────publish / wait──────┘ │ │
+//!     │ (defensive republish)                                     │ │
+//!     └───────────────◀── all labeled ──▶ Done ◀──────────────────┘ │
+//!                                                                   │
+//!              round fully resolved + parking requested ──▶ Parked ─┘
+//!                                       (re-sharding barrier)
+//! ```
+//!
+//! Transition policy is byte-for-byte the blocking driver's: the first
+//! round flushes unconditionally, *instant decision* recomputes the
+//! publishable set after every HIT resolution, partial HITs flush only when
+//! the platform would otherwise idle, and an idle platform with an
+//! incomplete labeler must always yield a non-empty batch. With parking
+//! disabled the event loop's per-shard outcome is bit-identical to the
+//! thread-per-shard scheduler's (pinned by `tests/event_loop.rs`).
+
+use crate::labeler::ShardLabeler;
+use crate::partition::Shard;
+use crate::report::ShardReport;
+use crowdjoin_core::{Label, LabelingResult, Pair, Provenance, ScoredPair};
+use crowdjoin_graph::UnionFind;
+use crowdjoin_sim::{HitStager, Platform, ResolvedTask, TaskSpec, VirtualTime};
+use crowdjoin_util::{FxHashMap, FxHashSet};
+
+/// Lifecycle state of a [`ShardTask`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// The labeler has publishable pairs to stage and release.
+    Publishing,
+    /// HITs are in flight; the task sleeps until the platform's next event.
+    AwaitingCrowd,
+    /// A resolution batch is being fed back into the labeler.
+    Deducing,
+    /// The platform drained at a round boundary and the task waits for the
+    /// re-sharding barrier (only entered when parking is requested).
+    Parked,
+    /// Every pair is labeled; the task can be turned into a report.
+    Done,
+}
+
+/// What remains of a parked shard when the re-sharding barrier retires it:
+/// a report carrying everything already paid for and decided, plus the open
+/// work (and its deduction context) to fold into the next generation.
+#[derive(Debug)]
+pub(crate) struct RetiredShard {
+    /// Labels of fully-labeled components, this incarnation's platform
+    /// stats (all money it spent, including on still-open components), and
+    /// its publish rounds.
+    pub report: ShardReport,
+    /// Every pair of a component that still has unlabeled pairs, in global
+    /// ids, preserving the shard's labeling order.
+    pub open_pairs: Vec<ScoredPair>,
+    /// Crowdsourced answers already obtained for `open_pairs` (global ids);
+    /// seeding them into the next generation's labeler re-derives the
+    /// deduced labels too.
+    pub known: Vec<(Pair, Label)>,
+}
+
+/// A non-blocking shard state machine: labeler + platform + staging policy,
+/// advanced cooperatively by the event loop.
+#[derive(Debug)]
+pub struct ShardTask {
+    shard: Shard,
+    labeler: ShardLabeler,
+    platform: Platform,
+    stager: HitStager,
+    ids: FxHashMap<u64, Pair>,
+    next_id: u64,
+    instant_decision: bool,
+    state: ShardState,
+    /// Resolution batch stashed between `AwaitingCrowd` and `Deducing`.
+    resolved: Vec<ResolvedTask>,
+    /// The initial publish round is exempt from the stuck assertion (an
+    /// empty workload completes at construction instead).
+    first_round: bool,
+    /// Index under which this task reports (unique across re-sharding
+    /// generations, unlike `shard.index` which restarts per generation).
+    report_index: usize,
+    /// Publish rounds already on this shard's critical path when the task
+    /// was created — the sequential depth of the re-sharding generations
+    /// behind it (0 for generation 0). Reported rounds are
+    /// `base_rounds + own stager rounds`, so the job-level critical-path
+    /// maximum counts chained generations sequentially, not as parallel
+    /// shards.
+    base_rounds: usize,
+}
+
+impl ShardTask {
+    /// Creates a task for a fresh shard on its own platform.
+    #[must_use]
+    pub fn new(
+        shard: Shard,
+        platform: Platform,
+        instant_decision: bool,
+        report_index: usize,
+    ) -> Self {
+        let labeler = ShardLabeler::new(shard.num_objects(), shard.pairs.clone());
+        Self::resume(shard, labeler, platform, instant_decision, report_index, 0)
+    }
+
+    /// Creates a task around an existing labeler (possibly pre-seeded with
+    /// known answers by the re-sharding barrier), `base_rounds` publish
+    /// rounds into the job's critical path.
+    #[must_use]
+    pub fn resume(
+        shard: Shard,
+        labeler: ShardLabeler,
+        platform: Platform,
+        instant_decision: bool,
+        report_index: usize,
+        base_rounds: usize,
+    ) -> Self {
+        let state = if labeler.is_complete() { ShardState::Done } else { ShardState::Publishing };
+        Self {
+            shard,
+            labeler,
+            platform,
+            stager: HitStager::new(),
+            ids: FxHashMap::default(),
+            next_id: 0,
+            instant_decision,
+            state,
+            resolved: Vec::new(),
+            first_round: true,
+            report_index,
+            base_rounds,
+        }
+    }
+
+    /// Publish rounds on this shard's critical path so far: the sequential
+    /// depth inherited from earlier generations plus this incarnation's own
+    /// rounds.
+    #[must_use]
+    pub fn total_rounds(&self) -> usize {
+        self.base_rounds + self.stager.publish_rounds()
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> ShardState {
+        self.state
+    }
+
+    /// When this task next needs attention, in its platform's virtual time:
+    /// the next platform event, or "now" when it has work ready (publishing,
+    /// deducing, or an idle platform to republish into). `None` once done or
+    /// parked.
+    #[must_use]
+    pub fn next_wake(&self) -> Option<VirtualTime> {
+        match self.state {
+            ShardState::Done | ShardState::Parked => None,
+            ShardState::Publishing | ShardState::Deducing => Some(self.platform.now()),
+            ShardState::AwaitingCrowd => {
+                Some(self.platform.next_event_time().unwrap_or_else(|| self.platform.now()))
+            }
+        }
+    }
+
+    /// The task platform's current virtual time (the re-sharding barrier
+    /// maximizes this over parked tasks).
+    #[must_use]
+    pub fn platform_now(&self) -> VirtualTime {
+        self.platform.now()
+    }
+
+    fn stage(&mut self, batch: &[ScoredPair], truth_of: &(dyn Fn(Pair) -> bool + Sync)) {
+        let tasks: Vec<TaskSpec> = batch
+            .iter()
+            .map(|sp| {
+                let id = self.next_id;
+                self.next_id += 1;
+                self.ids.insert(id, sp.pair);
+                TaskSpec {
+                    id,
+                    truth: truth_of(self.shard.to_global(sp.pair)),
+                    priority: sp.likelihood,
+                }
+            })
+            .collect();
+        self.stager.stage(tasks);
+    }
+
+    /// Advances the state machine by one bounded step: publish a round, poll
+    /// the platform up to its next event, or feed one resolution batch (and
+    /// publish per the instant-decision policy). Returns with the task
+    /// `Done`, `Parked` (re-sharding requested and the platform idled at a
+    /// round boundary), or `AwaitingCrowd` with a fresh [`Self::next_wake`].
+    ///
+    /// `truth_of` supplies ground-truth answers in **global** ids, exactly
+    /// like the blocking driver's closure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the labeler reports incomplete while the platform is idle
+    /// and no batch is publishable — impossible for well-formed inputs.
+    pub fn advance(&mut self, truth_of: &(dyn Fn(Pair) -> bool + Sync), park_on_idle: bool) {
+        loop {
+            match self.state {
+                ShardState::Done | ShardState::Parked => return,
+                ShardState::Publishing => {
+                    let batch = self.labeler.next_batch();
+                    self.stage(&batch, truth_of);
+                    assert!(
+                        self.first_round || self.stager.num_staged() > 0,
+                        "labeler stuck: platform idle but only {} pairs labeled",
+                        self.labeler.result().num_labeled()
+                    );
+                    self.first_round = false;
+                    self.stager.release(&mut self.platform, true);
+                    self.state = ShardState::AwaitingCrowd;
+                    return;
+                }
+                ShardState::AwaitingCrowd => {
+                    let Some(until) = self.platform.next_event_time() else {
+                        // Platform drained at a round boundary.
+                        if self.labeler.is_complete() {
+                            self.state = ShardState::Done;
+                        } else if park_on_idle {
+                            self.state = ShardState::Parked;
+                        } else {
+                            self.state = ShardState::Publishing;
+                            continue;
+                        }
+                        return;
+                    };
+                    match self.platform.poll_completions(until) {
+                        Some((_, resolved)) => {
+                            self.resolved = resolved;
+                            self.state = ShardState::Deducing;
+                        }
+                        // Events processed without a resolution; hand
+                        // control back so the loop can reschedule fairly.
+                        None => return,
+                    }
+                }
+                ShardState::Deducing => {
+                    let resolved = std::mem::take(&mut self.resolved);
+                    for r in &resolved {
+                        let pair = self.ids[&r.id];
+                        let label = if r.label { Label::Matching } else { Label::NonMatching };
+                        self.labeler.submit_answer(pair, label);
+                    }
+                    if self.labeler.is_complete() {
+                        self.state = ShardState::Done;
+                        return;
+                    }
+                    // A fully-resolved round with nothing staged or awaiting
+                    // is a clean round boundary: park there when re-sharding
+                    // is on (publishing the next round is exactly what the
+                    // barrier wants to do globally instead).
+                    if park_on_idle
+                        && self.platform.num_unresolved_pairs() == 0
+                        && self.stager.num_staged() == 0
+                        && self.labeler.num_outstanding() == 0
+                    {
+                        self.state = ShardState::Parked;
+                        return;
+                    }
+                    let may_publish =
+                        self.instant_decision || self.platform.num_unresolved_pairs() == 0;
+                    if may_publish {
+                        let batch = self.labeler.next_batch();
+                        self.stage(&batch, truth_of);
+                        // Flush partial HITs only when the platform would
+                        // otherwise go idle waiting for them.
+                        let flush = self.platform.num_unresolved_pairs() == 0;
+                        self.stager.release(&mut self.platform, flush);
+                    }
+                    self.state = ShardState::AwaitingCrowd;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Converts a finished task into its shard report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task is not `Done`.
+    #[must_use]
+    pub fn into_report(self) -> ShardReport {
+        assert_eq!(self.state, ShardState::Done, "task must be done to report");
+        let publish_rounds = self.total_rounds();
+        ShardReport {
+            shard: self.report_index,
+            num_objects: self.shard.num_objects(),
+            num_pairs: self.shard.pairs.len(),
+            num_components: self.shard.num_components,
+            result: self.shard.globalize(&self.labeler.into_result()),
+            stats: Some(self.platform.stats()),
+            completion: self.platform.stats().last_resolution,
+            publish_rounds,
+        }
+    }
+
+    /// Retires a parked task at the re-sharding barrier: splits it into a
+    /// report of everything decided and paid for so far, the open work to
+    /// repartition, and the answers that rebuild its deduction context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task is not `Parked` (the barrier only retires parked
+    /// tasks, which by construction have nothing staged or outstanding).
+    #[must_use]
+    pub(crate) fn retire(self) -> RetiredShard {
+        assert_eq!(self.state, ShardState::Parked, "only parked tasks retire");
+        assert_eq!(self.labeler.num_outstanding(), 0, "parked task cannot await answers");
+        assert_eq!(self.stager.num_staged(), 0, "parked task cannot hold staged pairs");
+
+        // Components over the shard's local candidate graph; a component is
+        // *open* while any of its pairs is unlabeled.
+        let mut uf = UnionFind::new(self.shard.num_objects());
+        for sp in self.labeler.order() {
+            uf.union(sp.pair.a(), sp.pair.b());
+        }
+        let comp_of = uf.component_ids();
+        let mut open: FxHashSet<u32> = FxHashSet::default();
+        for sp in self.labeler.unlabeled_pairs() {
+            open.insert(comp_of[sp.pair.a() as usize]);
+        }
+
+        // Labels of closed components retire now; conflicts stay attributed
+        // to this incarnation (replay into the next one never re-counts).
+        let mut retired = LabelingResult::new();
+        let mut closed_components: FxHashSet<u32> = FxHashSet::default();
+        for lp in self.labeler.result().labeled_pairs() {
+            let c = comp_of[lp.pair.a() as usize];
+            if !open.contains(&c) {
+                closed_components.insert(c);
+                retired.record(self.shard.to_global(lp.pair), lp.label, lp.provenance);
+            }
+        }
+        for _ in 0..self.labeler.result().num_conflicts() {
+            retired.record_conflict();
+        }
+
+        let mut open_pairs = Vec::new();
+        let mut known = Vec::new();
+        for sp in self.labeler.order() {
+            if !open.contains(&comp_of[sp.pair.a() as usize]) {
+                continue;
+            }
+            let global = self.shard.to_global(sp.pair);
+            open_pairs.push(ScoredPair::new(global, sp.likelihood));
+            if self.labeler.result().provenance_of(sp.pair) == Some(Provenance::Crowdsourced) {
+                let label = self.labeler.result().label_of(sp.pair).expect("labeled");
+                known.push((global, label));
+            }
+        }
+
+        let num_labeled = retired.num_labeled();
+        RetiredShard {
+            report: ShardReport {
+                shard: self.report_index,
+                num_objects: self.shard.num_objects(),
+                num_pairs: num_labeled,
+                num_components: closed_components.len(),
+                result: retired,
+                stats: Some(self.platform.stats()),
+                completion: self.platform.stats().last_resolution,
+                publish_rounds: self.total_rounds(),
+            },
+            open_pairs,
+            known,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::drive_to_completion;
+    use crowdjoin_core::{sort_pairs, CandidateSet, GroundTruth, SortStrategy};
+    use crowdjoin_sim::PlatformConfig;
+
+    fn running_example() -> (CandidateSet, GroundTruth) {
+        let truth = GroundTruth::from_clusters(6, &[vec![0, 1, 2], vec![3, 4]]);
+        let pairs = vec![
+            ScoredPair::new(Pair::new(0, 1), 0.95),
+            ScoredPair::new(Pair::new(1, 2), 0.90),
+            ScoredPair::new(Pair::new(0, 5), 0.85),
+            ScoredPair::new(Pair::new(0, 2), 0.80),
+            ScoredPair::new(Pair::new(3, 4), 0.75),
+            ScoredPair::new(Pair::new(3, 5), 0.70),
+            ScoredPair::new(Pair::new(1, 3), 0.65),
+            ScoredPair::new(Pair::new(4, 5), 0.60),
+        ];
+        (CandidateSet::new(6, pairs), truth)
+    }
+
+    fn whole_universe_shard(cs: &CandidateSet) -> Shard {
+        crate::partition::partition_candidates(cs.num_objects(), cs.pairs(), 1).shards.remove(0)
+    }
+
+    /// Driving a ShardTask to completion through `advance` must reproduce
+    /// the blocking driver bit for bit: same labels, provenance, rounds,
+    /// platform stats, and completion time.
+    #[test]
+    fn task_matches_blocking_driver_exactly() {
+        let (cs, truth) = running_example();
+        let order = sort_pairs(&cs, SortStrategy::ExpectedLikelihood);
+        for instant in [true, false] {
+            let cfg = PlatformConfig::perfect_workers(17);
+
+            let mut platform = Platform::new(cfg.clone());
+            let mut labeler = ShardLabeler::new(cs.num_objects(), order.clone());
+            let rounds = drive_to_completion(
+                &mut labeler,
+                &mut platform,
+                instant,
+                &|pair| truth.is_matching(pair),
+                &mut |_, _, _| {},
+            );
+
+            let shard = whole_universe_shard(&cs);
+            let mut task = ShardTask::new(shard, Platform::new(cfg), instant, 0);
+            let truth_of = |pair: Pair| truth.is_matching(pair);
+            while task.state() != ShardState::Done {
+                assert!(task.next_wake().is_some(), "active task must have a wake time");
+                task.advance(&truth_of, false);
+            }
+            let report = task.into_report();
+
+            assert_eq!(report.publish_rounds, rounds, "instant={instant}");
+            assert_eq!(report.stats, Some(platform.stats()), "instant={instant}");
+            assert_eq!(report.completion, platform.stats().last_resolution);
+            let blocking = labeler.into_result();
+            assert_eq!(report.result.num_crowdsourced(), blocking.num_crowdsourced());
+            assert_eq!(report.result.num_deduced(), blocking.num_deduced());
+            for sp in cs.pairs() {
+                assert_eq!(report.result.label_of(sp.pair), blocking.label_of(sp.pair));
+                assert_eq!(report.result.provenance_of(sp.pair), blocking.provenance_of(sp.pair));
+            }
+        }
+    }
+
+    /// With parking enabled the task stops at its first fully-resolved round
+    /// boundary and retire() hands back exactly the open components and
+    /// their crowdsourced context.
+    #[test]
+    fn parks_at_round_boundary_and_retires_open_work() {
+        // A triangle over all-distinct objects plus a disjoint matching
+        // pair: round 1 publishes (0,1), (1,2) and (3,4) — (0,2) is held as
+        // presumed-deducible. The two non-matching answers refute the
+        // deduction, so the shard needs a second round and parks before it.
+        let pairs = vec![
+            ScoredPair::new(Pair::new(0, 1), 0.9),
+            ScoredPair::new(Pair::new(1, 2), 0.8),
+            ScoredPair::new(Pair::new(0, 2), 0.7),
+            ScoredPair::new(Pair::new(3, 4), 0.6),
+        ];
+        let cs = CandidateSet::new(5, pairs);
+        let truth = GroundTruth::from_clusters(5, &[vec![3, 4]]);
+        let order = sort_pairs(&cs, SortStrategy::ExpectedLikelihood);
+        let shard = crate::partition::partition_candidates(5, &order, 1).shards.remove(0);
+        let mut task =
+            ShardTask::new(shard, Platform::new(PlatformConfig::perfect_workers(5)), true, 3);
+        let truth_of = |pair: Pair| truth.is_matching(pair);
+        while !matches!(task.state(), ShardState::Parked | ShardState::Done) {
+            task.advance(&truth_of, true);
+        }
+        assert_eq!(task.state(), ShardState::Parked);
+        assert!(task.next_wake().is_none());
+
+        let retired = task.retire();
+        assert_eq!(retired.report.shard, 3);
+        assert!(retired.report.stats.expect("platform stats").total_cost_cents > 0);
+        // The {3,4} component closed in round 1 and retires with its label.
+        assert_eq!(retired.report.result.num_labeled(), 1);
+        assert_eq!(retired.report.result.label_of(Pair::new(3, 4)), Some(Label::Matching));
+        // The triangle component stays open: all three of its pairs travel,
+        // with the two answered ones as known context.
+        let open: FxHashSet<Pair> = retired.open_pairs.iter().map(|sp| sp.pair).collect();
+        assert_eq!(open, [Pair::new(0, 1), Pair::new(1, 2), Pair::new(0, 2)].into_iter().collect());
+        let mut known = retired.known.clone();
+        known.sort_by_key(|&(p, _)| p);
+        assert_eq!(
+            known,
+            vec![(Pair::new(0, 1), Label::NonMatching), (Pair::new(1, 2), Label::NonMatching)]
+        );
+
+        // Seeding the known answers into a fresh labeler over the open pairs
+        // resumes exactly where the shard parked: one pair left to publish.
+        let resumed_shard =
+            crate::partition::partition_candidates(5, &retired.open_pairs, 1).shards.remove(0);
+        let mut labeler =
+            ShardLabeler::new(resumed_shard.num_objects(), resumed_shard.pairs.clone());
+        let known_of: FxHashMap<Pair, Label> = retired.known.iter().copied().collect();
+        for sp in &resumed_shard.pairs {
+            if let Some(&label) = known_of.get(&resumed_shard.to_global(sp.pair)) {
+                labeler.seed_known(sp.pair, label);
+            }
+        }
+        assert!(!labeler.is_complete());
+        let batch = labeler.next_batch();
+        assert_eq!(batch.len(), 1, "only (0,2) is left to crowdsource");
+        assert_eq!(resumed_shard.to_global(batch[0].pair), Pair::new(0, 2));
+    }
+}

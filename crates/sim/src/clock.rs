@@ -1,11 +1,15 @@
 //! A shared virtual clock for multi-platform runs.
 //!
 //! The execution engine (`crowdjoin-engine`) runs one [`crate::Platform`]
-//! per shard on its own worker thread; each platform advances its own
-//! virtual time independently (shards are disjoint workloads, so their
+//! per shard — on a worker thread in the blocking scheduler, or as a
+//! poll-based state machine in the event loop (which schedules shards by
+//! their [`crate::Platform::next_event_time`]). Each platform advances its
+//! own virtual time independently (shards are disjoint workloads, so their
 //! event streams never interact). The *job's* completion time is the
 //! critical path — the maximum virtual completion time over shards — and
-//! [`SharedClock`] is the lock-free accumulator the shards publish into.
+//! [`SharedClock`] is the lock-free accumulator concurrent drivers (the
+//! worker-pool scheduler, future async backends reporting progress
+//! mid-run) publish into as shards finish.
 
 use crate::time::VirtualTime;
 use std::sync::atomic::{AtomicU64, Ordering};

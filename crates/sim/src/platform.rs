@@ -59,6 +59,13 @@ pub struct ResolvedTask {
 pub struct PlatformStats {
     /// HITs published so far.
     pub hits_published: usize,
+    /// Pairs published so far (tasks actually placed into HITs).
+    pub pairs_published: usize,
+    /// Pair capacity of the published HITs (`hits_published × batch_size`).
+    /// `pair_slots - pairs_published` is the number of paid-for HIT slots
+    /// left empty by partial HITs — the fragmentation the engine's
+    /// `partial_hit_waste` metric quantifies.
+    pub pair_slots: usize,
     /// Assignments completed so far.
     pub assignments_completed: usize,
     /// Total cost in cents (completed assignments × price).
@@ -259,6 +266,7 @@ impl Platform {
         }
         self.unresolved_pair_count += tasks.len();
         self.open_pair_count += tasks.len();
+        self.stats.pairs_published += tasks.len();
         for chunk in tasks.chunks(self.cfg.batch_size) {
             let priority = chunk.iter().map(|t| t.priority).sum::<f64>() / chunk.len() as f64;
             let id = self.hits.len() as u32;
@@ -271,8 +279,17 @@ impl Platform {
             });
             self.open_hits.push(id);
             self.stats.hits_published += 1;
+            self.stats.pair_slots += self.cfg.batch_size;
         }
         self.wake_idle_workers();
+    }
+
+    /// Non-blocking submit half of the poll-based interface: posts tasks as
+    /// HITs and returns immediately. Alias of [`Self::publish`]; paired with
+    /// [`Self::poll_completions`] by event-loop drivers that multiplex many
+    /// platforms on one thread.
+    pub fn post_hits(&mut self, tasks: Vec<TaskSpec>) {
+        self.publish(tasks);
     }
 
     /// Wakes every idle qualified worker with a fresh revisit delay (used on
@@ -289,15 +306,43 @@ impl Platform {
         }
     }
 
-    /// Advances the simulation until the next batch of task resolutions (or
-    /// `None` when no events remain — either everything resolved or no
-    /// worker can make progress).
-    pub fn step(&mut self) -> Option<(VirtualTime, Vec<ResolvedTask>)> {
+    /// The virtual time of the earliest pending event, or `None` when the
+    /// platform is fully idle (nothing queued, nothing left to resolve).
+    /// A resolution batch that has been produced but not yet polled reports
+    /// the current time — it is ready immediately.
+    ///
+    /// This is the scheduling hook for event-loop drivers: poll the platform
+    /// with the earliest `next_event_time` first and nothing ever runs ahead
+    /// of virtual time.
+    #[must_use]
+    pub fn next_event_time(&self) -> Option<VirtualTime> {
+        if !self.resolved.is_empty() {
+            return Some(self.now);
+        }
+        self.queue.peek().map(|e| e.time)
+    }
+
+    /// Non-blocking poll half of the poll-based interface: processes queued
+    /// events **no later than `until`** and returns the first resolution
+    /// batch produced, or `None` once no event at or before `until` remains.
+    ///
+    /// Events strictly after `until` are left queued and the clock never
+    /// advances past them, so a caller multiplexing many platforms can
+    /// interleave them fairly by always polling the platform whose
+    /// [`Self::next_event_time`] is earliest. Polling with
+    /// [`VirtualTime::MAX`] reproduces the blocking [`Self::step`] exactly.
+    pub fn poll_completions(
+        &mut self,
+        until: VirtualTime,
+    ) -> Option<(VirtualTime, Vec<ResolvedTask>)> {
         loop {
             if let Some(batch) = self.resolved.pop_front() {
                 return Some(batch);
             }
-            let event = self.queue.pop()?;
+            if self.queue.peek()?.time > until {
+                return None;
+            }
+            let event = self.queue.pop().expect("peeked event must pop");
             debug_assert!(event.time >= self.now, "event from the past");
             self.now = event.time;
             match event.kind {
@@ -308,6 +353,34 @@ impl Platform {
                 }
             }
         }
+    }
+
+    /// Advances the simulation until the next batch of task resolutions (or
+    /// `None` when no events remain — either everything resolved or no
+    /// worker can make progress).
+    ///
+    /// Compatibility wrapper over [`Self::poll_completions`] with no time
+    /// bound; blocking drive loops keep using it unchanged.
+    pub fn step(&mut self) -> Option<(VirtualTime, Vec<ResolvedTask>)> {
+        self.poll_completions(VirtualTime::MAX)
+    }
+
+    /// Advances an **idle** platform's clock to `t` (keeping the maximum of
+    /// the two). Used when a platform is constructed mid-job — e.g. after
+    /// dynamic re-sharding merges shards into a fresh platform — so its
+    /// resolutions continue the merged shards' virtual timeline instead of
+    /// restarting at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are queued or resolutions are unpolled: time may
+    /// only warp while nothing is in flight.
+    pub fn warp_to(&mut self, t: VirtualTime) {
+        assert!(
+            self.queue.is_empty() && self.resolved.is_empty(),
+            "cannot warp a platform with pending events"
+        );
+        self.now = self.now.max(t);
     }
 
     /// Runs until no progress is possible, returning all resolutions in
@@ -641,6 +714,71 @@ mod tests {
         // No worker can complete two assignments of one HIT: with 3 HITs
         // nobody exceeds 3 assignments.
         assert!(stats.iter().all(|w| w.assignments_completed <= 3));
+    }
+
+    #[test]
+    fn poll_respects_time_bound() {
+        let mut blocking = Platform::new(PlatformConfig::perfect_workers(7));
+        blocking.publish(tasks(50, true));
+        let expected = blocking.run_to_completion();
+
+        // Drive an identical platform purely through the poll interface,
+        // always advancing to the next event time — the event-loop pattern.
+        let mut polled = Platform::new(PlatformConfig::perfect_workers(7));
+        polled.post_hits(tasks(50, true));
+        let mut batches = Vec::new();
+        while let Some(t) = polled.next_event_time() {
+            assert!(t >= polled.now(), "next event cannot be in the past");
+            if let Some(batch) = polled.poll_completions(t) {
+                batches.push(batch);
+            }
+            assert!(polled.now() <= t, "poll must not run past its bound");
+        }
+        assert_eq!(batches, expected, "poll-driven run must equal blocking run");
+        assert_eq!(polled.now(), blocking.now());
+        assert_eq!(polled.stats(), blocking.stats());
+    }
+
+    #[test]
+    fn poll_before_first_event_is_empty() {
+        let mut p = Platform::new(PlatformConfig::perfect_workers(3));
+        p.post_hits(tasks(10, true));
+        let first = p.next_event_time().expect("publish schedules worker checks");
+        assert!(first > VirtualTime::ZERO);
+        // Polling strictly before the first event processes nothing.
+        assert!(p.poll_completions(VirtualTime(first.0 - 1)).is_none());
+        assert_eq!(p.now(), VirtualTime::ZERO);
+        assert_eq!(p.stats().assignments_completed, 0);
+    }
+
+    #[test]
+    fn warp_advances_idle_clock_monotonically() {
+        let mut p = Platform::new(PlatformConfig::perfect_workers(5));
+        p.warp_to(VirtualTime(5_000));
+        assert_eq!(p.now(), VirtualTime(5_000));
+        p.warp_to(VirtualTime(1_000)); // never backwards
+        assert_eq!(p.now(), VirtualTime(5_000));
+        p.publish(tasks(20, true));
+        let batches = p.run_to_completion();
+        assert!(batches.iter().all(|&(t, _)| t >= VirtualTime(5_000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot warp")]
+    fn warp_rejected_while_events_pending() {
+        let mut p = Platform::new(PlatformConfig::perfect_workers(5));
+        p.publish(tasks(20, true));
+        p.warp_to(VirtualTime(5_000));
+    }
+
+    #[test]
+    fn pair_slot_accounting_tracks_partial_hits() {
+        let mut p = Platform::new(PlatformConfig::perfect_workers(19));
+        p.publish(tasks(45, true)); // batch size 20 → HITs of 20+20+5
+        let stats = p.stats();
+        assert_eq!(stats.hits_published, 3);
+        assert_eq!(stats.pairs_published, 45);
+        assert_eq!(stats.pair_slots, 60);
     }
 
     #[test]

@@ -89,4 +89,66 @@ mod tests {
         assert_eq!(stager.publish_rounds(), 0);
         assert_eq!(platform.stats().hits_published, 0);
     }
+
+    #[test]
+    fn flush_on_idle_with_single_staged_pair() {
+        // The smallest possible partial HIT: one pair. Held back without
+        // flush, published (and resolvable) as a one-pair HIT on idle flush.
+        let mut platform = Platform::new(PlatformConfig::perfect_workers(5));
+        let mut stager = HitStager::new();
+        stager.stage(tasks(1));
+        stager.release(&mut platform, false);
+        assert_eq!(stager.num_staged(), 1, "lone pair must wait for the flush");
+        assert_eq!(platform.stats().hits_published, 0);
+        assert!(platform.step().is_none(), "nothing published, platform idle");
+
+        stager.release(&mut platform, true);
+        assert_eq!(stager.num_staged(), 0);
+        assert_eq!(platform.stats().hits_published, 1);
+        let (_, resolved) = platform.step().expect("the one-pair HIT resolves");
+        assert_eq!(resolved.len(), 1);
+        assert_eq!(stager.publish_rounds(), 1);
+    }
+
+    #[test]
+    fn batch_size_one_never_holds_anything_back() {
+        // With one-pair HITs every staged task is a full HIT, so a
+        // non-flushing release already publishes everything.
+        let cfg = PlatformConfig { batch_size: 1, ..PlatformConfig::perfect_workers(5) };
+        let mut platform = Platform::new(cfg);
+        let mut stager = HitStager::new();
+        stager.stage(tasks(7));
+        stager.release(&mut platform, false);
+        assert_eq!(stager.num_staged(), 0);
+        assert_eq!(platform.stats().hits_published, 7);
+        assert_eq!(platform.stats().pair_slots, 7, "batch size 1 cannot fragment");
+        let resolved: usize = platform.run_to_completion().iter().map(|(_, r)| r.len()).sum();
+        assert_eq!(resolved, 7);
+    }
+
+    #[test]
+    fn final_round_partial_hit_resolves_and_is_accounted() {
+        // A shard whose last round does not fill a HIT: the earlier full HIT
+        // goes out eagerly, the 5-pair remainder only on the final flush,
+        // and the platform's slot accounting shows exactly that waste.
+        let mut platform = Platform::new(PlatformConfig::perfect_workers(9));
+        let mut stager = HitStager::new();
+        stager.stage(tasks(25));
+        stager.release(&mut platform, false);
+        assert_eq!(platform.stats().hits_published, 1);
+        let resolved: usize = platform.run_to_completion().iter().map(|(_, r)| r.len()).sum();
+        assert_eq!(resolved, 20);
+
+        // Final round: the leftover partial HIT flushes once the platform
+        // would otherwise idle.
+        stager.release(&mut platform, true);
+        assert_eq!(stager.num_staged(), 0);
+        let resolved: usize = platform.run_to_completion().iter().map(|(_, r)| r.len()).sum();
+        assert_eq!(resolved, 5);
+        let stats = platform.stats();
+        assert_eq!(stats.hits_published, 2);
+        assert_eq!(stats.pairs_published, 25);
+        assert_eq!(stats.pair_slots, 40, "final partial HIT wastes 15 slots");
+        assert_eq!(stager.publish_rounds(), 2);
+    }
 }

@@ -11,6 +11,10 @@ impl VirtualTime {
     /// Simulation start.
     pub const ZERO: VirtualTime = VirtualTime(0);
 
+    /// The end of virtual time; no event can be scheduled at or past it.
+    /// Polling completions until `MAX` drains the whole event queue.
+    pub const MAX: VirtualTime = VirtualTime(u64::MAX);
+
     /// Advances by a duration.
     #[must_use]
     pub fn after(self, d: SimDuration) -> VirtualTime {

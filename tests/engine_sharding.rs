@@ -218,4 +218,31 @@ fn sharded_platform_divides_crowd_and_keeps_cost() {
     // Report structure: completion really is the per-shard maximum.
     let max_shard = sharded.shards.iter().map(|s| s.completion).max().unwrap();
     assert_eq!(sharded.completion, max_shard);
+
+    // The partial-HIT fragmentation behind that money overhead, quantified:
+    // every shard flushes its own partial HIT per round, so the 8-shard run
+    // wastes a bigger fraction of paid pair slots than the single platform —
+    // but it must stay within the observed ~30%-per-shard envelope (waste
+    // beyond 50% would mean HITs mostly empty, i.e. a batching regression).
+    let single_waste = single.partial_hit_waste();
+    let sharded_waste = sharded.partial_hit_waste();
+    assert!((0.0..1.0).contains(&single_waste));
+    assert!(
+        sharded_waste >= single_waste,
+        "splitting one platform into 8 cannot pack HITs better \
+         ({sharded_waste:.3} vs {single_waste:.3})"
+    );
+    assert!(
+        sharded_waste < 0.5,
+        "per-shard partial-HIT waste blew past 50% of paid slots: {sharded_waste:.3}"
+    );
+    // Waste and money tell one story: the cost ratio never exceeds what the
+    // slot fragmentation accounts for.
+    let slot_ratio = (1.0 - single_waste) / (1.0 - sharded_waste);
+    assert!(
+        sharded_cost as f64 <= single_cost as f64 * slot_ratio + 1e-9,
+        "cost overhead {}¢/{}¢ exceeds the slot-fragmentation ratio {slot_ratio:.3}",
+        sharded_cost,
+        single_cost
+    );
 }
