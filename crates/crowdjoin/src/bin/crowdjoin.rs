@@ -62,6 +62,17 @@ struct JoinOpts {
     reshard: bool,
     /// Seed for the simulated platform.
     seed: u64,
+    /// Write-ahead journal every crowd answer to this file (platform mode
+    /// only); a killed run resumes with `--resume`.
+    journal: Option<String>,
+    /// Resume a killed journaled run from this file (platform mode only).
+    resume: Option<String>,
+    /// Platform override: pairs per HIT.
+    batch_size: Option<usize>,
+    /// Platform override: workers in the simulated crowd.
+    crowd_size: Option<usize>,
+    /// Platform override: cents per completed assignment.
+    price: Option<u32>,
 }
 
 impl Default for JoinOpts {
@@ -77,6 +88,11 @@ impl Default for JoinOpts {
             platform: None,
             reshard: false,
             seed: 42,
+            journal: None,
+            resume: None,
+            batch_size: None,
+            crowd_size: None,
+            price: None,
         }
     }
 }
@@ -120,7 +136,19 @@ options:
   --reshard yes         platform mode: dynamically merge shards between
                         publish rounds as components collapse (less
                         partial-HIT waste)
-  --seed N              seed for the simulated platform (default 42)";
+  --seed N              seed for the simulated platform (default 42)
+  --journal FILE        platform mode: append every crowd answer to a
+                        crash-safe write-ahead journal; a killed run
+                        resumes with --resume without re-paying the crowd
+  --resume FILE         platform mode: resume a killed journaled run —
+                        replays the journaled answers, asks only the rest,
+                        and keeps appending to FILE (pass the same input
+                        and flags as the original run)
+  --batch-size N        platform mode: pairs per HIT (default 20)
+  --crowd-size N        platform mode: workers in the simulated crowd
+                        (default 40; split evenly across shards)
+  --price CENTS         platform mode: cents per completed assignment
+                        (default 2)";
 
 /// Parses argv (without the program name). Pure for testability.
 fn parse_args(args: &[String]) -> Result<Command, String> {
@@ -183,6 +211,47 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         }
         if let Some(s) = flags("seed") {
             opts.seed = s.parse().map_err(|_| format!("--seed: not a number: {s:?}"))?;
+        }
+        if let Some(b) = flags("batch-size") {
+            let n = b.parse().map_err(|_| format!("--batch-size: not a number: {b:?}"))?;
+            if n == 0 {
+                return Err("--batch-size must be at least 1 pair per HIT".to_string());
+            }
+            opts.batch_size = Some(n);
+        }
+        if let Some(c) = flags("crowd-size") {
+            let n: usize = c.parse().map_err(|_| format!("--crowd-size: not a number: {c:?}"))?;
+            // Every HIT needs `assignments_per_hit` (3 in both presets)
+            // distinct workers to resolve.
+            if n < 3 {
+                return Err(format!(
+                    "--crowd-size must be at least 3 (each HIT needs 3 distinct workers for \
+                     its majority vote), got {n}"
+                ));
+            }
+            opts.crowd_size = Some(n);
+        }
+        if let Some(p) = flags("price") {
+            opts.price = Some(p.parse().map_err(|_| format!("--price: not a number: {p:?}"))?);
+        }
+        opts.journal = flags("journal");
+        opts.resume = flags("resume");
+        if opts.journal.is_some() && opts.resume.is_some() {
+            return Err("--journal starts a new journal and --resume continues an existing \
+                        one; pass exactly one"
+                .to_string());
+        }
+        let platform_only: [(&str, bool); 5] = [
+            ("--journal", opts.journal.is_some()),
+            ("--resume", opts.resume.is_some()),
+            ("--batch-size", opts.batch_size.is_some()),
+            ("--crowd-size", opts.crowd_size.is_some()),
+            ("--price", opts.price.is_some()),
+        ];
+        if opts.platform.is_none() {
+            if let Some((flag, _)) = platform_only.iter().find(|(_, set)| *set) {
+                return Err(format!("{flag} requires --platform perfect|amt"));
+            }
         }
         opts.output = flags("output");
         Ok(opts)
@@ -292,7 +361,7 @@ fn simulate_on_platform(
     order: &[ScoredPair],
     opts: &JoinOpts,
     preset: PlatformPreset,
-) -> LabelingResult {
+) -> Result<LabelingResult, String> {
     use crowdjoin::graph::UnionFind;
     use crowdjoin::sim::PlatformConfig;
 
@@ -303,17 +372,43 @@ fn simulate_on_platform(
         }
     }
     let truth = crowdjoin::GroundTruth::new(uf.component_ids());
-    let platform = match preset {
+    let mut platform = match preset {
         PlatformPreset::Perfect => PlatformConfig::perfect_workers(opts.seed),
         PlatformPreset::Amt => PlatformConfig::amt_like(opts.seed),
     };
+    if let Some(batch_size) = opts.batch_size {
+        platform.batch_size = batch_size;
+    }
+    if let Some(crowd_size) = opts.crowd_size {
+        platform.num_workers = crowd_size;
+    }
+    if let Some(price) = opts.price {
+        platform.price_per_assignment_cents = price;
+    }
     let engine = crowdjoin::EngineConfig {
         num_shards: opts.shards,
         reshard: opts.reshard,
         seed: opts.seed,
+        journal: opts.journal.clone().map(std::path::PathBuf::from),
         ..crowdjoin::EngineConfig::default()
     };
-    let report = crowdjoin::run_sharded_on_platform(num_objects, order, &truth, &platform, &engine);
+    let report = if let Some(path) = &opts.resume {
+        crowdjoin::resume_sharded_on_platform(
+            num_objects,
+            order,
+            &truth,
+            &platform,
+            &engine,
+            std::path::Path::new(path),
+        )
+        .map_err(|e| format!("--resume {path}: {e}"))?
+    } else if engine.journal.is_some() {
+        crowdjoin::Engine::new(num_objects, order, &truth, &platform, engine.clone())
+            .run()
+            .map_err(|e| format!("--journal: {e}"))?
+    } else {
+        crowdjoin::run_sharded_on_platform(num_objects, order, &truth, &platform, &engine)
+    };
 
     let (hits, assignments) = report
         .shards
@@ -350,7 +445,20 @@ fn simulate_on_platform(
     eprintln!("  partial-HIT waste  {:.1}% of paid pair slots", report.partial_hit_waste() * 100.0);
     eprintln!("  cost               ${:.2}", report.total_cost_cents as f64 / 100.0);
     eprintln!("  completion         {:.2} virtual hours", report.completion.as_hours());
-    report.result
+    if let Some(path) = &opts.resume {
+        eprintln!(
+            "  resumed            {} answer(s) (${:.2}) replayed from {path}, {} newly asked",
+            report.num_replayed_answers(),
+            report.replayed_cost_cents() as f64 / 100.0,
+            report.num_new_answers(),
+        );
+    } else if let Some(path) = &opts.journal {
+        eprintln!(
+            "  journal            {} answer(s) logged to {path} (resume with --resume {path})",
+            report.num_crowd_answers()
+        );
+    }
+    Ok(report.result)
 }
 
 fn run_join(dataset: &Dataset, opts: &JoinOpts) -> Result<(), String> {
@@ -384,7 +492,7 @@ fn run_join(dataset: &Dataset, opts: &JoinOpts) -> Result<(), String> {
                     .to_string(),
             );
         }
-        simulate_on_platform(candidates.num_objects(), &order, opts, preset)
+        simulate_on_platform(candidates.num_objects(), &order, opts, preset)?
     } else if !use_engine {
         match opts.crowd {
             CrowdMode::Auto => {
@@ -681,6 +789,58 @@ mod tests {
         assert!(parse_args(&args("dedup --input a.csv --platform mturk")).is_err());
         assert!(parse_args(&args("dedup --input a.csv --seed soon")).is_err());
         assert!(parse_args(&args("dedup --input a.csv --reshard maybe")).is_err());
+    }
+
+    #[test]
+    fn parses_journal_and_resume() {
+        match parse_args(&args("dedup --input a.csv --platform amt --journal j.wal")).unwrap() {
+            Command::Dedup { opts, .. } => {
+                assert_eq!(opts.journal.as_deref(), Some("j.wal"));
+                assert_eq!(opts.resume, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse_args(&args("dedup --input a.csv --platform amt --resume j.wal")).unwrap() {
+            Command::Dedup { opts, .. } => {
+                assert_eq!(opts.resume.as_deref(), Some("j.wal"));
+                assert_eq!(opts.journal, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Mutually exclusive, and platform-mode only.
+        assert!(parse_args(&args(
+            "dedup --input a.csv --platform amt --journal j.wal --resume j.wal"
+        ))
+        .is_err());
+        assert!(parse_args(&args("dedup --input a.csv --journal j.wal")).is_err());
+        assert!(parse_args(&args("dedup --input a.csv --resume j.wal")).is_err());
+    }
+
+    #[test]
+    fn parses_platform_knobs() {
+        match parse_args(&args(
+            "dedup --input a.csv --platform perfect --batch-size 10 --crowd-size 80 --price 3",
+        ))
+        .unwrap()
+        {
+            Command::Dedup { opts, .. } => {
+                assert_eq!(opts.batch_size, Some(10));
+                assert_eq!(opts.crowd_size, Some(80));
+                assert_eq!(opts.price, Some(3));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Degenerate values are rejected at parse time, not deep in the
+        // simulator.
+        assert!(parse_args(&args("dedup --input a --platform amt --batch-size 0")).is_err());
+        assert!(parse_args(&args("dedup --input a --platform amt --crowd-size 0")).is_err());
+        assert!(parse_args(&args("dedup --input a --platform amt --crowd-size 2")).is_err());
+        // Platform-mode only, and values must be numeric.
+        assert!(parse_args(&args("dedup --input a.csv --batch-size 10")).is_err());
+        assert!(parse_args(&args("dedup --input a.csv --crowd-size 80")).is_err());
+        assert!(parse_args(&args("dedup --input a.csv --price 3")).is_err());
+        assert!(parse_args(&args("dedup --input a --platform amt --batch-size many")).is_err());
+        assert!(parse_args(&args("dedup --input a --platform amt --price free")).is_err());
     }
 
     #[test]

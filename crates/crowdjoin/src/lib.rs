@@ -16,6 +16,7 @@
 //! | machine matcher | [`matcher`] | tokenizers, similarity, tf-idf join |
 //! | labeling framework | [`core`] | orders, sequential/parallel labelers, expected cost |
 //! | crowd platform | [`sim`] | discrete-event AMT simulator |
+//! | answer journal | [`wal`] | crash-safe write-ahead journal for resumable jobs |
 //! | execution engine | [`engine`] | component sharding, incremental closure, worker-pool scheduler |
 //! | integration | [`pipeline`], [`runner`] | dataset→task glue, platform-driven runs |
 //!
@@ -64,6 +65,8 @@ pub use crowdjoin_records as records;
 pub use crowdjoin_sim as sim;
 /// Shared utilities (re-export of `crowdjoin-util`).
 pub use crowdjoin_util as util;
+/// The crash-safe answer journal (re-export of `crowdjoin-wal`).
+pub use crowdjoin_wal as wal;
 
 pub use crowdjoin_core::{
     enforce_one_to_one, label_non_transitive, label_sequential, label_with_budget, optimal_cost,
@@ -74,11 +77,11 @@ pub use crowdjoin_core::{
     SortStrategy, WorldEnumeration,
 };
 pub use crowdjoin_engine::{
-    EngineConfig, EngineReport, ShardReport, SharedGroundTruth, SharedOracle, SyncOracle,
+    Engine, EngineConfig, EngineReport, ShardReport, SharedGroundTruth, SharedOracle, SyncOracle,
 };
 pub use pipeline::{build_task, ground_truth_of, to_candidate_set};
 pub use runner::{
-    replay_pairs_sequentially, run_non_transitive_on_platform, run_parallel_on_platform,
-    run_sharded_on_platform, run_sharded_on_platform_threaded, run_sharded_with_oracle,
-    AvailabilitySample, CrowdRunReport,
+    replay_pairs_sequentially, resume_sharded_on_platform, run_non_transitive_on_platform,
+    run_parallel_on_platform, run_sharded_on_platform, run_sharded_on_platform_threaded,
+    run_sharded_with_oracle, AvailabilitySample, CrowdRunReport,
 };

@@ -1,13 +1,18 @@
-//! Job-level entry points: partition, schedule, run, stitch.
+//! Job-level entry points: partition, schedule, run, resume, stitch.
 
 use crate::driver::drive_to_completion;
+use crate::event_loop::JournalRun;
 use crate::labeler::ShardLabeler;
 use crate::oracle::SharedOracle;
 use crate::partition::{partition_candidates, Shard};
+use crate::persist::{job_header, verify_header};
 use crate::report::{EngineReport, ShardReport};
 use crate::scheduler::run_sharded;
 use crowdjoin_core::{GroundTruth, LabelingResult, Pair, Provenance, ScoredPair};
 use crowdjoin_sim::{Platform, PlatformConfig, SharedClock, VirtualTime};
+use crowdjoin_wal::{open_resume, partition_replay, Journal, WalError};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Engine tunables.
 #[derive(Debug, Clone)]
@@ -28,11 +33,27 @@ pub struct EngineConfig {
     pub reshard: bool,
     /// Master seed for per-shard platform derivation.
     pub seed: u64,
+    /// Platform-driven event-loop runs: append every crowd answer to a
+    /// crash-safe write-ahead journal at this path (see `crowdjoin-wal`).
+    /// A killed job is then resumable with [`Engine::resume`], re-paying
+    /// nothing. The path must not already hold a non-empty file — an
+    /// existing journal may contain paid-for answers and must be resumed
+    /// or deleted explicitly. Ignored by oracle-driven runs and the
+    /// blocking thread-per-shard driver (both documented on their entry
+    /// points).
+    pub journal: Option<PathBuf>,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        Self { num_shards: 0, num_threads: 0, instant_decision: true, reshard: false, seed: 0 }
+        Self {
+            num_shards: 0,
+            num_threads: 0,
+            instant_decision: true,
+            reshard: false,
+            seed: 0,
+            journal: None,
+        }
     }
 }
 
@@ -52,12 +73,168 @@ impl EngineConfig {
     }
 }
 
+/// A configured platform-driven job: inputs and tunables bundled so fresh
+/// runs and journal resumes share one construction path.
+///
+/// ```no_run
+/// use crowdjoin_core::{GroundTruth, Pair, ScoredPair};
+/// use crowdjoin_engine::{Engine, EngineConfig};
+/// use crowdjoin_sim::PlatformConfig;
+///
+/// let truth = GroundTruth::from_clusters(3, &[vec![0, 1, 2]]);
+/// let order = vec![ScoredPair::new(Pair::new(0, 1), 0.9)];
+/// let platform = PlatformConfig::amt_like(7);
+/// let config = EngineConfig { journal: Some("job.wal".into()), ..EngineConfig::default() };
+/// let engine = Engine::new(3, &order, &truth, &platform, config);
+/// let report = match engine.run() {
+///     Ok(report) => report,                                  // journaled run
+///     Err(_) => engine.resume("job.wal".as_ref()).unwrap(),  // e.g. journal exists: resume it
+/// };
+/// assert_eq!(report.result.num_labeled(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine<'a> {
+    num_objects: usize,
+    order: &'a [ScoredPair],
+    truth: &'a GroundTruth,
+    platform: &'a PlatformConfig,
+    config: EngineConfig,
+}
+
+impl<'a> Engine<'a> {
+    /// Bundles a job's inputs with its engine configuration.
+    #[must_use]
+    pub fn new(
+        num_objects: usize,
+        order: &'a [ScoredPair],
+        truth: &'a GroundTruth,
+        platform: &'a PlatformConfig,
+        config: EngineConfig,
+    ) -> Self {
+        Self { num_objects, order, truth, platform, config }
+    }
+
+    /// Runs the job on the event loop (see [`run_on_platform`] for the
+    /// execution model). With [`EngineConfig::journal`] set, every crowd
+    /// answer is write-ahead logged so a killed process can be resumed with
+    /// [`Self::resume`].
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::AlreadyExists`] if the journal path holds a non-empty
+    /// file (resume or delete it explicitly), [`WalError::Io`] if the
+    /// journal cannot be created. Unjournaled runs never fail.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed inputs (see [`run_on_platform`]) or on a
+    /// journal I/O failure mid-run — a write-ahead log that silently stops
+    /// logging would betray the resume, so the engine is fail-stop.
+    pub fn run(&self) -> Result<EngineReport, WalError> {
+        let journal = match &self.config.journal {
+            None => None,
+            Some(path) => {
+                let header = job_header(
+                    self.num_objects,
+                    self.order,
+                    self.truth,
+                    self.platform,
+                    &self.config,
+                    self.config.effective_shards(),
+                );
+                Some(JournalRun {
+                    sink: Arc::new(Journal::create(path, &header)?),
+                    plan: crowdjoin_wal::ReplayPlan::default(),
+                })
+            }
+        };
+        Ok(self.run_event_loop(&self.config, journal))
+    }
+
+    /// Resumes a killed journaled job: replays the journal's paid-for
+    /// answers (verifying each re-derived record bit-for-bit), asks the
+    /// crowd only the questions the crashed run never paid for, and keeps
+    /// appending to the same journal — so a resumed job can itself crash
+    /// and be resumed again.
+    ///
+    /// Because every shard simulation is deterministic, the resumed report
+    /// is **bit-identical** to the report of an uninterrupted run: same
+    /// labels and provenance, same per-shard platform statistics, same
+    /// money, same completion time. What differs is the ledger:
+    /// [`EngineReport::num_replayed_answers`] counts the journaled answers
+    /// that were *not* re-asked, and [`EngineReport::num_new_answers`]
+    /// the ones this run actually paid for. Resuming a journal whose job
+    /// already finished replays everything and asks nothing.
+    ///
+    /// A torn tail (crash mid-append) is truncated on open; answers after
+    /// the last durable barrier replay fine — the journal is usable from
+    /// any byte-level prefix.
+    ///
+    /// The engine's `num_shards = 0` ("one shard per CPU") is resolved
+    /// from the journal header, so a journal resumes identically on a
+    /// machine with a different core count.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::HeaderMismatch`] when the inputs, seeds, or flags
+    /// differ from the journaled job (e.g. resuming with a different
+    /// `--seed`); [`WalError::Corrupt`] / [`WalError::NotAJournal`] /
+    /// [`WalError::VersionMismatch`] for a damaged or foreign file;
+    /// [`WalError::Io`] on I/O failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the journal passes the header check but diverges from the
+    /// re-derived history mid-replay — that means the journal and the job
+    /// disagree in a way fingerprints could not catch, and continuing
+    /// would silently fork paid-for history.
+    pub fn resume(&self, path: &Path) -> Result<EngineReport, WalError> {
+        let (contents, sink) = open_resume(path)?;
+        let mut config = self.config.clone();
+        if config.num_shards == 0 {
+            config.num_shards = contents.header.num_shards as usize;
+        }
+        // New records go to the journal being resumed, whatever
+        // `config.journal` says.
+        config.journal = Some(path.to_path_buf());
+        let header = job_header(
+            self.num_objects,
+            self.order,
+            self.truth,
+            self.platform,
+            &config,
+            config.effective_shards(),
+        );
+        verify_header(&contents.header, &header)?;
+        let plan = partition_replay(&contents.records);
+        Ok(self.run_event_loop(&config, Some(JournalRun { sink: Arc::new(sink), plan })))
+    }
+
+    fn run_event_loop(&self, config: &EngineConfig, journal: Option<JournalRun>) -> EngineReport {
+        let partition =
+            partition_candidates(self.num_objects, self.order, config.effective_shards());
+        crate::event_loop::run_event_loop(
+            self.num_objects,
+            self.order,
+            partition,
+            self.truth,
+            self.platform,
+            config,
+            journal,
+        )
+    }
+}
+
 /// Runs the sharded engine against a thread-safe oracle.
 ///
 /// Each shard drives its own labeler; crowd questions are issued in one
 /// batched `answer_batch` call per publish round. With a consistent oracle
 /// the merged labels equal a single-threaded run's on every pair (pinned by
 /// the `engine_equivalence` tests).
+///
+/// `config.journal` is ignored: oracle answers arrive synchronously from
+/// the caller, who owns their durability; the write-ahead journal covers
+/// the platform-driven path.
 ///
 /// # Panics
 ///
@@ -99,6 +276,8 @@ pub fn run_with_oracle<O: SharedOracle + ?Sized>(
             stats: None,
             completion: VirtualTime::ZERO,
             publish_rounds,
+            replayed_answers: 0,
+            replayed_cost_cents: 0,
         }
     });
     EngineReport::from_shards(reports, num_components)
@@ -130,10 +309,15 @@ pub fn run_with_oracle<O: SharedOracle + ?Sized>(
 /// additionally merges shards between publish rounds as early answers
 /// collapse components (see [`crate::EngineConfig::reshard`]).
 ///
+/// Thin wrapper over [`Engine::run`] for journal-free call sites; see
+/// [`Engine::resume`] for continuing a killed journaled job.
+///
 /// # Panics
 ///
 /// Panics if a pair references an object `>= num_objects`, appears twice in
-/// `order`, or the platform configuration is invalid.
+/// `order`, or the platform configuration is invalid. With
+/// [`EngineConfig::journal`] set, additionally panics where [`Engine::run`]
+/// would return an error — prefer the `Engine` API for journaled jobs.
 #[must_use]
 pub fn run_on_platform(
     num_objects: usize,
@@ -142,8 +326,9 @@ pub fn run_on_platform(
     platform: &PlatformConfig,
     config: &EngineConfig,
 ) -> EngineReport {
-    let partition = partition_candidates(num_objects, order, config.effective_shards());
-    crate::event_loop::run_event_loop(num_objects, order, partition, truth, platform, config)
+    Engine::new(num_objects, order, truth, platform, config.clone())
+        .run()
+        .unwrap_or_else(|e| panic!("journaled engine run failed: {e}"))
 }
 
 /// The blocking thread-per-shard driver: each worker thread drives one
@@ -152,8 +337,9 @@ pub fn run_on_platform(
 /// [`run_on_platform`] (same results, bounded threads, optional dynamic
 /// re-sharding).
 ///
-/// `config.reshard` is ignored — a blocked worker cannot reach a global
-/// round barrier.
+/// `config.reshard` and `config.journal` are ignored — a blocked worker
+/// cannot reach a global round barrier, and crash safety belongs to the
+/// default driver.
 ///
 /// # Panics
 ///
@@ -214,6 +400,8 @@ fn run_shard_on_platform(
         stats: Some(platform.stats()),
         completion: platform.stats().last_resolution,
         publish_rounds,
+        replayed_answers: 0,
+        replayed_cost_cents: 0,
     }
 }
 
@@ -245,6 +433,8 @@ pub fn run_non_transitive_with_oracle<O: SharedOracle + ?Sized>(
             stats: None,
             completion: VirtualTime::ZERO,
             publish_rounds: 1,
+            replayed_answers: 0,
+            replayed_cost_cents: 0,
         }
     });
     EngineReport::from_shards(reports, num_components)

@@ -29,6 +29,19 @@
 //! no money is lost. Fewer, fuller shards mean later rounds pack full HITs
 //! instead of per-shard partial ones — directly shrinking
 //! [`crate::EngineReport::partial_hit_waste`].
+//!
+//! ## Journaling
+//!
+//! A journaled run ([`crate::EngineConfig::journal`] /
+//! [`crate::Engine::resume`]) threads one shared
+//! [`crowdjoin_wal::Journal`] sink through the loop. The per-shard
+//! journaling points live in [`ShardTask`]; the loop itself owns the two
+//! global record kinds: an fsynced [`crowdjoin_wal::GenerationRecord`] at
+//! every re-sharding barrier (before the merged generation's tasks are
+//! enqueued) and one [`crowdjoin_wal::CompleteRecord`] when the job
+//! finishes. On resume the loop hands each task the journaled replay queue
+//! for its report index, and the deterministic re-execution consumes those
+//! queues exactly — any leftover is a divergence and panics loudly.
 
 use crate::engine::EngineConfig;
 use crate::partition::{partition_candidates, Partition};
@@ -39,9 +52,10 @@ use crate::ShardLabeler;
 use crowdjoin_core::{GroundTruth, Label, Pair, ScoredPair};
 use crowdjoin_sim::{Platform, PlatformConfig, VirtualTime};
 use crowdjoin_util::{derive_seed, FxHashMap};
+use crowdjoin_wal as wal;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-use std::sync::{Condvar, Mutex};
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Derives the platform configuration for one shard of a generation: a
 /// deterministic per-shard seed, and an even split of the configured crowd
@@ -68,6 +82,16 @@ pub(crate) fn shard_platform_config(
     }
 }
 
+/// A journal attached to one event-loop run: the append sink plus the
+/// replay queues of a resumed journal (all empty for a fresh journaled
+/// run).
+pub(crate) struct JournalRun {
+    /// Shared append sink; tasks and the loop clone the `Arc`.
+    pub sink: Arc<wal::Journal>,
+    /// Journaled history to verify instead of re-append, split per shard.
+    pub plan: wal::ReplayPlan,
+}
+
 /// Shared mutable scheduler state (behind one mutex; workers hold it only
 /// between advances, never while simulating).
 struct LoopState {
@@ -89,6 +113,11 @@ struct LoopState {
     next_report_index: usize,
     /// Re-sharding generations performed so far.
     generations: usize,
+    /// Replay queues of shard incarnations not yet created (consumed at
+    /// task creation; must be empty when the loop finishes).
+    replay_shards: std::collections::BTreeMap<u32, VecDeque<wal::ShardEvent>>,
+    /// Journaled re-sharding barriers to verify instead of re-append.
+    replay_generations: VecDeque<wal::GenerationRecord>,
 }
 
 /// Everything workers need by reference.
@@ -104,6 +133,8 @@ struct LoopCtx<'a> {
     /// order encodes the sort strategy — it decides which pairs get
     /// crowdsourced vs deduced and must survive the barrier).
     order_position: FxHashMap<Pair, usize>,
+    /// Answer-journal sink of a journaled run.
+    journal: Option<Arc<wal::Journal>>,
 }
 
 /// Runs a partitioned workload on the event loop and stitches the merged
@@ -116,11 +147,18 @@ pub(crate) fn run_event_loop(
     truth: &GroundTruth,
     platform_cfg: &PlatformConfig,
     engine_cfg: &EngineConfig,
+    journal: Option<JournalRun>,
 ) -> EngineReport {
     let num_components = partition.num_components;
     let shards = partition.shards;
+    let (sink, replay_shards, replay_generations, journal_complete) = match journal {
+        Some(j) => (Some(j.sink), j.plan.shards, j.plan.generations, j.plan.complete),
+        None => (None, std::collections::BTreeMap::new(), VecDeque::new(), None),
+    };
     if shards.is_empty() {
-        return EngineReport::from_shards(Vec::new(), num_components);
+        let report = EngineReport::from_shards(Vec::new(), num_components);
+        journal_completion(sink.as_deref(), journal_complete, &report);
+        return report;
     }
 
     let initial_shards = shards.len();
@@ -136,11 +174,18 @@ pub(crate) fn run_event_loop(
         finished: Vec::new(),
         next_report_index: initial_shards,
         generations: 0,
+        replay_shards,
+        replay_generations,
     };
     for shard in shards {
         let cfg = shard_platform_config(platform_cfg, engine_cfg, 0, shard.index, initial_shards);
         let index = shard.index;
-        let task = ShardTask::new(shard, Platform::new(cfg), engine_cfg.instant_decision, index);
+        let mut task =
+            ShardTask::new(shard, Platform::new(cfg), engine_cfg.instant_decision, index);
+        if sink.is_some() {
+            let replay = state.replay_shards.remove(&(index as u32)).unwrap_or_default();
+            task.attach_journal(sink.clone(), replay);
+        }
         enqueue(&mut state, task);
     }
 
@@ -159,6 +204,7 @@ pub(crate) fn run_event_loop(
         initial_shards,
         total_pairs,
         order_position,
+        journal: sink.clone(),
     };
     let state = Mutex::new(state);
     let cv = Condvar::new();
@@ -174,6 +220,17 @@ pub(crate) fn run_event_loop(
 
     let state = state.into_inner().expect("event loop mutex poisoned");
     debug_assert_eq!(state.active, 0);
+    assert!(
+        state.replay_shards.is_empty(),
+        "journal divergence: journal holds records for {} shard incarnation(s) the resumed \
+         run never created",
+        state.replay_shards.len()
+    );
+    assert!(
+        state.replay_generations.is_empty(),
+        "journal divergence: {} journaled re-sharding barrier(s) were never re-derived",
+        state.replay_generations.len()
+    );
     let mut reports = state.finished;
     reports.sort_unstable_by_key(|r| r.shard);
 
@@ -182,7 +239,37 @@ pub(crate) fn run_event_loop(
     // predecessors, so the maximum spans incarnations too).
     let mut report = EngineReport::from_shards(reports, num_components);
     report.reshard_generations = state.generations;
+    journal_completion(sink.as_deref(), journal_complete, &report);
     report
+}
+
+/// Appends (or, on a resume whose journal already ends with one, verifies)
+/// the job-completion record.
+///
+/// # Panics
+///
+/// Panics on journal divergence or I/O failure.
+fn journal_completion(
+    sink: Option<&wal::Journal>,
+    journaled: Option<wal::CompleteRecord>,
+    report: &EngineReport,
+) {
+    let Some(sink) = sink else { return };
+    let record = wal::CompleteRecord {
+        answers: report.num_crowd_answers() as u64,
+        cost_cents: report.total_cost_cents,
+        completion: report.completion.0,
+    };
+    match journaled {
+        Some(j) => assert_eq!(
+            j, record,
+            "journal divergence: the resumed run finished with different totals than the \
+             journaled completion record"
+        ),
+        None => sink
+            .append_durable(&wal::Record::Complete(record))
+            .expect("completion journal append failed"),
+    }
 }
 
 /// Inserts a task into the scheduler (or straight into `finished` when it
@@ -319,6 +406,33 @@ fn reshard(st: &mut LoopState, ctx: &LoopCtx<'_>) {
     let target = open_pairs.len().div_ceil(min_load.max(1)).clamp(1, ctx.initial_shards);
     let partition = partition_candidates(ctx.num_objects, &open_pairs, target);
     let active_shards = partition.shards.len().max(1);
+
+    // The generation record goes to the journal before any merged task can
+    // append an answer, so a journal always reads `…gen-N answers,
+    // generation barrier, gen-N+1 answers…` in order.
+    if ctx.journal.is_some() || !st.replay_generations.is_empty() {
+        let record = wal::GenerationRecord {
+            generation: st.generations as u32,
+            shards: active_shards as u32,
+            time: barrier.0,
+            rounds: barrier_rounds as u32,
+            open_pairs: open_pairs.len() as u64,
+        };
+        match st.replay_generations.pop_front() {
+            Some(journaled) => assert_eq!(
+                journaled, record,
+                "journal divergence: re-sharding barrier {} does not match the journaled one",
+                st.generations
+            ),
+            None => {
+                if let Some(sink) = &ctx.journal {
+                    sink.append_durable(&wal::Record::Generation(record))
+                        .expect("generation journal append failed");
+                }
+            }
+        }
+    }
+
     for shard in partition.shards {
         let cfg = shard_platform_config(
             ctx.platform_cfg,
@@ -337,7 +451,7 @@ fn reshard(st: &mut LoopState, ctx: &LoopCtx<'_>) {
         }
         let report_index = st.next_report_index;
         st.next_report_index += 1;
-        let task = ShardTask::resume(
+        let mut task = ShardTask::resume(
             shard,
             labeler,
             platform,
@@ -345,6 +459,10 @@ fn reshard(st: &mut LoopState, ctx: &LoopCtx<'_>) {
             report_index,
             barrier_rounds,
         );
+        if ctx.journal.is_some() {
+            let replay = st.replay_shards.remove(&(report_index as u32)).unwrap_or_default();
+            task.attach_journal(ctx.journal.clone(), replay);
+        }
         enqueue(st, task);
     }
 }

@@ -9,6 +9,16 @@
 //!
 //! The equivalence (same labels, same crowdsourced set for consistent
 //! answers) is pinned by the `engine_equivalence` integration tests.
+//!
+//! Besides the live path ([`ShardLabeler::next_batch`] /
+//! [`ShardLabeler::submit_answer`]), the labeler exposes the **replay
+//! primitive** [`ShardLabeler::seed_known`]: feed an already-paid-for
+//! crowd answer without publishing, propagating its deduction delta
+//! exactly as a live answer would. Replaying a shard's crowdsourced
+//! answers in labeling order re-derives its deduced labels too, which is
+//! what both dynamic re-sharding (rebuilding merged shards at a barrier)
+//! and journal recovery (rebuilding labeler state from
+//! `crowdjoin-wal` answer records) are built on.
 
 use crate::closure::IncrementalClosure;
 use crowdjoin_core::{Label, LabelingResult, Pair, Provenance, ScoredPair};

@@ -61,15 +61,19 @@ pub mod event_loop;
 pub mod labeler;
 pub mod oracle;
 pub mod partition;
+mod persist;
 pub mod report;
 pub mod scheduler;
 pub mod task;
+
+/// The on-disk answer-journal format (re-export of `crowdjoin-wal`).
+pub use crowdjoin_wal as wal;
 
 pub use closure::IncrementalClosure;
 pub use driver::{drive_to_completion, PlatformDriveable};
 pub use engine::{
     run_non_transitive_with_oracle, run_on_platform, run_on_platform_threaded, run_with_oracle,
-    EngineConfig,
+    Engine, EngineConfig,
 };
 pub use labeler::ShardLabeler;
 pub use oracle::{SharedGroundTruth, SharedOracle, SyncOracle};

@@ -23,6 +23,13 @@ pub struct ShardReport {
     pub completion: VirtualTime,
     /// Publish rounds the shard's labeler needed.
     pub publish_rounds: usize,
+    /// Crowd answers replayed from a journal instead of re-asked (0 unless
+    /// the run was an [`crate::Engine::resume`]).
+    pub replayed_answers: usize,
+    /// The shard platform's cumulative spend already covered by the
+    /// journal at its last replayed record — money the crashed run paid,
+    /// not this one.
+    pub replayed_cost_cents: u64,
 }
 
 /// The stitched, job-level outcome of a sharded run.
@@ -99,6 +106,40 @@ impl EngineReport {
     #[must_use]
     pub fn critical_path_rounds(&self) -> usize {
         self.shards.iter().map(|s| s.publish_rounds).max().unwrap_or(0)
+    }
+
+    /// Crowd answers resolved across every shard platform — for
+    /// re-sharding runs this counts every *paid* answer once (unlike
+    /// [`Self::num_crowdsourced`], which counts labeled pairs and can fall
+    /// below it when a merged generation re-derives a redundant answer as
+    /// deduced). Equals the journal's answer-record count on journaled
+    /// runs; 0 for oracle-driven runs (no platforms).
+    #[must_use]
+    pub fn num_crowd_answers(&self) -> usize {
+        self.shards.iter().filter_map(|s| s.stats.as_ref()).map(|st| st.pairs_published).sum()
+    }
+
+    /// Crowd answers replayed from a journal instead of re-asked (0 unless
+    /// the run was an [`crate::Engine::resume`]).
+    #[must_use]
+    pub fn num_replayed_answers(&self) -> usize {
+        self.shards.iter().map(|s| s.replayed_answers).sum()
+    }
+
+    /// Crowd answers this run actually paid for: everything the journal
+    /// did not already cover.
+    #[must_use]
+    pub fn num_new_answers(&self) -> usize {
+        self.num_crowd_answers() - self.num_replayed_answers()
+    }
+
+    /// Money (cents) already covered by the journal — spend the crashed
+    /// run paid that this run did not repeat. Exact at round barriers;
+    /// mid-round it excludes assignments that had not yet produced a
+    /// journaled resolution.
+    #[must_use]
+    pub fn replayed_cost_cents(&self) -> u64 {
+        self.shards.iter().map(|s| s.replayed_cost_cents).sum()
     }
 
     /// Fraction of paid-for HIT pair slots left empty by partial HITs,

@@ -28,14 +28,39 @@
 //! incomplete labeler must always yield a non-empty batch. With parking
 //! disabled the event loop's per-shard outcome is bit-identical to the
 //! thread-per-shard scheduler's (pinned by `tests/event_loop.rs`).
+//!
+//! ## Journaling points (crash safety)
+//!
+//! With a journal attached ([`ShardTask::attach_journal`]) the state
+//! machine becomes a write-ahead logger at exactly two points:
+//!
+//! * entering `Deducing`, every resolution in the batch is appended as an
+//!   [`crowdjoin_wal::AnswerRecord`] **before** any answer is fed to the
+//!   labeler — the WAL discipline: a paid answer is durable before its
+//!   effects (deductions, the next publish decision) exist anywhere;
+//! * a drained platform at a round boundary (the `AwaitingCrowd` →
+//!   `Publishing`/`Parked`/`Done` transition) appends an fsynced
+//!   [`crowdjoin_wal::BarrierRecord`] snapshotting the platform's full
+//!   counters, making every round a durable, verifiable recovery point.
+//!
+//! On resume the same two points run in reverse: while the journaled
+//! replay queue is non-empty, each produced record is checked bit-for-bit
+//! against the journal (pair, label, votes, virtual time, money) instead
+//! of being re-appended, and any divergence panics loudly rather than
+//! silently forking history. The task counts replayed answers so the
+//! engine can report how much of the run was already paid for.
 
 use crate::labeler::ShardLabeler;
 use crate::partition::Shard;
+use crate::persist::snapshot_of;
 use crate::report::ShardReport;
 use crowdjoin_core::{Label, LabelingResult, Pair, Provenance, ScoredPair};
 use crowdjoin_graph::UnionFind;
 use crowdjoin_sim::{HitStager, Platform, ResolvedTask, TaskSpec, VirtualTime};
 use crowdjoin_util::{FxHashMap, FxHashSet};
+use crowdjoin_wal::{AnswerRecord, BarrierRecord, Journal, Record, ShardEvent};
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Lifecycle state of a [`ShardTask`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +110,18 @@ pub struct ShardTask {
     state: ShardState,
     /// Resolution batch stashed between `AwaitingCrowd` and `Deducing`.
     resolved: Vec<ResolvedTask>,
+    /// Virtual time the stashed batch resolved at (journaled per answer).
+    resolved_at: VirtualTime,
+    /// Answer journal to append this task's records to, if the run is
+    /// journaled.
+    journal: Option<Arc<Journal>>,
+    /// Journaled prefix of this shard's records, verified (not re-appended
+    /// and not re-paid) as the resumed run re-derives them.
+    replay: VecDeque<ShardEvent>,
+    /// Answers consumed from `replay` so far.
+    replayed_answers: usize,
+    /// Cumulative platform spend covered by the last replayed record.
+    replayed_cost_cents: u64,
     /// The initial publish round is exempt from the stuck assertion (an
     /// empty workload completes at construction instead).
     first_round: bool,
@@ -136,10 +173,31 @@ impl ShardTask {
             instant_decision,
             state,
             resolved: Vec::new(),
+            resolved_at: VirtualTime::ZERO,
+            journal: None,
+            replay: VecDeque::new(),
+            replayed_answers: 0,
+            replayed_cost_cents: 0,
             first_round: true,
             report_index,
             base_rounds,
         }
+    }
+
+    /// Attaches the answer journal: every record this task produces is
+    /// appended to `sink`, except while `replay` (the journaled prefix of
+    /// this shard's records, from a crashed run) is non-empty — those are
+    /// verified against the journal instead, so a resumed run never
+    /// re-appends or re-pays what the journal already holds.
+    pub fn attach_journal(&mut self, sink: Option<Arc<Journal>>, replay: VecDeque<ShardEvent>) {
+        self.journal = sink;
+        self.replay = replay;
+    }
+
+    /// Answers replayed from the journal so far (0 for non-resumed runs).
+    #[must_use]
+    pub fn replayed_answers(&self) -> usize {
+        self.replayed_answers
     }
 
     /// Publish rounds on this shard's critical path so far: the sequential
@@ -227,7 +285,9 @@ impl ShardTask {
                 }
                 ShardState::AwaitingCrowd => {
                     let Some(until) = self.platform.next_event_time() else {
-                        // Platform drained at a round boundary.
+                        // Platform drained at a round boundary: a durable,
+                        // verifiable recovery point.
+                        self.journal_round_boundary();
                         if self.labeler.is_complete() {
                             self.state = ShardState::Done;
                         } else if park_on_idle {
@@ -239,8 +299,9 @@ impl ShardTask {
                         return;
                     };
                     match self.platform.poll_completions(until) {
-                        Some((_, resolved)) => {
+                        Some((at, resolved)) => {
                             self.resolved = resolved;
+                            self.resolved_at = at;
                             self.state = ShardState::Deducing;
                         }
                         // Events processed without a resolution; hand
@@ -250,6 +311,10 @@ impl ShardTask {
                 }
                 ShardState::Deducing => {
                     let resolved = std::mem::take(&mut self.resolved);
+                    // WAL discipline: every answer of the batch is durable
+                    // (or verified against the journal) before any of them
+                    // takes effect in the labeler.
+                    self.journal_answers(&resolved);
                     for r in &resolved {
                         let pair = self.ids[&r.id];
                         let label = if r.label { Label::Matching } else { Label::NonMatching };
@@ -288,14 +353,117 @@ impl ShardTask {
         }
     }
 
+    /// Journals (or, on resume, verifies) one batch of resolutions before
+    /// they are applied. A record is appended only once the replay queue is
+    /// exhausted — everything before that is history the crashed run
+    /// already wrote and paid for.
+    ///
+    /// # Panics
+    ///
+    /// Panics on journal divergence (the resumed run produced a different
+    /// answer than the journal — inputs, seeds, or flags changed) or on a
+    /// journal I/O failure (continuing without durability would betray a
+    /// later resume).
+    fn journal_answers(&mut self, resolved: &[ResolvedTask]) {
+        if self.journal.is_none() && self.replay.is_empty() {
+            return;
+        }
+        for r in resolved {
+            let global = self.shard.to_global(self.ids[&r.id]);
+            let record = AnswerRecord {
+                shard: self.report_index as u32,
+                a: global.a(),
+                b: global.b(),
+                matching: r.label,
+                yes_votes: r.yes_votes,
+                no_votes: r.no_votes,
+                time: self.resolved_at.0,
+                cost_cents: self.platform.stats().total_cost_cents,
+            };
+            match self.replay.pop_front() {
+                Some(ShardEvent::Answer(journaled)) => {
+                    assert_eq!(
+                        journaled, record,
+                        "journal divergence on shard {}: the resumed run re-derived a \
+                         different answer than the journaled one",
+                        self.report_index
+                    );
+                    self.replayed_answers += 1;
+                    self.replayed_cost_cents = journaled.cost_cents;
+                }
+                Some(ShardEvent::Barrier(_)) => panic!(
+                    "journal divergence on shard {}: journal holds a round barrier where \
+                     the resumed run produced an answer",
+                    self.report_index
+                ),
+                None => {
+                    if let Some(journal) = &self.journal {
+                        journal
+                            .append(&Record::Answer(record))
+                            .expect("answer journal append failed; refusing to continue unlogged");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Journals (or, on resume, verifies) a fully-resolved round boundary:
+    /// an fsynced barrier record snapshotting the platform's counters.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::journal_answers`].
+    fn journal_round_boundary(&mut self) {
+        if self.journal.is_none() && self.replay.is_empty() {
+            return;
+        }
+        let record = BarrierRecord {
+            shard: self.report_index as u32,
+            rounds: self.total_rounds() as u32,
+            time: self.platform.now().0,
+            stats: snapshot_of(&self.platform.stats()),
+        };
+        match self.replay.pop_front() {
+            Some(ShardEvent::Barrier(journaled)) => {
+                assert_eq!(
+                    journaled, record,
+                    "journal divergence on shard {}: round-barrier platform counters do \
+                     not match the journaled ones",
+                    self.report_index
+                );
+                self.replayed_cost_cents = journaled.stats.total_cost_cents;
+            }
+            Some(ShardEvent::Answer(_)) => panic!(
+                "journal divergence on shard {}: journal holds an answer where the \
+                 resumed run reached a round barrier",
+                self.report_index
+            ),
+            None => {
+                if let Some(journal) = &self.journal {
+                    journal
+                        .append_durable(&Record::Barrier(record))
+                        .expect("barrier journal append failed; refusing to continue unlogged");
+                }
+            }
+        }
+    }
+
     /// Converts a finished task into its shard report.
     ///
     /// # Panics
     ///
-    /// Panics if the task is not `Done`.
+    /// Panics if the task is not `Done`, or if journaled replay events
+    /// remain unconsumed (the journal holds history this run never
+    /// re-derived — a divergence).
     #[must_use]
     pub fn into_report(self) -> ShardReport {
         assert_eq!(self.state, ShardState::Done, "task must be done to report");
+        assert!(
+            self.replay.is_empty(),
+            "journal divergence on shard {}: {} journaled event(s) were never re-derived",
+            self.report_index,
+            self.replay.len()
+        );
         let publish_rounds = self.total_rounds();
         ShardReport {
             shard: self.report_index,
@@ -306,6 +474,8 @@ impl ShardTask {
             stats: Some(self.platform.stats()),
             completion: self.platform.stats().last_resolution,
             publish_rounds,
+            replayed_answers: self.replayed_answers,
+            replayed_cost_cents: self.replayed_cost_cents,
         }
     }
 
@@ -322,6 +492,13 @@ impl ShardTask {
         assert_eq!(self.state, ShardState::Parked, "only parked tasks retire");
         assert_eq!(self.labeler.num_outstanding(), 0, "parked task cannot await answers");
         assert_eq!(self.stager.num_staged(), 0, "parked task cannot hold staged pairs");
+        assert!(
+            self.replay.is_empty(),
+            "journal divergence on shard {}: {} journaled event(s) were never re-derived \
+             before parking",
+            self.report_index,
+            self.replay.len()
+        );
 
         // Components over the shard's local candidate graph; a component is
         // *open* while any of its pairs is unlabeled.
@@ -375,6 +552,8 @@ impl ShardTask {
                 stats: Some(self.platform.stats()),
                 completion: self.platform.stats().last_resolution,
                 publish_rounds: self.total_rounds(),
+                replayed_answers: self.replayed_answers,
+                replayed_cost_cents: self.replayed_cost_cents,
             },
             open_pairs,
             known,

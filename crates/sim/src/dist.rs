@@ -40,6 +40,16 @@ impl LogNormal {
     pub fn median(&self) -> f64 {
         self.mu.exp()
     }
+
+    /// The distribution's shape (log-space standard deviation).
+    ///
+    /// Together with [`Self::median`] this fully determines the
+    /// distribution — the answer journal fingerprints platform configs
+    /// from these two values.
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
 }
 
 /// Standard normal draw via Box–Muller.

@@ -1,0 +1,363 @@
+//! The journal file: thread-safe appender and prefix-or-loud reader.
+
+use crate::record::{
+    decode_stream, CompleteRecord, GenerationRecord, JobHeader, Record, ShardEvent,
+};
+use crate::WalError;
+use std::collections::{BTreeMap, VecDeque};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A journal open for appending. Clone-free and thread-safe: the engine's
+/// event-loop workers share one handle behind an `Arc` and appends are
+/// serialized by an internal mutex (per-shard record order is preserved
+/// because a shard's records are only ever appended by the worker currently
+/// holding its task).
+#[derive(Debug)]
+pub struct Journal {
+    inner: Mutex<BufWriter<File>>,
+}
+
+impl Journal {
+    /// Creates a fresh journal at `path`, takes an exclusive advisory
+    /// lock (held for the journal's lifetime), and writes its header frame
+    /// durably.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::AlreadyExists`] if `path` holds a non-empty file — an
+    /// existing journal may hold paid-for answers, so starting over
+    /// requires an explicit resume or delete (checked under the lock, so
+    /// two racing creates cannot both win). [`WalError::Locked`] if
+    /// another process holds the journal. [`WalError::Io`] on I/O failure.
+    pub fn create(path: &Path, header: &JobHeader) -> Result<Self, WalError> {
+        // Deliberately no truncation here: an existing file's contents are
+        // inspected (and refused) under the lock below.
+        let file = OpenOptions::new().create(true).write(true).truncate(false).open(path)?;
+        lock_exclusive(&file, path)?;
+        if file.metadata()?.len() > 0 {
+            return Err(WalError::AlreadyExists(path.to_path_buf()));
+        }
+        let journal = Journal { inner: Mutex::new(BufWriter::new(file)) };
+        journal.append_durable(&Record::Header(*header))?;
+        Ok(journal)
+    }
+
+    fn append_inner(&self, record: &Record, sync: bool) -> Result<(), WalError> {
+        let mut frame = Vec::with_capacity(112);
+        record.encode(&mut frame);
+        let mut w = self.inner.lock().expect("journal mutex poisoned");
+        w.write_all(&frame)?;
+        // Always hand the frame to the OS so it survives a process crash;
+        // `sync` additionally makes it survive a power failure.
+        w.flush()?;
+        if sync {
+            w.get_ref().sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Appends one record and flushes it to the OS (survives a process
+    /// crash).
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] on write failure — callers must treat this as
+    /// fatal for the job (continuing without durability would betray a
+    /// later resume).
+    pub fn append(&self, record: &Record) -> Result<(), WalError> {
+        self.append_inner(record, false)
+    }
+
+    /// Appends one record and `fsync`s it (survives a power failure). Used
+    /// for round barriers, generation barriers, and completion markers.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] on write or sync failure.
+    pub fn append_durable(&self, record: &Record) -> Result<(), WalError> {
+        self.append_inner(record, true)
+    }
+
+    /// Forces everything appended so far to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] on sync failure.
+    pub fn sync(&self) -> Result<(), WalError> {
+        let mut w = self.inner.lock().expect("journal mutex poisoned");
+        w.flush()?;
+        w.get_ref().sync_data()?;
+        Ok(())
+    }
+}
+
+/// A decoded journal: header, records (header frame excluded), and how the
+/// byte stream ended.
+#[derive(Debug, Clone)]
+pub struct JournalContents {
+    /// The job-identity header.
+    pub header: JobHeader,
+    /// Every valid record after the header, in append order.
+    pub records: Vec<Record>,
+    /// Byte offset at which each record's frame starts (parallel to
+    /// `records`) — lets tooling and tests cut a journal at exact record
+    /// boundaries.
+    pub offsets: Vec<u64>,
+    /// Byte length of the valid frame prefix.
+    pub valid_len: u64,
+    /// Bytes after `valid_len` dropped as a torn tail (0 for a clean file).
+    pub torn_bytes: u64,
+}
+
+fn read_file(path: &Path) -> Result<Vec<u8>, WalError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    Ok(bytes)
+}
+
+fn contents_of(bytes: &[u8]) -> Result<JournalContents, WalError> {
+    let (header, records, offsets, valid_len) = decode_stream(bytes)?;
+    Ok(JournalContents {
+        header,
+        records,
+        offsets,
+        valid_len,
+        torn_bytes: bytes.len() as u64 - valid_len,
+    })
+}
+
+/// Reads a journal without modifying it, recovering the valid prefix under
+/// the crate-level truncation rule.
+///
+/// # Errors
+///
+/// Everything [`decode_stream`] raises, plus [`WalError::Io`].
+pub fn read_journal(path: &Path) -> Result<JournalContents, WalError> {
+    contents_of(&read_file(path)?)
+}
+
+/// Takes the journal's exclusive advisory lock, distinguishing "someone
+/// else holds it" from real I/O failure. Advisory locks are per open file
+/// description and released when the file closes, i.e. when the
+/// [`Journal`] drops.
+fn lock_exclusive(file: &File, path: &Path) -> Result<(), WalError> {
+    match file.try_lock() {
+        Ok(()) => Ok(()),
+        Err(std::fs::TryLockError::WouldBlock) => Err(WalError::Locked(path.to_path_buf())),
+        Err(std::fs::TryLockError::Error(e)) => Err(WalError::Io(e)),
+    }
+}
+
+/// Opens a journal for resuming: takes its exclusive lock, reads and
+/// validates it, truncates any torn tail **on disk**, and returns the
+/// contents together with a [`Journal`] positioned to append immediately
+/// after the last valid record. The whole read–repair–append sequence
+/// happens under the lock, so two racing resumes cannot interleave writes
+/// and corrupt the paid-for history — the loser fails with
+/// [`WalError::Locked`].
+///
+/// # Errors
+///
+/// Everything [`read_journal`] raises, plus [`WalError::Locked`] if
+/// another process holds the journal and [`WalError::Io`] on the
+/// truncate/seek.
+pub fn open_resume(path: &Path) -> Result<(JournalContents, Journal), WalError> {
+    let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+    lock_exclusive(&file, path)?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    let contents = contents_of(&bytes)?;
+    file.set_len(contents.valid_len)?;
+    file.sync_data()?;
+    file.seek(SeekFrom::Start(contents.valid_len))?;
+    let journal = Journal { inner: Mutex::new(BufWriter::new(file)) };
+    Ok((contents, journal))
+}
+
+/// A journal split into the queues the engine replays: per-shard event
+/// streams, the global generation-barrier stream, and the completion
+/// marker if the job finished.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayPlan {
+    /// Per shard incarnation (report index), its answers and round
+    /// barriers in append order.
+    pub shards: BTreeMap<u32, VecDeque<ShardEvent>>,
+    /// Re-sharding barriers in order.
+    pub generations: VecDeque<GenerationRecord>,
+    /// Present iff the journal records a finished job.
+    pub complete: Option<CompleteRecord>,
+}
+
+impl ReplayPlan {
+    /// Total journaled answers across all shards — the questions already
+    /// paid for.
+    #[must_use]
+    pub fn num_answers(&self) -> usize {
+        self.shards
+            .values()
+            .map(|q| q.iter().filter(|e| matches!(e, ShardEvent::Answer(_))).count())
+            .sum()
+    }
+}
+
+/// Splits decoded records into the engine's replay queues.
+#[must_use]
+pub fn partition_replay(records: &[Record]) -> ReplayPlan {
+    let mut plan = ReplayPlan::default();
+    for r in records {
+        match *r {
+            Record::Header(_) => unreachable!("decode_stream strips the header frame"),
+            Record::Answer(a) => {
+                plan.shards.entry(a.shard).or_default().push_back(ShardEvent::Answer(a));
+            }
+            Record::Barrier(b) => {
+                plan.shards.entry(b.shard).or_default().push_back(ShardEvent::Barrier(b));
+            }
+            Record::Generation(g) => plan.generations.push_back(g),
+            Record::Complete(c) => plan.complete = Some(c),
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{AnswerRecord, BarrierRecord, StatsSnapshot, FORMAT_VERSION};
+
+    fn header() -> JobHeader {
+        JobHeader {
+            version: FORMAT_VERSION,
+            num_objects: 10,
+            order_len: 12,
+            order_hash: 1,
+            truth_hash: 2,
+            platform_hash: 3,
+            engine_seed: 4,
+            num_shards: 2,
+            instant_decision: true,
+            reshard: false,
+        }
+    }
+
+    fn answer(shard: u32, a: u32, b: u32) -> Record {
+        Record::Answer(AnswerRecord {
+            shard,
+            a,
+            b,
+            matching: a + 1 == b,
+            yes_votes: 3,
+            no_votes: 0,
+            time: u64::from(a) * 1000,
+            cost_cents: 6,
+        })
+    }
+
+    fn barrier(shard: u32) -> Record {
+        Record::Barrier(BarrierRecord {
+            shard,
+            rounds: 1,
+            time: 9_000,
+            stats: StatsSnapshot { pairs_published: 2, ..StatsSnapshot::default() },
+        })
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("crowdjoin-wal-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn create_append_read_roundtrip() {
+        let path = temp_path("roundtrip.wal");
+        let _ = std::fs::remove_file(&path);
+        let journal = Journal::create(&path, &header()).expect("create");
+        journal.append(&answer(0, 1, 2)).expect("append");
+        journal.append_durable(&barrier(0)).expect("append durable");
+        journal.sync().expect("sync");
+        drop(journal);
+
+        let contents = read_journal(&path).expect("read");
+        assert_eq!(contents.header, header());
+        assert_eq!(contents.records, vec![answer(0, 1, 2), barrier(0)]);
+        assert_eq!(contents.offsets.len(), 2);
+        assert_eq!(contents.torn_bytes, 0);
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn create_refuses_existing_journal() {
+        let path = temp_path("exists.wal");
+        let _ = std::fs::remove_file(&path);
+        drop(Journal::create(&path, &header()).expect("create"));
+        assert!(matches!(Journal::create(&path, &header()), Err(WalError::AlreadyExists(_))));
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn open_resume_truncates_torn_tail_and_appends() {
+        let path = temp_path("resume.wal");
+        let _ = std::fs::remove_file(&path);
+        let journal = Journal::create(&path, &header()).expect("create");
+        journal.append(&answer(0, 1, 2)).expect("append");
+        journal.append(&answer(1, 3, 4)).expect("append");
+        drop(journal);
+
+        // Tear the last record.
+        let full = std::fs::read(&path).expect("read bytes");
+        std::fs::write(&path, &full[..full.len() - 3]).expect("tear");
+
+        let (contents, journal) = open_resume(&path).expect("open_resume");
+        assert_eq!(contents.records, vec![answer(0, 1, 2)]);
+        assert!(contents.torn_bytes > 0);
+        journal.append(&answer(1, 5, 6)).expect("append after resume");
+        drop(journal);
+
+        let contents = read_journal(&path).expect("read after resume");
+        assert_eq!(contents.records, vec![answer(0, 1, 2), answer(1, 5, 6)]);
+        assert_eq!(contents.torn_bytes, 0);
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn exclusive_lock_refuses_second_writer() {
+        let path = temp_path("lock.wal");
+        let _ = std::fs::remove_file(&path);
+        let journal = Journal::create(&path, &header()).expect("create");
+        // While a writer is alive, both re-creating and resuming refuse.
+        assert!(matches!(open_resume(&path), Err(WalError::Locked(_))));
+        assert!(matches!(Journal::create(&path, &header()), Err(WalError::Locked(_))));
+        // Read-only inspection stays possible.
+        assert!(read_journal(&path).is_ok());
+        drop(journal);
+        let (_, resumed) = open_resume(&path).expect("lock released on drop");
+        drop(resumed);
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn partition_replay_groups_by_shard() {
+        let records = vec![
+            answer(0, 1, 2),
+            answer(1, 3, 4),
+            barrier(0),
+            answer(0, 5, 6),
+            Record::Generation(GenerationRecord {
+                generation: 1,
+                shards: 1,
+                time: 9_000,
+                rounds: 1,
+                open_pairs: 3,
+            }),
+            Record::Complete(CompleteRecord { answers: 3, cost_cents: 18, completion: 9_000 }),
+        ];
+        let plan = partition_replay(&records);
+        assert_eq!(plan.num_answers(), 3);
+        assert_eq!(plan.shards.len(), 2);
+        assert_eq!(plan.shards[&0].len(), 3, "two answers and a barrier for shard 0");
+        assert_eq!(plan.generations.len(), 1);
+        assert_eq!(plan.complete.expect("complete").answers, 3);
+    }
+}

@@ -1,0 +1,655 @@
+//! Record types and their binary encoding.
+//!
+//! Every record encodes to one frame (`[len][crc][payload]`, see the crate
+//! docs); payloads are a one-byte tag followed by fixed-width little-endian
+//! fields. Encoding and decoding are exact inverses, and decoding validates
+//! that the payload is consumed to the last byte.
+
+use crate::WalError;
+
+/// Journal format version this build writes and reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Upper bound on a frame payload; anything larger is corruption (real
+/// records are under 100 bytes).
+pub const MAX_RECORD_LEN: u32 = 1 << 20;
+
+/// Frame tag values (payload byte 0).
+mod tag {
+    pub const HEADER: u8 = 1;
+    pub const ANSWER: u8 = 2;
+    pub const BARRIER: u8 = 3;
+    pub const GENERATION: u8 = 4;
+    pub const COMPLETE: u8 = 5;
+}
+
+// ---------------------------------------------------------------------------
+// Hashing
+// ---------------------------------------------------------------------------
+
+/// IEEE CRC-32 (the zlib/gzip polynomial), bitwise implementation — the
+/// journal's per-frame payload checksum.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// FNV-1a over a byte stream — the stable 64-bit fingerprint hash used for
+/// the job-identity fields of [`JobHeader`].
+#[must_use]
+pub fn fnv1a64(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Record types
+// ---------------------------------------------------------------------------
+
+/// The first frame of every journal: format version plus a fingerprint of
+/// the job's inputs. Resuming checks every field before replaying a single
+/// answer, so a journal can never be replayed into the wrong job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobHeader {
+    /// Format version ([`FORMAT_VERSION`] when written by this build).
+    pub version: u32,
+    /// Size of the object universe.
+    pub num_objects: u64,
+    /// Number of pairs in the global labeling order.
+    pub order_len: u64,
+    /// [`fnv1a64`] over every ordered pair and its likelihood bits — the
+    /// labeling order decides what gets asked, so it is part of the job's
+    /// identity.
+    pub order_hash: u64,
+    /// [`fnv1a64`] over the ground-truth entity assignment driving the
+    /// simulated workers.
+    pub truth_hash: u64,
+    /// [`fnv1a64`] over the platform configuration (crowd size, batching,
+    /// prices, latency model, platform seed).
+    pub platform_hash: u64,
+    /// The engine's master seed (per-shard platform seeds derive from it).
+    pub engine_seed: u64,
+    /// Effective target shard count the job partitioned for.
+    pub num_shards: u32,
+    /// Whether the instant-decision optimization was on.
+    pub instant_decision: bool,
+    /// Whether dynamic re-sharding was on.
+    pub reshard: bool,
+}
+
+/// One paid crowd answer: the journal's bread-and-butter record, appended
+/// *before* the engine applies the answer to its labeler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnswerRecord {
+    /// Report index of the shard incarnation that asked (unique across
+    /// re-sharding generations).
+    pub shard: u32,
+    /// Smaller object id of the pair (global ids).
+    pub a: u32,
+    /// Larger object id of the pair (global ids).
+    pub b: u32,
+    /// Majority-vote label: `true` = matching.
+    pub matching: bool,
+    /// Worker votes for "matching".
+    pub yes_votes: u32,
+    /// Worker votes for "non-matching".
+    pub no_votes: u32,
+    /// Virtual time (ms) the platform resolved the answer.
+    pub time: u64,
+    /// The shard platform's cumulative spend (cents) at that moment —
+    /// the money ledger entry backing "never pay twice".
+    pub cost_cents: u64,
+}
+
+/// A shard platform's aggregate counters, embedded in barrier records so a
+/// replay can verify money and work accounting bit-for-bit at every round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// HITs published so far.
+    pub hits_published: u64,
+    /// Pairs published so far.
+    pub pairs_published: u64,
+    /// Pair capacity of the published HITs.
+    pub pair_slots: u64,
+    /// Assignments completed so far.
+    pub assignments_completed: u64,
+    /// Total cost in cents.
+    pub total_cost_cents: u64,
+    /// Virtual time (ms) of the last resolution.
+    pub last_resolution: u64,
+    /// Workers that passed qualification.
+    pub qualified_workers: u64,
+    /// Assignments abandoned and re-opened.
+    pub assignments_abandoned: u64,
+}
+
+/// A shard's fully-resolved publish-round boundary: its platform drained
+/// with nothing in flight. Fsynced, so every barrier is a durable point a
+/// resume can rebuild exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierRecord {
+    /// Report index of the shard incarnation.
+    pub shard: u32,
+    /// Publish rounds on the shard's critical path so far.
+    pub rounds: u32,
+    /// Virtual time (ms) at the boundary.
+    pub time: u64,
+    /// The shard platform's counters at the boundary.
+    pub stats: StatsSnapshot,
+}
+
+/// A global re-sharding barrier: every shard of the generation parked, the
+/// survivors were merged, and the next generation's platforms start at the
+/// barrier time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenerationRecord {
+    /// Re-sharding generation number (1 for the first barrier).
+    pub generation: u32,
+    /// Shards the merged generation runs on.
+    pub shards: u32,
+    /// Barrier virtual time (ms) — the maximum over parked platforms.
+    pub time: u64,
+    /// Critical-path publish rounds behind the barrier.
+    pub rounds: u32,
+    /// Candidate pairs still open across all parked shards.
+    pub open_pairs: u64,
+}
+
+/// The job finished; resuming a journal that ends with this record replays
+/// everything and asks nothing new.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompleteRecord {
+    /// Total crowd answers paid for across the whole job.
+    pub answers: u64,
+    /// Total money spent, in cents.
+    pub cost_cents: u64,
+    /// Virtual completion time (ms) — the critical path over shards.
+    pub completion: u64,
+}
+
+/// Any journal record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Record {
+    /// Job identity; always the first frame.
+    Header(JobHeader),
+    /// One paid crowd answer.
+    Answer(AnswerRecord),
+    /// A shard's round boundary.
+    Barrier(BarrierRecord),
+    /// A global re-sharding barrier.
+    Generation(GenerationRecord),
+    /// Job completion marker.
+    Complete(CompleteRecord),
+}
+
+/// A per-shard replay event: the subsequence of the journal belonging to
+/// one shard incarnation, in append order (see
+/// [`partition_replay`](crate::partition_replay)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardEvent {
+    /// A paid answer to verify (and not re-pay) during replay.
+    Answer(AnswerRecord),
+    /// A round boundary whose platform counters must match exactly.
+    Barrier(BarrierRecord),
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+struct Writer<'a>(&'a mut Vec<u8>);
+
+impl Writer<'_> {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn bool(&mut self, v: bool) {
+        self.0.push(u8::from(v));
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+impl Record {
+    /// Appends this record's complete frame (`len` + `crc` + payload) to
+    /// `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let mut payload = Vec::with_capacity(96);
+        let mut w = Writer(&mut payload);
+        match self {
+            Record::Header(h) => {
+                w.u8(tag::HEADER);
+                w.u32(h.version);
+                w.u64(h.num_objects);
+                w.u64(h.order_len);
+                w.u64(h.order_hash);
+                w.u64(h.truth_hash);
+                w.u64(h.platform_hash);
+                w.u64(h.engine_seed);
+                w.u32(h.num_shards);
+                w.bool(h.instant_decision);
+                w.bool(h.reshard);
+            }
+            Record::Answer(a) => {
+                w.u8(tag::ANSWER);
+                w.u32(a.shard);
+                w.u32(a.a);
+                w.u32(a.b);
+                w.bool(a.matching);
+                w.u32(a.yes_votes);
+                w.u32(a.no_votes);
+                w.u64(a.time);
+                w.u64(a.cost_cents);
+            }
+            Record::Barrier(b) => {
+                w.u8(tag::BARRIER);
+                w.u32(b.shard);
+                w.u32(b.rounds);
+                w.u64(b.time);
+                for v in b.stats.as_array() {
+                    w.u64(v);
+                }
+            }
+            Record::Generation(g) => {
+                w.u8(tag::GENERATION);
+                w.u32(g.generation);
+                w.u32(g.shards);
+                w.u64(g.time);
+                w.u32(g.rounds);
+                w.u64(g.open_pairs);
+            }
+            Record::Complete(c) => {
+                w.u8(tag::COMPLETE);
+                w.u64(c.answers);
+                w.u64(c.cost_cents);
+                w.u64(c.completion);
+            }
+        }
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+    }
+}
+
+impl StatsSnapshot {
+    fn as_array(self) -> [u64; 8] {
+        [
+            self.hits_published,
+            self.pairs_published,
+            self.pair_slots,
+            self.assignments_completed,
+            self.total_cost_cents,
+            self.last_resolution,
+            self.qualified_workers,
+            self.assignments_abandoned,
+        ]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Cursor over one frame's payload; every read is bounds-checked and the
+/// caller asserts exhaustion at the end.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.bytes.len() {
+            return Err(format!(
+                "payload too short: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.bytes.len() - self.pos
+            ));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    fn bool(&mut self) -> Result<bool, String> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(format!("invalid bool byte {v}")),
+        }
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn done(&self) -> Result<(), String> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!("{} trailing payload bytes", self.bytes.len() - self.pos))
+        }
+    }
+}
+
+fn decode_payload(payload: &[u8]) -> Result<Record, String> {
+    let mut r = Reader { bytes: payload, pos: 0 };
+    let record = match r.u8()? {
+        tag::HEADER => Record::Header(JobHeader {
+            version: r.u32()?,
+            num_objects: r.u64()?,
+            order_len: r.u64()?,
+            order_hash: r.u64()?,
+            truth_hash: r.u64()?,
+            platform_hash: r.u64()?,
+            engine_seed: r.u64()?,
+            num_shards: r.u32()?,
+            instant_decision: r.bool()?,
+            reshard: r.bool()?,
+        }),
+        tag::ANSWER => Record::Answer(AnswerRecord {
+            shard: r.u32()?,
+            a: r.u32()?,
+            b: r.u32()?,
+            matching: r.bool()?,
+            yes_votes: r.u32()?,
+            no_votes: r.u32()?,
+            time: r.u64()?,
+            cost_cents: r.u64()?,
+        }),
+        tag::BARRIER => Record::Barrier(BarrierRecord {
+            shard: r.u32()?,
+            rounds: r.u32()?,
+            time: r.u64()?,
+            stats: StatsSnapshot {
+                hits_published: r.u64()?,
+                pairs_published: r.u64()?,
+                pair_slots: r.u64()?,
+                assignments_completed: r.u64()?,
+                total_cost_cents: r.u64()?,
+                last_resolution: r.u64()?,
+                qualified_workers: r.u64()?,
+                assignments_abandoned: r.u64()?,
+            },
+        }),
+        tag::GENERATION => Record::Generation(GenerationRecord {
+            generation: r.u32()?,
+            shards: r.u32()?,
+            time: r.u64()?,
+            rounds: r.u32()?,
+            open_pairs: r.u64()?,
+        }),
+        tag::COMPLETE => Record::Complete(CompleteRecord {
+            answers: r.u64()?,
+            cost_cents: r.u64()?,
+            completion: r.u64()?,
+        }),
+        t => return Err(format!("unknown record tag {t}")),
+    };
+    r.done()?;
+    Ok(record)
+}
+
+/// Decodes a journal byte image into its header and records, applying the
+/// crate-level truncation rule.
+///
+/// Returns `(header, records, offsets, valid_len)`: `offsets[i]` is the
+/// byte offset at which `records[i]`'s frame starts, and `valid_len` is
+/// the byte length of the valid frame prefix — `valid_len < bytes.len()`
+/// means a torn tail was dropped. Records exclude the header frame.
+///
+/// # Errors
+///
+/// [`WalError::NotAJournal`] if the file does not start with a valid header
+/// frame, [`WalError::VersionMismatch`] for an unknown format version, and
+/// [`WalError::Corrupt`] for damage that is not a torn tail (see the crate
+/// docs for the exact classification).
+#[allow(clippy::type_complexity)]
+pub fn decode_stream(bytes: &[u8]) -> Result<(JobHeader, Vec<Record>, Vec<u64>, u64), WalError> {
+    let mut records = Vec::new();
+    let mut offsets = Vec::new();
+    let mut header: Option<JobHeader> = None;
+    let mut pos: usize = 0;
+    loop {
+        let remaining = bytes.len() - pos;
+        if remaining == 0 {
+            break; // clean end
+        }
+        if remaining < 8 {
+            break; // torn: frame prelude itself incomplete
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if len == 0 || len > MAX_RECORD_LEN as usize {
+            if header.is_none() {
+                return Err(WalError::NotAJournal(format!(
+                    "first frame has implausible length {len}"
+                )));
+            }
+            // An absurd length cannot frame anything after it; everything
+            // from here is unreadable either way. Only accept it as a torn
+            // tail; an absurd length mid-file with plausible data after it
+            // is indistinguishable from one that eats the rest, so the
+            // prefix rule still holds.
+            break;
+        }
+        if pos + 8 + len > bytes.len() {
+            break; // torn: payload extends past end-of-file
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        let is_final = pos + 8 + len == bytes.len();
+        if crc32(payload) != crc {
+            if header.is_none() {
+                return Err(WalError::NotAJournal("header frame fails its CRC".to_string()));
+            }
+            if is_final {
+                break; // torn: final payload partially persisted
+            }
+            return Err(WalError::Corrupt {
+                offset: pos as u64,
+                reason: "frame payload fails its CRC".to_string(),
+            });
+        }
+        let record = match decode_payload(payload) {
+            Ok(r) => r,
+            Err(reason) => {
+                if header.is_none() {
+                    return Err(WalError::NotAJournal(format!("header frame invalid: {reason}")));
+                }
+                return Err(WalError::Corrupt { offset: pos as u64, reason });
+            }
+        };
+        match (&header, record) {
+            (None, Record::Header(h)) => {
+                if h.version != FORMAT_VERSION {
+                    return Err(WalError::VersionMismatch { found: h.version });
+                }
+                header = Some(h);
+            }
+            (None, _) => {
+                return Err(WalError::NotAJournal("first frame is not a job header".to_string()))
+            }
+            (Some(_), Record::Header(_)) => {
+                return Err(WalError::Corrupt {
+                    offset: pos as u64,
+                    reason: "second header frame".to_string(),
+                });
+            }
+            (Some(_), r) => {
+                offsets.push(pos as u64);
+                records.push(r);
+            }
+        }
+        pos += 8 + len;
+    }
+    let Some(header) = header else {
+        return Err(WalError::NotAJournal("no complete header frame".to_string()));
+    };
+    Ok((header, records, offsets, pos as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::Answer(AnswerRecord {
+                shard: 3,
+                a: 1,
+                b: 9,
+                matching: true,
+                yes_votes: 2,
+                no_votes: 1,
+                time: 123_456,
+                cost_cents: 42,
+            }),
+            Record::Barrier(BarrierRecord {
+                shard: 3,
+                rounds: 1,
+                time: 222_222,
+                stats: StatsSnapshot {
+                    hits_published: 2,
+                    pairs_published: 21,
+                    pair_slots: 40,
+                    assignments_completed: 6,
+                    total_cost_cents: 12,
+                    last_resolution: 222_222,
+                    qualified_workers: 5,
+                    assignments_abandoned: 1,
+                },
+            }),
+            Record::Generation(GenerationRecord {
+                generation: 1,
+                shards: 2,
+                time: 222_222,
+                rounds: 1,
+                open_pairs: 17,
+            }),
+            Record::Complete(CompleteRecord { answers: 21, cost_cents: 12, completion: 222_222 }),
+        ]
+    }
+
+    fn sample_header() -> JobHeader {
+        JobHeader {
+            version: FORMAT_VERSION,
+            num_objects: 100,
+            order_len: 250,
+            order_hash: 0xdead_beef,
+            truth_hash: 0xfeed_f00d,
+            platform_hash: 7,
+            engine_seed: 42,
+            num_shards: 8,
+            instant_decision: true,
+            reshard: false,
+        }
+    }
+
+    fn encode_all(header: JobHeader, records: &[Record]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        Record::Header(header).encode(&mut bytes);
+        for r in records {
+            r.encode(&mut bytes);
+        }
+        bytes
+    }
+
+    #[test]
+    fn roundtrip_every_record_type() {
+        let bytes = encode_all(sample_header(), &sample_records());
+        let (header, records, offsets, valid) = decode_stream(&bytes).expect("valid stream");
+        assert_eq!(header, sample_header());
+        assert_eq!(records, sample_records());
+        assert_eq!(valid, bytes.len() as u64);
+        assert_eq!(offsets.len(), records.len());
+        // Each offset points at a frame whose payload re-encodes to the
+        // bytes in place.
+        for (&off, r) in offsets.iter().zip(&records) {
+            let mut frame = Vec::new();
+            r.encode(&mut frame);
+            assert_eq!(&bytes[off as usize..off as usize + frame.len()], &frame[..]);
+        }
+    }
+
+    #[test]
+    fn truncation_recovers_prefix() {
+        let bytes = encode_all(sample_header(), &sample_records());
+        // Dropping the last byte tears the final record.
+        let (_, records, _, valid) =
+            decode_stream(&bytes[..bytes.len() - 1]).expect("torn tail ok");
+        assert_eq!(records, sample_records()[..3]);
+        assert!(valid < bytes.len() as u64);
+    }
+
+    #[test]
+    fn midfile_corruption_is_loud() {
+        let mut bytes = encode_all(sample_header(), &sample_records());
+        // Flip a payload byte of the first answer record (well past the
+        // header frame, well before the final record).
+        let header_len = {
+            let mut h = Vec::new();
+            Record::Header(sample_header()).encode(&mut h);
+            h.len()
+        };
+        bytes[header_len + 10] ^= 0x40;
+        match decode_stream(&bytes) {
+            Err(WalError::Corrupt { .. }) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_or_damaged_header_rejected() {
+        assert!(matches!(decode_stream(&[]), Err(WalError::NotAJournal(_))));
+        let mut no_header = Vec::new();
+        sample_records()[0].encode(&mut no_header);
+        assert!(matches!(decode_stream(&no_header), Err(WalError::NotAJournal(_))));
+
+        let mut bytes = encode_all(sample_header(), &[]);
+        bytes[9] ^= 0xff; // damage the header payload
+        assert!(matches!(decode_stream(&bytes), Err(WalError::NotAJournal(_))));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut h = sample_header();
+        h.version = FORMAT_VERSION + 1;
+        let bytes = encode_all(h, &[]);
+        assert!(
+            matches!(decode_stream(&bytes), Err(WalError::VersionMismatch { found }) if found == FORMAT_VERSION + 1)
+        );
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    }
+
+    #[test]
+    fn fnv_distinguishes_streams() {
+        assert_ne!(fnv1a64(*b"abc"), fnv1a64(*b"abd"));
+        assert_ne!(fnv1a64(*b"ab"), fnv1a64(*b"abc"));
+        assert_eq!(fnv1a64([]), 0xcbf2_9ce4_8422_2325);
+    }
+}

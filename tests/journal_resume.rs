@@ -1,0 +1,342 @@
+//! Crash-safety tests for the answer journal: a multi-round AMT-platform
+//! job killed after *every* round boundary (and in fact after every record,
+//! and at arbitrary byte offsets) must resume to labels, money, and
+//! per-shard stats **bit-identical** to an uninterrupted run, never
+//! re-asking (re-paying) a journaled question — the crashed run's answers
+//! plus the resumed run's new answers always total exactly the
+//! uninterrupted run's.
+
+use crowdjoin::sim::PlatformConfig;
+use crowdjoin::wal::{self, Record, WalError};
+use crowdjoin::{
+    resume_sharded_on_platform, run_sharded_on_platform, Engine, EngineConfig, EngineReport,
+    GroundTruth, Pair, ScoredPair,
+};
+use std::path::{Path, PathBuf};
+
+/// 40 disjoint triangle components (120 objects). Even components are a
+/// true 3-cluster, odd components all-distinct — the refuted deduction in
+/// odd components forces a second publish round, so every shard crosses at
+/// least one journaled round barrier.
+fn workload() -> (usize, Vec<ScoredPair>, GroundTruth) {
+    let num_components = 40;
+    let num_objects = 3 * num_components;
+    let mut entity: Vec<u32> = (0..num_objects as u32).collect();
+    let mut pairs = Vec::with_capacity(3 * num_components);
+    for c in 0..num_components {
+        let base = (3 * c) as u32;
+        if c % 2 == 0 {
+            entity[base as usize + 1] = base;
+            entity[base as usize + 2] = base;
+        }
+        let l = 0.95 - (c % 9) as f64 * 0.03;
+        pairs.push(ScoredPair::new(Pair::new(base, base + 1), l));
+        pairs.push(ScoredPair::new(Pair::new(base + 1, base + 2), l - 0.01));
+        pairs.push(ScoredPair::new(Pair::new(base, base + 2), l - 0.02));
+    }
+    (num_objects, pairs, GroundTruth::new(entity))
+}
+
+fn engine_config(reshard: bool) -> EngineConfig {
+    EngineConfig { num_shards: 6, num_threads: 2, seed: 11, reshard, ..EngineConfig::default() }
+}
+
+fn platform_config() -> PlatformConfig {
+    // Noisy workers: labels depend on worker RNG streams, so bit-identical
+    // resume is only possible if the journal machinery reconstructs the
+    // platforms exactly. The crowd is sized so every shard's even split
+    // keeps at least `assignments_per_hit` qualified workers.
+    PlatformConfig { num_workers: 120, ..PlatformConfig::amt_like(29) }
+}
+
+/// Unique scratch path for one test.
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("crowdjoin-resume-{}-{name}", std::process::id()))
+}
+
+/// Bit-identical comparison: merged labels and provenance on every pair,
+/// money, completion, and every per-shard report including platform stats.
+fn assert_reports_identical(a: &EngineReport, b: &EngineReport, order: &[ScoredPair], ctx: &str) {
+    assert_eq!(a.result.num_labeled(), b.result.num_labeled(), "{ctx}: labeled");
+    assert_eq!(a.result.num_crowdsourced(), b.result.num_crowdsourced(), "{ctx}: crowdsourced");
+    assert_eq!(a.result.num_conflicts(), b.result.num_conflicts(), "{ctx}: conflicts");
+    assert_eq!(a.total_cost_cents, b.total_cost_cents, "{ctx}: money");
+    assert_eq!(a.completion, b.completion, "{ctx}: completion");
+    assert_eq!(a.reshard_generations, b.reshard_generations, "{ctx}: generations");
+    assert_eq!(a.num_crowd_answers(), b.num_crowd_answers(), "{ctx}: crowd answers");
+    for sp in order {
+        assert_eq!(a.result.label_of(sp.pair), b.result.label_of(sp.pair), "{ctx}: {}", sp.pair);
+        assert_eq!(a.result.provenance_of(sp.pair), b.result.provenance_of(sp.pair), "{ctx}");
+    }
+    assert_eq!(a.shards.len(), b.shards.len(), "{ctx}: shard count");
+    for (x, y) in a.shards.iter().zip(&b.shards) {
+        assert_eq!(x.shard, y.shard, "{ctx}");
+        assert_eq!(x.stats, y.stats, "{ctx}: shard {} platform stats", x.shard);
+        assert_eq!(x.completion, y.completion, "{ctx}: shard {} completion", x.shard);
+        assert_eq!(x.publish_rounds, y.publish_rounds, "{ctx}: shard {} rounds", x.shard);
+    }
+}
+
+/// The journals of two runs of the same job must describe the same
+/// history. Raw bytes can interleave shards differently across worker
+/// threads, so compare the per-shard record streams.
+fn assert_journals_equivalent(a: &Path, b: &Path, ctx: &str) {
+    let ca = wal::read_journal(a).expect("journal a");
+    let cb = wal::read_journal(b).expect("journal b");
+    assert_eq!(ca.header, cb.header, "{ctx}: headers");
+    let pa = wal::partition_replay(&ca.records);
+    let pb = wal::partition_replay(&cb.records);
+    assert_eq!(pa.shards, pb.shards, "{ctx}: per-shard record streams");
+    assert_eq!(pa.generations, pb.generations, "{ctx}: generation barriers");
+    assert_eq!(pa.complete, pb.complete, "{ctx}: completion records");
+}
+
+/// Runs the job uninterrupted, once plain and once journaled, returning
+/// (plain report, journaled report, journal path).
+fn run_journaled(name: &str, reshard: bool) -> (EngineReport, EngineReport, PathBuf) {
+    let (num_objects, order, truth) = workload();
+    let platform = platform_config();
+    let plain =
+        run_sharded_on_platform(num_objects, &order, &truth, &platform, &engine_config(reshard));
+
+    let path = temp_path(name);
+    let _ = std::fs::remove_file(&path);
+    let config = EngineConfig { journal: Some(path.clone()), ..engine_config(reshard) };
+    let journaled =
+        Engine::new(num_objects, &order, &truth, &platform, config).run().expect("journaled run");
+    (plain, journaled, path)
+}
+
+#[test]
+fn journaling_does_not_perturb_the_run() {
+    let (num_objects, order, _) = workload();
+    let (plain, journaled, path) = run_journaled("perturb.wal", false);
+    assert_reports_identical(&plain, &journaled, &order, "journaled vs plain");
+    assert_eq!(journaled.num_replayed_answers(), 0, "fresh run replays nothing");
+
+    let contents = wal::read_journal(&path).expect("journal readable");
+    assert_eq!(contents.torn_bytes, 0);
+    assert_eq!(contents.header.num_objects as usize, num_objects);
+    let plan = wal::partition_replay(&contents.records);
+    assert_eq!(plan.num_answers(), journaled.num_crowd_answers(), "one record per paid answer");
+    let complete = plan.complete.expect("finished job has a completion record");
+    assert_eq!(complete.answers as usize, journaled.num_crowd_answers());
+    assert_eq!(complete.cost_cents, journaled.total_cost_cents);
+    std::fs::remove_file(&path).expect("cleanup");
+}
+
+/// The headline acceptance test: kill the job after **every** journal
+/// record — which includes every round barrier of every shard — and resume
+/// each time. Labels, money, and per-shard stats must be bit-identical to
+/// the uninterrupted run, and `journaled answers + newly asked answers`
+/// must equal the uninterrupted run's crowdsourced-question count exactly:
+/// no journaled question is ever re-asked.
+#[test]
+fn kill_at_every_record_resumes_bit_identically() {
+    let (num_objects, order, truth) = workload();
+    let platform = platform_config();
+    let (_, full, path) = run_journaled("killer.wal", false);
+    let contents = wal::read_journal(&path).expect("full journal");
+
+    // Cut points: after the header only (offset of record 0), after every
+    // record, and the complete file.
+    let mut cuts: Vec<u64> = contents.offsets.clone();
+    cuts.push(contents.valid_len);
+    let cut_path = temp_path("killer-cut.wal");
+    let bytes = std::fs::read(&path).expect("journal bytes");
+
+    for (i, &cut) in cuts.iter().enumerate() {
+        std::fs::write(&cut_path, &bytes[..cut as usize]).expect("write cut");
+        let paid_before_crash =
+            wal::partition_replay(&contents.records[..i.min(contents.records.len())]).num_answers();
+
+        let resumed = resume_sharded_on_platform(
+            num_objects,
+            &order,
+            &truth,
+            &platform,
+            &engine_config(false),
+            &cut_path,
+        )
+        .unwrap_or_else(|e| panic!("resume at cut {i} failed: {e}"));
+
+        assert_reports_identical(&full, &resumed, &order, &format!("cut {i}"));
+        assert_eq!(
+            resumed.num_replayed_answers(),
+            paid_before_crash,
+            "cut {i}: every journaled answer must be replayed, none re-asked"
+        );
+        assert_eq!(
+            paid_before_crash + resumed.num_new_answers(),
+            full.num_crowd_answers(),
+            "cut {i}: crashed + resumed question count must equal the uninterrupted run's"
+        );
+        // The resumed journal must describe the same history as the
+        // uninterrupted journal — ready for another crash and resume.
+        assert_journals_equivalent(&path, &cut_path, &format!("cut {i}"));
+    }
+    std::fs::remove_file(&path).expect("cleanup");
+    std::fs::remove_file(&cut_path).expect("cleanup");
+}
+
+/// Crashes do not respect record boundaries: resume must also work from
+/// arbitrary byte-level truncations (torn tails), dropping only the torn
+/// record.
+#[test]
+fn resume_from_torn_tails() {
+    let (num_objects, order, truth) = workload();
+    let platform = platform_config();
+    let (_, full, path) = run_journaled("torn.wal", false);
+    let bytes = std::fs::read(&path).expect("journal bytes");
+    let cut_path = temp_path("torn-cut.wal");
+
+    // A spread of raw byte offsets across the file, none on a boundary.
+    for frac in [0.21, 0.433, 0.62, 0.871, 0.995] {
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        std::fs::write(&cut_path, &bytes[..cut]).expect("write cut");
+        let resumed = resume_sharded_on_platform(
+            num_objects,
+            &order,
+            &truth,
+            &platform,
+            &engine_config(false),
+            &cut_path,
+        )
+        .unwrap_or_else(|e| panic!("resume at byte {cut} failed: {e}"));
+        assert_reports_identical(&full, &resumed, &order, &format!("byte cut {cut}"));
+        assert_journals_equivalent(&path, &cut_path, &format!("byte cut {cut}"));
+    }
+    std::fs::remove_file(&path).expect("cleanup");
+    std::fs::remove_file(&cut_path).expect("cleanup");
+}
+
+/// Re-sharding runs journal generation barriers too; killing one mid-flight
+/// (including between generations) must resume bit-identically.
+#[test]
+fn reshard_runs_resume_bit_identically() {
+    let (num_objects, order, truth) = workload();
+    let platform = platform_config();
+    let (plain, full, path) = run_journaled("reshard.wal", true);
+    assert_reports_identical(&plain, &full, &order, "journaled vs plain (reshard)");
+    let contents = wal::read_journal(&path).expect("full journal");
+    assert!(
+        wal::partition_replay(&contents.records).generations.front().is_some(),
+        "workload must actually re-shard for this test to bite"
+    );
+
+    let bytes = std::fs::read(&path).expect("journal bytes");
+    let cut_path = temp_path("reshard-cut.wal");
+    // Cut right after each generation record, plus a mid-generation record.
+    let mut cuts = Vec::new();
+    for (i, r) in contents.records.iter().enumerate() {
+        if matches!(r, Record::Generation(_)) {
+            let end = contents.offsets.get(i + 1).copied().unwrap_or(contents.valid_len);
+            cuts.push(end);
+            cuts.push(contents.offsets[i]); // just *before* the barrier too
+        }
+    }
+    cuts.push(contents.offsets[contents.offsets.len() / 2]);
+    for cut in cuts {
+        std::fs::write(&cut_path, &bytes[..cut as usize]).expect("write cut");
+        let resumed = resume_sharded_on_platform(
+            num_objects,
+            &order,
+            &truth,
+            &platform,
+            &engine_config(true),
+            &cut_path,
+        )
+        .unwrap_or_else(|e| panic!("reshard resume at byte {cut} failed: {e}"));
+        assert_reports_identical(&full, &resumed, &order, &format!("reshard cut {cut}"));
+        assert_journals_equivalent(&path, &cut_path, &format!("reshard cut {cut}"));
+    }
+    std::fs::remove_file(&path).expect("cleanup");
+    std::fs::remove_file(&cut_path).expect("cleanup");
+}
+
+/// Resuming a finished job replays everything, asks nothing, and leaves
+/// the journal byte-identical.
+#[test]
+fn resuming_a_finished_job_asks_nothing() {
+    let (num_objects, order, truth) = workload();
+    let platform = platform_config();
+    let (_, full, path) = run_journaled("finished.wal", false);
+    let before = std::fs::read(&path).expect("journal bytes");
+
+    let resumed = resume_sharded_on_platform(
+        num_objects,
+        &order,
+        &truth,
+        &platform,
+        &engine_config(false),
+        &path,
+    )
+    .expect("resume of finished job");
+    assert_reports_identical(&full, &resumed, &order, "finished resume");
+    assert_eq!(resumed.num_new_answers(), 0, "a finished job asks nothing new");
+    assert_eq!(resumed.num_replayed_answers(), full.num_crowd_answers());
+    assert_eq!(std::fs::read(&path).expect("journal bytes"), before, "journal untouched");
+    std::fs::remove_file(&path).expect("cleanup");
+}
+
+/// A journal must only resume the job that wrote it: different seeds,
+/// platform, flags, or inputs are rejected at the header check, before a
+/// single answer is replayed.
+#[test]
+fn resume_rejects_a_different_job() {
+    let (num_objects, order, truth) = workload();
+    let platform = platform_config();
+    let (_, _, path) = run_journaled("mismatch.wal", false);
+
+    let resume = |order: &[ScoredPair],
+                  truth: &GroundTruth,
+                  platform: &PlatformConfig,
+                  config: &EngineConfig| {
+        resume_sharded_on_platform(num_objects, order, truth, platform, config, &path)
+    };
+    let base = engine_config(false);
+
+    let cases: Vec<(&str, Result<EngineReport, WalError>)> = vec![
+        (
+            "engine seed",
+            resume(&order, &truth, &platform, &EngineConfig { seed: 99, ..base.clone() }),
+        ),
+        ("platform seed", resume(&order, &truth, &PlatformConfig::amt_like(30), &base)),
+        ("platform preset", resume(&order, &truth, &PlatformConfig::perfect_workers(29), &base)),
+        (
+            "shard count",
+            resume(&order, &truth, &platform, &EngineConfig { num_shards: 5, ..base.clone() }),
+        ),
+        (
+            "reshard flag",
+            resume(&order, &truth, &platform, &EngineConfig { reshard: true, ..base.clone() }),
+        ),
+        ("labeling order", resume(&order[1..], &truth, &platform, &base)),
+        ("ground truth", resume(&order, &GroundTruth::all_distinct(num_objects), &platform, &base)),
+    ];
+    for (what, result) in cases {
+        match result {
+            Err(WalError::HeaderMismatch { .. }) => {}
+            Ok(_) => panic!("resume with different {what} must be rejected"),
+            Err(other) => panic!("resume with different {what}: wrong error {other}"),
+        }
+    }
+    std::fs::remove_file(&path).expect("cleanup");
+}
+
+/// Starting a *new* journal over an existing non-empty file is refused —
+/// it may hold paid-for answers.
+#[test]
+fn new_journal_refuses_to_overwrite() {
+    let (num_objects, order, truth) = workload();
+    let platform = platform_config();
+    let (_, _, path) = run_journaled("overwrite.wal", false);
+
+    let config = EngineConfig { journal: Some(path.clone()), ..engine_config(false) };
+    match Engine::new(num_objects, &order, &truth, &platform, config).run() {
+        Err(WalError::AlreadyExists(_)) => {}
+        Ok(_) => panic!("running over an existing journal must be refused"),
+        Err(other) => panic!("wrong error: {other}"),
+    }
+    std::fs::remove_file(&path).expect("cleanup");
+}
