@@ -6,7 +6,7 @@
 //! measures the execution engine itself (partitioning, scheduling, labeling,
 //! deduction, merging).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use crowdjoin::engine::SharedGroundTruth;
 use crowdjoin::matcher::MatcherConfig;
 use crowdjoin::records::{generate_product, ClusterSpec, ProductGenConfig};
@@ -156,5 +156,124 @@ fn bench_shard_scaling(c: &mut Criterion) {
     println!("  speedup engine@8 vs engine@1:           {:>9.2}x", t1 / t8);
 }
 
+/// One measured arm of the machine-readable benchmark output.
+struct BenchArm {
+    name: &'static str,
+    shards: usize,
+    wall_ms: f64,
+    crowdsourced: usize,
+    deduced: usize,
+    /// Partial-HIT waste (platform arms only).
+    waste: Option<f64>,
+}
+
+/// Median-of-N wall clock of `f`, plus its last report-style outcome.
+fn measure<T>(samples: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut times = Vec::with_capacity(samples);
+    let mut last = None;
+    for _ in 0..samples {
+        let t = std::time::Instant::now();
+        last = Some(black_box(f()));
+        times.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    times.sort_by(f64::total_cmp);
+    (times[times.len() / 2], last.expect("samples >= 1"))
+}
+
+/// Writes `BENCH_engine.json`: the perf numbers (workload, shards, wall
+/// ms, crowdsourced/deduced counts, partial-HIT waste) in a stable schema
+/// so the trajectory is trackable across PRs. Runs as part of
+/// `cargo bench -p crowdjoin-bench --bench engine`; override the output
+/// path with `CROWDJOIN_BENCH_JSON`.
+fn emit_machine_readable() {
+    let (candidates, truth, order) = product_5k();
+    let mut arms: Vec<BenchArm> = Vec::new();
+
+    let (wall_ms, result) = measure(5, || {
+        let mut oracle = GroundTruthOracle::new(&truth);
+        run_parallel_rounds(candidates.num_objects(), order.clone(), &mut oracle).0
+    });
+    arms.push(BenchArm {
+        name: "core_labeler",
+        shards: 1,
+        wall_ms,
+        crowdsourced: result.num_crowdsourced(),
+        deduced: result.num_deduced(),
+        waste: None,
+    });
+
+    for shards in [1usize, 8] {
+        let cfg = EngineConfig { num_shards: shards, ..EngineConfig::default() };
+        let (wall_ms, report) = measure(5, || {
+            let oracle = SharedGroundTruth::new(&truth);
+            crowdjoin::run_sharded_with_oracle(candidates.num_objects(), &order, &oracle, &cfg)
+        });
+        arms.push(BenchArm {
+            name: "engine_oracle",
+            shards,
+            wall_ms,
+            crowdsourced: report.num_crowdsourced(),
+            deduced: report.num_deduced(),
+            waste: None,
+        });
+    }
+
+    let platform = PlatformConfig::perfect_workers(7);
+    for (name, reshard) in
+        [("engine_platform_event_loop", false), ("engine_platform_reshard", true)]
+    {
+        let cfg = EngineConfig { num_shards: 8, seed: 3, reshard, ..EngineConfig::default() };
+        let (wall_ms, report) = measure(3, || {
+            run_sharded_on_platform(candidates.num_objects(), &order, &truth, &platform, &cfg)
+        });
+        arms.push(BenchArm {
+            name,
+            shards: 8,
+            wall_ms,
+            crowdsourced: report.num_crowdsourced(),
+            deduced: report.num_deduced(),
+            waste: Some(report.partial_hit_waste()),
+        });
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"crowdjoin-bench-engine/1\",\n");
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!(
+        "  \"workload\": {{\"name\": \"product_5k\", \"records\": {}, \"candidate_pairs\": {}}},\n",
+        candidates.num_objects(),
+        candidates.len()
+    ));
+    json.push_str("  \"arms\": [\n");
+    for (i, arm) in arms.iter().enumerate() {
+        let waste = arm.waste.map_or("null".to_string(), |w| format!("{w:.4}"));
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"shards\": {}, \"wall_ms\": {:.3}, \
+             \"crowdsourced\": {}, \"deduced\": {}, \"waste\": {}}}{}\n",
+            arm.name,
+            arm.shards,
+            arm.wall_ms,
+            arm.crowdsourced,
+            arm.deduced,
+            waste,
+            if i + 1 == arms.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    // Default to the workspace root (the bench runs with the package as
+    // CWD), so the artifact is always at <repo>/BENCH_engine.json.
+    let path = std::env::var("CROWDJOIN_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json").to_string()
+    });
+    std::fs::write(&path, &json).expect("write BENCH_engine.json");
+    println!("\nmachine-readable results written to {path}");
+}
+
 criterion_group!(benches, bench_shard_scaling);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    emit_machine_readable();
+}

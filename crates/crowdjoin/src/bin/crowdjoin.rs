@@ -58,6 +58,10 @@ struct JoinOpts {
     /// Simulated-crowd mode: drive the event-loop engine against a
     /// deterministic platform and report cost/latency Table-1 style.
     platform: Option<PlatformPreset>,
+    /// Which crowd backend answers the published HITs.
+    backend: BackendKind,
+    /// Spool directory of the spool backend (`--backend spool`).
+    spool: Option<String>,
     /// Dynamically re-shard between publish rounds (platform mode only).
     reshard: bool,
     /// Seed for the simulated platform.
@@ -86,6 +90,8 @@ impl Default for JoinOpts {
             one_to_one: false,
             shards: 1,
             platform: None,
+            backend: BackendKind::Sim,
+            spool: None,
             reshard: false,
             seed: 42,
             journal: None,
@@ -101,6 +107,16 @@ impl Default for JoinOpts {
 enum CrowdMode {
     Auto,
     Interactive,
+}
+
+/// Who answers the engine's published HITs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BackendKind {
+    /// The in-process discrete-event simulator (default).
+    Sim,
+    /// The spool-directory backend: HITs out as JSON files, answers read
+    /// back from an external process or human.
+    Spool,
 }
 
 /// Worker-pool profile of the simulated platform.
@@ -133,9 +149,15 @@ options:
                         perfect (accurate workers) | amt (25% spammers,
                         majority vote). Labels come from the simulated run;
                         ground truth is the auto-threshold clustering.
-  --reshard yes         platform mode: dynamically merge shards between
-                        publish rounds as components collapse (less
-                        partial-HIT waste)
+  --backend KIND        who answers the published HITs: sim (the in-process
+                        simulator, default) | spool (publish HITs as JSON
+                        files into --spool DIR/hits and poll DIR/answers —
+                        an external process or human answers them; implies
+                        --platform perfect for batch/price defaults)
+  --spool DIR           spool directory of --backend spool
+  --reshard yes         platform mode (sim backend only): dynamically merge
+                        shards between publish rounds as components
+                        collapse (less partial-HIT waste)
   --seed N              seed for the simulated platform (default 42)
   --journal FILE        platform mode: append every crowd answer to a
                         crash-safe write-ahead journal; a killed run
@@ -145,8 +167,10 @@ options:
                         and keeps appending to FILE (pass the same input
                         and flags as the original run)
   --batch-size N        platform mode: pairs per HIT (default 20)
-  --crowd-size N        platform mode: workers in the simulated crowd
-                        (default 40; split evenly across shards)
+  --crowd-size N        platform mode: size of the simulated worker pool
+                        (default 40; split evenly across shards). This is
+                        THE platform-capacity knob; the separate --crowd
+                        flag picks the answering mode, not a size.
   --price CENTS         platform mode: cents per completed assignment
                         (default 2)";
 
@@ -178,6 +202,12 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             opts.crowd = match c.as_str() {
                 "auto" => CrowdMode::Auto,
                 "interactive" => CrowdMode::Interactive,
+                other if other.parse::<usize>().is_ok() => {
+                    return Err(format!(
+                        "--crowd picks the answering mode (auto|interactive), not a size; \
+                         did you mean --crowd-size {other} (simulated worker-pool size)?"
+                    ))
+                }
                 other => return Err(format!("--crowd must be auto|interactive, got {other:?}")),
             };
         }
@@ -220,6 +250,12 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             opts.batch_size = Some(n);
         }
         if let Some(c) = flags("crowd-size") {
+            if matches!(c.as_str(), "auto" | "interactive") {
+                return Err(format!(
+                    "--crowd-size is the simulated worker-pool size (a number); for the \
+                     answering mode use --crowd {c}"
+                ));
+            }
             let n: usize = c.parse().map_err(|_| format!("--crowd-size: not a number: {c:?}"))?;
             // Every HIT needs `assignments_per_hit` (3 in both presets)
             // distinct workers to resolve.
@@ -240,6 +276,48 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             return Err("--journal starts a new journal and --resume continues an existing \
                         one; pass exactly one"
                 .to_string());
+        }
+        let backend_given = flags("backend");
+        if let Some(b) = &backend_given {
+            opts.backend = match b.as_str() {
+                "sim" => BackendKind::Sim,
+                "spool" => BackendKind::Spool,
+                other => return Err(format!("--backend must be sim|spool, got {other:?}")),
+            };
+        }
+        opts.spool = flags("spool");
+        if opts.spool.is_some() && opts.backend != BackendKind::Spool {
+            return Err("--spool only applies to --backend spool".to_string());
+        }
+        match opts.backend {
+            BackendKind::Spool => {
+                if opts.spool.is_none() {
+                    return Err("--backend spool requires --spool DIR (where HITs are \
+                                published and answers are read back)"
+                        .to_string());
+                }
+                if opts.reshard {
+                    return Err("--reshard is a simulator-path optimization; the spool \
+                                backend's journal replay cannot reconstruct re-sharded \
+                                history (drop --reshard or use --backend sim)"
+                        .to_string());
+                }
+                // The preset only supplies batch-size/price defaults for an
+                // external crowd; imply one so `--backend spool` works
+                // standalone.
+                if opts.platform.is_none() {
+                    opts.platform = Some(PlatformPreset::Perfect);
+                }
+            }
+            BackendKind::Sim => {
+                if backend_given.is_some() && opts.platform.is_none() {
+                    return Err(
+                        "--backend sim requires --platform perfect|amt (the backend answers \
+                         the simulated platform run)"
+                            .to_string(),
+                    );
+                }
+            }
         }
         let platform_only: [(&str, bool); 5] = [
             ("--journal", opts.journal.is_some()),
@@ -349,13 +427,15 @@ fn load_table(path: &str) -> Result<Table, String> {
     table_from_csv(&text).map_err(|e| format!("{path}: {e}"))
 }
 
-/// `--platform` mode: simulate the whole crowdsourced job on the event-loop
-/// engine — one deterministic platform per shard, thousands of shards on a
-/// bounded worker pool — and report money/latency the way the paper's
-/// Table 1 does. The simulated workers answer according to the
-/// auto-threshold clustering (likelihood ≥ cutoff, made transitively
-/// consistent), so the run predicts what a real crowd posting would cost
-/// before any money is spent.
+/// `--platform` mode: run the whole crowdsourced job on the event-loop
+/// engine — one crowd backend per shard, thousands of shards on a bounded
+/// worker pool — and report money/latency the way the paper's Table 1
+/// does. With the default sim backend, deterministic simulated workers
+/// answer according to the auto-threshold clustering (likelihood ≥ cutoff,
+/// made transitively consistent), so the run predicts what a real crowd
+/// posting would cost before any money is spent; with `--backend spool`
+/// the same clustering is only the *expected* answer written into the HIT
+/// files, and whoever watches the spool directory decides.
 fn simulate_on_platform(
     num_objects: usize,
     order: &[ScoredPair],
@@ -392,22 +472,45 @@ fn simulate_on_platform(
         journal: opts.journal.clone().map(std::path::PathBuf::from),
         ..crowdjoin::EngineConfig::default()
     };
-    let report = if let Some(path) = &opts.resume {
-        crowdjoin::resume_sharded_on_platform(
-            num_objects,
-            order,
-            &truth,
-            &platform,
-            &engine,
-            std::path::Path::new(path),
-        )
-        .map_err(|e| format!("--resume {path}: {e}"))?
-    } else if engine.journal.is_some() {
-        crowdjoin::Engine::new(num_objects, order, &truth, &platform, engine.clone())
-            .run()
-            .map_err(|e| format!("--journal: {e}"))?
-    } else {
-        crowdjoin::run_sharded_on_platform(num_objects, order, &truth, &platform, &engine)
+    let report = match opts.backend {
+        BackendKind::Spool => {
+            let dir = opts.spool.as_deref().expect("--backend spool always carries --spool");
+            let factory = crowdjoin::backend_spool::SpoolFactory::new(
+                crowdjoin::backend_spool::SpoolConfig::new(dir),
+            )
+            .map_err(|e| format!("--spool {dir}: {e}"))?;
+            eprintln!(
+                "spool backend: publishing HITs into {dir}/hits/, waiting on {dir}/answers/ \
+                 (any process — or human — may answer; see the README's \"Bring your own \
+                 crowd\" walkthrough)"
+            );
+            let job = crowdjoin::Engine::new(num_objects, order, &truth, &platform, engine.clone());
+            if let Some(path) = &opts.resume {
+                job.resume_with_backend(std::path::Path::new(path), &factory)
+                    .map_err(|e| format!("--resume {path}: {e}"))?
+            } else {
+                job.run_with_backend(&factory).map_err(|e| format!("--journal: {e}"))?
+            }
+        }
+        BackendKind::Sim => {
+            if let Some(path) = &opts.resume {
+                crowdjoin::resume_sharded_on_platform(
+                    num_objects,
+                    order,
+                    &truth,
+                    &platform,
+                    &engine,
+                    std::path::Path::new(path),
+                )
+                .map_err(|e| format!("--resume {path}: {e}"))?
+            } else if engine.journal.is_some() {
+                crowdjoin::Engine::new(num_objects, order, &truth, &platform, engine.clone())
+                    .run()
+                    .map_err(|e| format!("--journal: {e}"))?
+            } else {
+                crowdjoin::run_sharded_on_platform(num_objects, order, &truth, &platform, &engine)
+            }
+        }
     };
 
     let (hits, assignments) = report
@@ -415,7 +518,12 @@ fn simulate_on_platform(
         .iter()
         .filter_map(|s| s.stats.as_ref())
         .fold((0usize, 0usize), |(h, a), st| (h + st.hits_published, a + st.assignments_completed));
-    eprintln!("=== simulated crowd run (event-loop engine) ===");
+    match opts.backend {
+        BackendKind::Sim => eprintln!("=== simulated crowd run (event-loop engine) ==="),
+        BackendKind::Spool => {
+            eprintln!("=== external crowd run (spool backend, event-loop engine) ===");
+        }
+    }
     if report.reshard_generations > 0 {
         // With re-sharding, `shards` holds one report per shard
         // *incarnation* (retired generations plus their merged successors),
@@ -444,7 +552,15 @@ fn simulate_on_platform(
     eprintln!("  HITs               {hits} published, {assignments} assignments completed");
     eprintln!("  partial-HIT waste  {:.1}% of paid pair slots", report.partial_hit_waste() * 100.0);
     eprintln!("  cost               ${:.2}", report.total_cost_cents as f64 / 100.0);
-    eprintln!("  completion         {:.2} virtual hours", report.completion.as_hours());
+    match opts.backend {
+        BackendKind::Sim => {
+            eprintln!("  completion         {:.2} virtual hours", report.completion.as_hours());
+        }
+        BackendKind::Spool => eprintln!(
+            "  completion         {:.1} wall-clock seconds",
+            report.completion.0 as f64 / 1000.0
+        ),
+    }
     if let Some(path) = &opts.resume {
         eprintln!(
             "  resumed            {} answer(s) (${:.2}) replayed from {path}, {} newly asked",
@@ -841,6 +957,72 @@ mod tests {
         assert!(parse_args(&args("dedup --input a.csv --price 3")).is_err());
         assert!(parse_args(&args("dedup --input a --platform amt --batch-size many")).is_err());
         assert!(parse_args(&args("dedup --input a --platform amt --price free")).is_err());
+    }
+
+    #[test]
+    fn parses_backend_and_spool() {
+        // Default backend is sim.
+        match parse_args(&args("dedup --input a.csv --platform amt")).unwrap() {
+            Command::Dedup { opts, .. } => {
+                assert_eq!(opts.backend, BackendKind::Sim);
+                assert_eq!(opts.spool, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Spool backend implies platform mode (perfect preset for
+        // batch/price defaults) and allows platform-only knobs.
+        match parse_args(&args(
+            "dedup --input a.csv --backend spool --spool /tmp/s --journal j.wal --price 3",
+        ))
+        .unwrap()
+        {
+            Command::Dedup { opts, .. } => {
+                assert_eq!(opts.backend, BackendKind::Spool);
+                assert_eq!(opts.spool.as_deref(), Some("/tmp/s"));
+                assert_eq!(opts.platform, Some(PlatformPreset::Perfect));
+                assert_eq!(opts.journal.as_deref(), Some("j.wal"));
+                assert_eq!(opts.price, Some(3));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // An explicit preset survives the implication.
+        match parse_args(&args("dedup --input a.csv --backend spool --spool s --platform amt"))
+            .unwrap()
+        {
+            Command::Dedup { opts, .. } => assert_eq!(opts.platform, Some(PlatformPreset::Amt)),
+            other => panic!("wrong command {other:?}"),
+        }
+        // Validation: each half of the pair requires the other; re-sharding
+        // and unknown kinds are refused.
+        let spool_needs_dir = parse_args(&args("dedup --input a.csv --backend spool"));
+        assert!(spool_needs_dir.unwrap_err().contains("--spool DIR"));
+        let dir_needs_spool = parse_args(&args("dedup --input a.csv --spool s --platform amt"));
+        assert!(dir_needs_spool.unwrap_err().contains("--backend spool"));
+        let no_reshard =
+            parse_args(&args("dedup --input a.csv --backend spool --spool s --reshard yes"));
+        assert!(no_reshard.unwrap_err().contains("simulator-path"));
+        assert!(parse_args(&args("dedup --input a.csv --backend mturk --spool s")).is_err());
+        // Explicit `--backend sim` outside platform mode is an error, with
+        // the fix in the message.
+        let sim_needs_platform = parse_args(&args("dedup --input a.csv --backend sim"));
+        assert!(sim_needs_platform.unwrap_err().contains("--platform"));
+    }
+
+    #[test]
+    fn crowd_flag_clash_gets_a_hint() {
+        // A number given to --crowd: almost certainly meant --crowd-size.
+        let err = parse_args(&args("dedup --input a.csv --platform amt --crowd 40")).unwrap_err();
+        assert!(err.contains("--crowd-size 40"), "hint missing from {err:?}");
+        // A mode given to --crowd-size: almost certainly meant --crowd.
+        let err = parse_args(&args("dedup --input a.csv --platform amt --crowd-size interactive"))
+            .unwrap_err();
+        assert!(err.contains("--crowd interactive"), "hint missing from {err:?}");
+        let err =
+            parse_args(&args("dedup --input a.csv --platform amt --crowd-size auto")).unwrap_err();
+        assert!(err.contains("--crowd auto"), "hint missing from {err:?}");
+        // The legitimate uses stay untouched.
+        assert!(parse_args(&args("dedup --input a.csv --crowd interactive")).is_ok());
+        assert!(parse_args(&args("dedup --input a.csv --platform amt --crowd-size 40")).is_ok());
     }
 
     #[test]

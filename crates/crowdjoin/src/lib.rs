@@ -15,7 +15,8 @@
 //! | datasets | [`records`] | Paper/Product generators (Cora / Abt-Buy stand-ins) |
 //! | machine matcher | [`matcher`] | tokenizers, similarity, tf-idf join |
 //! | labeling framework | [`core`] | orders, sequential/parallel labelers, expected cost |
-//! | crowd platform | [`sim`] | discrete-event AMT simulator |
+//! | crowd platform | [`sim`] | discrete-event AMT simulator + the pluggable `CrowdBackend` layer |
+//! | external crowd | [`backend_spool`] | spool-directory backend: drive a job with any external answerer |
 //! | answer journal | [`wal`] | crash-safe write-ahead journal for resumable jobs |
 //! | execution engine | [`engine`] | component sharding, incremental closure, worker-pool scheduler |
 //! | integration | [`pipeline`], [`runner`] | dataset→task glue, platform-driven runs |
@@ -51,6 +52,9 @@
 pub mod pipeline;
 pub mod runner;
 
+/// The spool-directory external crowd backend (re-export of
+/// `crowdjoin-backend-spool`).
+pub use crowdjoin_backend_spool as backend_spool;
 /// The labeling framework (re-export of `crowdjoin-core`).
 pub use crowdjoin_core as core;
 /// The sharded execution engine (re-export of `crowdjoin-engine`).
@@ -77,7 +81,8 @@ pub use crowdjoin_core::{
     SortStrategy, WorldEnumeration,
 };
 pub use crowdjoin_engine::{
-    Engine, EngineConfig, EngineReport, ShardReport, SharedGroundTruth, SharedOracle, SyncOracle,
+    BackendFactory, CrowdBackend, Engine, EngineConfig, EngineReport, ShardContext, ShardReport,
+    SharedGroundTruth, SharedOracle, SimFactory, SyncOracle, TimeSource,
 };
 pub use pipeline::{build_task, ground_truth_of, to_candidate_set};
 pub use runner::{

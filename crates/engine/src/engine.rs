@@ -9,7 +9,9 @@ use crate::persist::{job_header, verify_header};
 use crate::report::{EngineReport, ShardReport};
 use crate::scheduler::run_sharded;
 use crowdjoin_core::{GroundTruth, LabelingResult, Pair, Provenance, ScoredPair};
-use crowdjoin_sim::{Platform, PlatformConfig, SharedClock, VirtualTime};
+use crowdjoin_sim::{
+    BackendFactory, Platform, PlatformConfig, SharedClock, SimFactory, VirtualTime,
+};
 use crowdjoin_wal::{open_resume, partition_replay, Journal, WalError};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -114,10 +116,10 @@ impl<'a> Engine<'a> {
         Self { num_objects, order, truth, platform, config }
     }
 
-    /// Runs the job on the event loop (see [`run_on_platform`] for the
-    /// execution model). With [`EngineConfig::journal`] set, every crowd
-    /// answer is write-ahead logged so a killed process can be resumed with
-    /// [`Self::resume`].
+    /// Runs the job on the event loop against the default simulated-crowd
+    /// backend (see [`run_on_platform`] for the execution model). With
+    /// [`EngineConfig::journal`] set, every crowd answer is write-ahead
+    /// logged so a killed process can be resumed with [`Self::resume`].
     ///
     /// # Errors
     ///
@@ -131,9 +133,36 @@ impl<'a> Engine<'a> {
     /// journal I/O failure mid-run — a write-ahead log that silently stops
     /// logging would betray the resume, so the engine is fail-stop.
     pub fn run(&self) -> Result<EngineReport, WalError> {
+        self.run_with_backend(&SimFactory::new())
+    }
+
+    /// Runs the job on the event loop against the crowd backends `factory`
+    /// creates — the generic entry point behind [`Self::run`]. One backend
+    /// is created per shard incarnation; the event loop schedules every
+    /// shard by its backend's next event time and waits on the factory's
+    /// [`crowdjoin_sim::TimeSource`], so simulated (virtual-time) and
+    /// external (wall-clock) backends run through the identical engine
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run`].
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::run`]; additionally panics when [`EngineConfig::journal`]
+    /// is combined with [`EngineConfig::reshard`] on a backend without
+    /// [`BackendFactory::deterministic_replay`] — re-sharded partitions
+    /// depend on answer timing, so a fed replay could not reconstruct
+    /// which shard a journaled answer belongs to.
+    pub fn run_with_backend<F: BackendFactory>(
+        &self,
+        factory: &F,
+    ) -> Result<EngineReport, WalError> {
         let journal = match &self.config.journal {
             None => None,
             Some(path) => {
+                assert_journalable(factory, &self.config);
                 let header = job_header(
                     self.num_objects,
                     self.order,
@@ -148,7 +177,7 @@ impl<'a> Engine<'a> {
                 })
             }
         };
-        Ok(self.run_event_loop(&self.config, journal))
+        Ok(self.run_event_loop(factory, &self.config, journal))
     }
 
     /// Resumes a killed journaled job: replays the journal's paid-for
@@ -189,6 +218,33 @@ impl<'a> Engine<'a> {
     /// disagree in a way fingerprints could not catch, and continuing
     /// would silently fork paid-for history.
     pub fn resume(&self, path: &Path) -> Result<EngineReport, WalError> {
+        self.resume_with_backend(path, &SimFactory::new())
+    }
+
+    /// Resumes a killed journaled job on the crowd backends `factory`
+    /// creates — the generic entry point behind [`Self::resume`]. The
+    /// replay mode follows [`BackendFactory::deterministic_replay`]:
+    /// deterministic backends re-execute and verify every record
+    /// bit-for-bit (see [`Self::resume`] for the guarantees); external
+    /// backends get the journaled answers *fed* straight into the labelers
+    /// — no journaled question is ever re-posted, only the remainder goes
+    /// back out, and the journal keeps appending so the resumed run is
+    /// itself crash-safe.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::resume`].
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::resume`]; additionally panics when resuming a re-sharded
+    /// journal on a backend without deterministic replay (see
+    /// [`Self::run_with_backend`]).
+    pub fn resume_with_backend<F: BackendFactory>(
+        &self,
+        path: &Path,
+        factory: &F,
+    ) -> Result<EngineReport, WalError> {
         let (contents, sink) = open_resume(path)?;
         let mut config = self.config.clone();
         if config.num_shards == 0 {
@@ -197,6 +253,7 @@ impl<'a> Engine<'a> {
         // New records go to the journal being resumed, whatever
         // `config.journal` says.
         config.journal = Some(path.to_path_buf());
+        assert_journalable(factory, &config);
         let header = job_header(
             self.num_objects,
             self.order,
@@ -207,10 +264,15 @@ impl<'a> Engine<'a> {
         );
         verify_header(&contents.header, &header)?;
         let plan = partition_replay(&contents.records);
-        Ok(self.run_event_loop(&config, Some(JournalRun { sink: Arc::new(sink), plan })))
+        Ok(self.run_event_loop(factory, &config, Some(JournalRun { sink: Arc::new(sink), plan })))
     }
 
-    fn run_event_loop(&self, config: &EngineConfig, journal: Option<JournalRun>) -> EngineReport {
+    fn run_event_loop<F: BackendFactory>(
+        &self,
+        factory: &F,
+        config: &EngineConfig,
+        journal: Option<JournalRun>,
+    ) -> EngineReport {
         let partition =
             partition_candidates(self.num_objects, self.order, config.effective_shards());
         crate::event_loop::run_event_loop(
@@ -218,11 +280,25 @@ impl<'a> Engine<'a> {
             self.order,
             partition,
             self.truth,
+            factory,
             self.platform,
             config,
             journal,
         )
     }
+}
+
+/// Journaled re-sharding requires deterministic replay: which shard a
+/// journaled answer belongs to after a barrier depends on answer timing,
+/// which a fed replay cannot reconstruct. Refuse loudly up front instead
+/// of diverging mid-resume.
+fn assert_journalable<F: BackendFactory>(factory: &F, config: &EngineConfig) {
+    assert!(
+        factory.deterministic_replay() || !config.reshard,
+        "EngineConfig::journal cannot be combined with EngineConfig::reshard on a backend \
+         without deterministic replay (journaled re-sharded history is only replayable by \
+         re-execution)"
+    );
 }
 
 /// Runs the sharded engine against a thread-safe oracle.

@@ -50,7 +50,7 @@ use crate::scheduler::effective_threads;
 use crate::task::{ShardState, ShardTask};
 use crate::ShardLabeler;
 use crowdjoin_core::{GroundTruth, Label, Pair, ScoredPair};
-use crowdjoin_sim::{Platform, PlatformConfig, VirtualTime};
+use crowdjoin_sim::{BackendFactory, CrowdBackend, PlatformConfig, ShardContext, VirtualTime};
 use crowdjoin_util::{derive_seed, FxHashMap};
 use crowdjoin_wal as wal;
 use std::cmp::Reverse;
@@ -94,15 +94,15 @@ pub(crate) struct JournalRun {
 
 /// Shared mutable scheduler state (behind one mutex; workers hold it only
 /// between advances, never while simulating).
-struct LoopState {
+struct LoopState<B: CrowdBackend> {
     /// Min-heap of `(wake time, slot)`; the slot index breaks ties
     /// deterministically.
     heap: BinaryHeap<Reverse<(VirtualTime, usize)>>,
     /// Slot-indexed task storage; `None` while a worker holds the task or
     /// after it finished.
-    slots: Vec<Option<ShardTask>>,
+    slots: Vec<Option<ShardTask<B>>>,
     /// Tasks waiting at the re-sharding barrier.
-    parked: Vec<ShardTask>,
+    parked: Vec<ShardTask<B>>,
     /// Tasks currently held by workers.
     inflight: usize,
     /// Tasks not yet `Done` (in the heap, in flight, or parked).
@@ -121,8 +121,10 @@ struct LoopState {
 }
 
 /// Everything workers need by reference.
-struct LoopCtx<'a> {
+struct LoopCtx<'a, F: BackendFactory> {
     truth: &'a GroundTruth,
+    /// Creates the per-shard backends and owns the clock workers wait on.
+    factory: &'a F,
     platform_cfg: &'a PlatformConfig,
     engine_cfg: &'a EngineConfig,
     num_objects: usize,
@@ -138,17 +140,23 @@ struct LoopCtx<'a> {
 }
 
 /// Runs a partitioned workload on the event loop and stitches the merged
-/// report. The entry point behind [`crate::run_on_platform`]; `order` is
-/// the same global labeling order the partition was built from.
-pub(crate) fn run_event_loop(
+/// report. The entry point behind [`crate::run_on_platform`] and
+/// [`crate::Engine::run_with_backend`]; `order` is the same global labeling
+/// order the partition was built from, `factory` creates the per-shard
+/// [`CrowdBackend`]s and owns the [`crowdjoin_sim::TimeSource`] workers
+/// wait on.
+#[allow(clippy::too_many_arguments)] // crate-internal; the one caller is Engine::run_event_loop
+pub(crate) fn run_event_loop<F: BackendFactory>(
     num_objects: usize,
     order: &[ScoredPair],
     partition: Partition,
     truth: &GroundTruth,
+    factory: &F,
     platform_cfg: &PlatformConfig,
     engine_cfg: &EngineConfig,
     journal: Option<JournalRun>,
 ) -> EngineReport {
+    let deterministic = factory.deterministic_replay();
     let num_components = partition.num_components;
     let shards = partition.shards;
     let (sink, replay_shards, replay_generations, journal_complete) = match journal {
@@ -156,8 +164,9 @@ pub(crate) fn run_event_loop(
         None => (None, std::collections::BTreeMap::new(), VecDeque::new(), None),
     };
     if shards.is_empty() {
-        let report = EngineReport::from_shards(Vec::new(), num_components);
-        journal_completion(sink.as_deref(), journal_complete, &report);
+        let mut report = EngineReport::from_shards(Vec::new(), num_components);
+        report.fed_replay = !deterministic;
+        journal_completion(sink.as_deref(), journal_complete, &report, deterministic);
         return report;
     }
 
@@ -180,11 +189,25 @@ pub(crate) fn run_event_loop(
     for shard in shards {
         let cfg = shard_platform_config(platform_cfg, engine_cfg, 0, shard.index, initial_shards);
         let index = shard.index;
-        let mut task =
-            ShardTask::new(shard, Platform::new(cfg), engine_cfg.instant_decision, index);
+        let shard_ctx = ShardContext {
+            generation: 0,
+            shard_index: index,
+            active_shards: initial_shards,
+            report_index: index,
+        };
+        let backend = factory.create(&cfg, &shard_ctx);
+        let mut task = ShardTask::new(shard, backend, engine_cfg.instant_decision, index);
         if sink.is_some() {
             let replay = state.replay_shards.remove(&(index as u32)).unwrap_or_default();
-            task.attach_journal(sink.clone(), replay);
+            if deterministic {
+                task.attach_journal(sink.clone(), replay);
+            } else {
+                // Non-deterministic backends cannot re-execute history:
+                // journaled answers are fed to the labeler and only new
+                // records append.
+                task.feed_replay(replay);
+                task.attach_journal(sink.clone(), VecDeque::new());
+            }
         }
         enqueue(&mut state, task);
     }
@@ -198,6 +221,7 @@ pub(crate) fn run_event_loop(
     };
     let ctx = LoopCtx {
         truth,
+        factory,
         platform_cfg,
         engine_cfg,
         num_objects,
@@ -239,12 +263,20 @@ pub(crate) fn run_event_loop(
     // predecessors, so the maximum spans incarnations too).
     let mut report = EngineReport::from_shards(reports, num_components);
     report.reshard_generations = state.generations;
-    journal_completion(sink.as_deref(), journal_complete, &report);
+    report.fed_replay = !deterministic;
+    journal_completion(sink.as_deref(), journal_complete, &report, deterministic);
     report
 }
 
 /// Appends (or, on a resume whose journal already ends with one, verifies)
 /// the job-completion record.
+///
+/// Under re-execution replay (`deterministic`) the whole record must match
+/// bit-for-bit — answers, money, completion time. Under feed replay the
+/// backend's counters only cover what *this* run posted, so the answer
+/// total is `replayed + new`, money is checked against the absorbed
+/// ledger, and the completion time — wall-clock, different every run — is
+/// not compared.
 ///
 /// # Panics
 ///
@@ -253,19 +285,30 @@ fn journal_completion(
     sink: Option<&wal::Journal>,
     journaled: Option<wal::CompleteRecord>,
     report: &EngineReport,
+    deterministic: bool,
 ) {
     let Some(sink) = sink else { return };
+    // `num_crowd_answers` is replay-mode aware (via `fed_replay`), so this
+    // is the whole-job answer count either way.
     let record = wal::CompleteRecord {
         answers: report.num_crowd_answers() as u64,
         cost_cents: report.total_cost_cents,
         completion: report.completion.0,
     };
     match journaled {
-        Some(j) => assert_eq!(
+        Some(j) if deterministic => assert_eq!(
             j, record,
             "journal divergence: the resumed run finished with different totals than the \
              journaled completion record"
         ),
+        Some(j) => {
+            assert_eq!(
+                (j.answers, j.cost_cents),
+                (record.answers, record.cost_cents),
+                "journal divergence: the fed-replay resume finished with different \
+                 answer/money totals than the journaled completion record"
+            );
+        }
         None => sink
             .append_durable(&wal::Record::Complete(record))
             .expect("completion journal append failed"),
@@ -274,7 +317,7 @@ fn journal_completion(
 
 /// Inserts a task into the scheduler (or straight into `finished` when it
 /// completed at construction, e.g. an empty workload).
-fn enqueue(state: &mut LoopState, task: ShardTask) {
+fn enqueue<B: CrowdBackend>(state: &mut LoopState<B>, task: ShardTask<B>) {
     match task.next_wake() {
         Some(wake) => {
             let slot = state.slots.len();
@@ -294,13 +337,13 @@ fn enqueue(state: &mut LoopState, task: ShardTask) {
 /// `inflight`/`active` so they can drain the remaining shards and let the
 /// thread scope re-raise the panic — instead of waiting forever on a count
 /// that will never reach zero.
-struct AdvanceGuard<'a> {
-    state: &'a Mutex<LoopState>,
+struct AdvanceGuard<'a, B: CrowdBackend> {
+    state: &'a Mutex<LoopState<B>>,
     cv: &'a Condvar,
     armed: bool,
 }
 
-impl Drop for AdvanceGuard<'_> {
+impl<B: CrowdBackend> Drop for AdvanceGuard<'_, B> {
     fn drop(&mut self) {
         if self.armed {
             if let Ok(mut st) = self.state.lock() {
@@ -312,10 +355,15 @@ impl Drop for AdvanceGuard<'_> {
     }
 }
 
-/// One worker: pop the earliest-event task, advance it outside the lock,
-/// reinsert/park/finish it, and run the re-sharding barrier when no task
-/// can progress otherwise.
-fn worker_loop(state: &Mutex<LoopState>, cv: &Condvar, ctx: &LoopCtx<'_>) {
+/// One worker: pop the earliest-event task, wait out its deadline on the
+/// factory's time source (a no-op on virtual time, a real sleep on wall
+/// clock), advance it outside the lock, reinsert/park/finish it, and run
+/// the re-sharding barrier when no task can progress otherwise.
+fn worker_loop<F: BackendFactory>(
+    state: &Mutex<LoopState<F::Backend>>,
+    cv: &Condvar,
+    ctx: &LoopCtx<'_, F>,
+) {
     let truth_of = |pair: Pair| ctx.truth.is_matching(pair);
     let park_on_idle = ctx.engine_cfg.reshard;
     let mut st = state.lock().expect("event loop mutex poisoned");
@@ -324,10 +372,15 @@ fn worker_loop(state: &Mutex<LoopState>, cv: &Condvar, ctx: &LoopCtx<'_>) {
             cv.notify_all();
             return;
         }
-        if let Some(Reverse((_, slot))) = st.heap.pop() {
+        if let Some(Reverse((wake, slot))) = st.heap.pop() {
             let mut task = st.slots[slot].take().expect("scheduled slot must hold a task");
             st.inflight += 1;
             drop(st);
+
+            // Wall-clock backends schedule polls in the future; sleep until
+            // the deadline instead of busy-polling. Virtual time returns
+            // immediately — polling is what advances it.
+            ctx.factory.time_source().wait_until(wake);
 
             let mut guard = AdvanceGuard { state, cv, armed: true };
             task.advance(&truth_of, park_on_idle);
@@ -373,9 +426,9 @@ fn worker_loop(state: &Mutex<LoopState>, cv: &Condvar, ctx: &LoopCtx<'_>) {
 
 /// The re-sharding barrier: retire every parked task, repartition the pairs
 /// of still-open components into fewer shards (proportional to how much
-/// work remains), and enqueue the merged generation on fresh platforms that
+/// work remains), and enqueue the merged generation on fresh backends that
 /// continue the virtual timeline.
-fn reshard(st: &mut LoopState, ctx: &LoopCtx<'_>) {
+fn reshard<F: BackendFactory>(st: &mut LoopState<F::Backend>, ctx: &LoopCtx<'_, F>) {
     st.generations += 1;
     let parked = std::mem::take(&mut st.parked);
     st.active -= parked.len();
@@ -441,7 +494,14 @@ fn reshard(st: &mut LoopState, ctx: &LoopCtx<'_>) {
             shard.index,
             active_shards,
         );
-        let mut platform = Platform::new(cfg);
+        let report_index_for_ctx = st.next_report_index;
+        let shard_ctx = ShardContext {
+            generation: st.generations,
+            shard_index: shard.index,
+            active_shards,
+            report_index: report_index_for_ctx,
+        };
+        let mut platform = ctx.factory.create(&cfg, &shard_ctx);
         platform.warp_to(barrier);
         let mut labeler = ShardLabeler::new(shard.num_objects(), shard.pairs.clone());
         for sp in &shard.pairs {
@@ -449,7 +509,7 @@ fn reshard(st: &mut LoopState, ctx: &LoopCtx<'_>) {
                 labeler.seed_known(sp.pair, label);
             }
         }
-        let report_index = st.next_report_index;
+        let report_index = report_index_for_ctx;
         st.next_report_index += 1;
         let mut task = ShardTask::resume(
             shard,
@@ -460,6 +520,9 @@ fn reshard(st: &mut LoopState, ctx: &LoopCtx<'_>) {
             barrier_rounds,
         );
         if ctx.journal.is_some() {
+            // Journaled re-sharding runs are deterministic by construction
+            // (the engine refuses the journal+reshard combination for
+            // feed-replay backends), so this is always verify-mode replay.
             let replay = st.replay_shards.remove(&(report_index as u32)).unwrap_or_default();
             task.attach_journal(ctx.journal.clone(), replay);
         }

@@ -69,6 +69,14 @@ pub mod task;
 /// The on-disk answer-journal format (re-export of `crowdjoin-wal`).
 pub use crowdjoin_wal as wal;
 
+/// The pluggable crowd-backend layer (re-export of `crowdjoin-sim`): the
+/// [`CrowdBackend`] poll interface the engine is generic over, the
+/// [`TimeSource`] clocks it schedules against, and the default simulator
+/// factory.
+pub use crowdjoin_sim::{
+    BackendFactory, CrowdBackend, ShardContext, SimFactory, TimeSource, VirtualClock, WallClock,
+};
+
 pub use closure::IncrementalClosure;
 pub use driver::{drive_to_completion, PlatformDriveable};
 pub use engine::{
@@ -80,4 +88,4 @@ pub use oracle::{SharedGroundTruth, SharedOracle, SyncOracle};
 pub use partition::{partition_candidates, Partition, Shard};
 pub use report::{EngineReport, ShardReport};
 pub use scheduler::{effective_threads, run_sharded};
-pub use task::{ShardState, ShardTask};
+pub use task::{pair_task_id, task_id_pair, ShardState, ShardTask};

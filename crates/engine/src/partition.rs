@@ -53,6 +53,17 @@ impl Shard {
         Pair::new(self.objects[local.a() as usize], self.objects[local.b() as usize])
     }
 
+    /// Maps a global pair into this shard's local id space, or `None` when
+    /// either object does not belong to the shard (the inverse of
+    /// [`Self::to_global`]; `objects` is ascending, so local ids are
+    /// binary-search positions).
+    #[must_use]
+    pub fn to_local(&self, global: Pair) -> Option<Pair> {
+        let a = self.objects.binary_search(&global.a()).ok()?;
+        let b = self.objects.binary_search(&global.b()).ok()?;
+        Some(Pair::new(a as u32, b as u32))
+    }
+
     /// Maps a shard-local labeling result back into global object ids.
     #[must_use]
     pub fn globalize(

@@ -52,6 +52,14 @@ pub struct EngineReport {
     /// generations carry the labels of their completed components plus all
     /// platform money they spent; merged successors carry the rest.
     pub reshard_generations: usize,
+    /// `true` when this run replayed its journal by **feeding** (external,
+    /// non-deterministic backends): journaled answers went straight into
+    /// the labelers, so the backend counters only cover what *this* run
+    /// posted. `false` for deterministic re-execution replay (and all
+    /// non-resumed runs), where the re-executed platforms count everything.
+    /// [`Self::num_crowd_answers`] uses this to report whole-job totals
+    /// either way.
+    pub fed_replay: bool,
 }
 
 impl EngineReport {
@@ -81,6 +89,7 @@ impl EngineReport {
             total_cost_cents,
             num_components,
             reshard_generations: 0,
+            fed_replay: false,
         }
     }
 
@@ -108,15 +117,24 @@ impl EngineReport {
         self.shards.iter().map(|s| s.publish_rounds).max().unwrap_or(0)
     }
 
-    /// Crowd answers resolved across every shard platform — for
-    /// re-sharding runs this counts every *paid* answer once (unlike
+    /// Crowd answers paid for across the whole job — for re-sharding runs
+    /// this counts every *paid* answer once (unlike
     /// [`Self::num_crowdsourced`], which counts labeled pairs and can fall
     /// below it when a merged generation re-derives a redundant answer as
-    /// deduced). Equals the journal's answer-record count on journaled
-    /// runs; 0 for oracle-driven runs (no platforms).
+    /// deduced). On a fed-replay resume the journaled answers are added on
+    /// top of the backend counters (which only saw this run's posts); under
+    /// re-execution replay the platforms re-count them. Equals the
+    /// journal's answer-record count on journaled runs either way; 0 for
+    /// oracle-driven runs (no platforms).
     #[must_use]
     pub fn num_crowd_answers(&self) -> usize {
-        self.shards.iter().filter_map(|s| s.stats.as_ref()).map(|st| st.pairs_published).sum()
+        let posted: usize =
+            self.shards.iter().filter_map(|s| s.stats.as_ref()).map(|st| st.pairs_published).sum();
+        if self.fed_replay {
+            posted + self.num_replayed_answers()
+        } else {
+            posted
+        }
     }
 
     /// Crowd answers replayed from a journal instead of re-asked (0 unless

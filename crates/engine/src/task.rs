@@ -43,12 +43,30 @@
 //!   [`crowdjoin_wal::BarrierRecord`] snapshotting the platform's full
 //!   counters, making every round a durable, verifiable recovery point.
 //!
-//! On resume the same two points run in reverse: while the journaled
-//! replay queue is non-empty, each produced record is checked bit-for-bit
-//! against the journal (pair, label, votes, virtual time, money) instead
-//! of being re-appended, and any divergence panics loudly rather than
-//! silently forking history. The task counts replayed answers so the
-//! engine can report how much of the run was already paid for.
+//! On resume the same two points run in reverse — in one of two modes,
+//! chosen by the backend's
+//! [`crowdjoin_sim::BackendFactory::deterministic_replay`]:
+//!
+//! * **re-execution** (deterministic backends, i.e. the simulator): while
+//!   the journaled replay queue is non-empty, each produced record is
+//!   checked bit-for-bit against the journal (pair, label, votes, virtual
+//!   time, money) instead of being re-appended, and any divergence panics
+//!   loudly rather than silently forking history;
+//! * **feeding** ([`ShardTask::feed_replay`], external backends): the
+//!   journaled answers are seeded straight into the labeler before the
+//!   state machine starts, so the backend is never asked them again —
+//!   re-execution is impossible when the answers came from the outside
+//!   world.
+//!
+//! Either way the task counts replayed answers so the engine can report
+//! how much of the run was already paid for.
+//!
+//! ## Task ids
+//!
+//! The task id handed to the backend encodes the **global pair** —
+//! `(a << 32) | b` — so external backends can render the actual question
+//! (which two records?) without any side channel. Backends must treat ids
+//! as opaque; the simulator does.
 
 use crate::labeler::ShardLabeler;
 use crate::partition::Shard;
@@ -56,11 +74,24 @@ use crate::persist::snapshot_of;
 use crate::report::ShardReport;
 use crowdjoin_core::{Label, LabelingResult, Pair, Provenance, ScoredPair};
 use crowdjoin_graph::UnionFind;
-use crowdjoin_sim::{HitStager, Platform, ResolvedTask, TaskSpec, VirtualTime};
+use crowdjoin_sim::{CrowdBackend, HitStager, ResolvedTask, TaskSpec, VirtualTime};
 use crowdjoin_util::{FxHashMap, FxHashSet};
 use crowdjoin_wal::{AnswerRecord, BarrierRecord, Journal, Record, ShardEvent};
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// Packs a (global) pair into the task id posted to the backend, making
+/// every posted task self-describing — see the module docs.
+#[must_use]
+pub fn pair_task_id(pair: Pair) -> u64 {
+    (u64::from(pair.a()) << 32) | u64::from(pair.b())
+}
+
+/// Inverse of [`pair_task_id`].
+#[must_use]
+pub fn task_id_pair(id: u64) -> Pair {
+    Pair::new((id >> 32) as u32, (id & u32::MAX as u64) as u32)
+}
 
 /// Lifecycle state of a [`ShardTask`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,16 +127,17 @@ pub(crate) struct RetiredShard {
     pub known: Vec<(Pair, Label)>,
 }
 
-/// A non-blocking shard state machine: labeler + platform + staging policy,
-/// advanced cooperatively by the event loop.
+/// A non-blocking shard state machine: labeler + crowd backend + staging
+/// policy, advanced cooperatively by the event loop. Generic over the
+/// [`CrowdBackend`] that answers its questions — the simulator platform on
+/// virtual time, or any external backend on wall-clock time.
 #[derive(Debug)]
-pub struct ShardTask {
+pub struct ShardTask<B: CrowdBackend> {
     shard: Shard,
     labeler: ShardLabeler,
-    platform: Platform,
+    platform: B,
     stager: HitStager,
     ids: FxHashMap<u64, Pair>,
-    next_id: u64,
     instant_decision: bool,
     state: ShardState,
     /// Resolution batch stashed between `AwaitingCrowd` and `Deducing`.
@@ -137,15 +169,10 @@ pub struct ShardTask {
     base_rounds: usize,
 }
 
-impl ShardTask {
-    /// Creates a task for a fresh shard on its own platform.
+impl<B: CrowdBackend> ShardTask<B> {
+    /// Creates a task for a fresh shard on its own backend.
     #[must_use]
-    pub fn new(
-        shard: Shard,
-        platform: Platform,
-        instant_decision: bool,
-        report_index: usize,
-    ) -> Self {
+    pub fn new(shard: Shard, platform: B, instant_decision: bool, report_index: usize) -> Self {
         let labeler = ShardLabeler::new(shard.num_objects(), shard.pairs.clone());
         Self::resume(shard, labeler, platform, instant_decision, report_index, 0)
     }
@@ -157,7 +184,7 @@ impl ShardTask {
     pub fn resume(
         shard: Shard,
         labeler: ShardLabeler,
-        platform: Platform,
+        platform: B,
         instant_decision: bool,
         report_index: usize,
         base_rounds: usize,
@@ -169,7 +196,6 @@ impl ShardTask {
             platform,
             stager: HitStager::new(),
             ids: FxHashMap::default(),
-            next_id: 0,
             instant_decision,
             state,
             resolved: Vec::new(),
@@ -192,6 +218,58 @@ impl ShardTask {
     pub fn attach_journal(&mut self, sink: Option<Arc<Journal>>, replay: VecDeque<ShardEvent>) {
         self.journal = sink;
         self.replay = replay;
+    }
+
+    /// Feed-mode replay for **non-deterministic** backends: seeds every
+    /// journaled answer straight into the labeler (crowdsourced provenance,
+    /// deduction deltas re-derived) without touching the backend, so a
+    /// resumed run never re-posts a paid-for question. Journaled barriers
+    /// advance the inherited round count and the covered-spend watermark;
+    /// the total journaled spend is folded into the backend's ledger via
+    /// [`CrowdBackend::absorb_replayed_cost`] so the job's money report
+    /// stays whole-run. Conflicts a noisy history contained are *not*
+    /// re-counted (the crashed run already reported them; labels and money
+    /// replay exactly).
+    ///
+    /// Deterministic backends must not use this — their replay is the
+    /// bit-verified re-execution of [`Self::attach_journal`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the task has started (or on a journal whose
+    /// answers do not belong to this shard — inputs changed between run
+    /// and resume in a way the header fingerprint could not catch).
+    pub fn feed_replay(&mut self, events: VecDeque<ShardEvent>) {
+        assert!(
+            self.first_round && self.stager.num_staged() == 0 && self.replay.is_empty(),
+            "feed_replay must run before the task starts"
+        );
+        for event in events {
+            match event {
+                ShardEvent::Answer(a) => {
+                    let global = Pair::new(a.a, a.b);
+                    let local = self.shard.to_local(global).unwrap_or_else(|| {
+                        panic!(
+                            "journal divergence on shard {}: journaled answer {global} is not \
+                             a pair of this shard",
+                            self.report_index
+                        )
+                    });
+                    let label = if a.matching { Label::Matching } else { Label::NonMatching };
+                    self.labeler.seed_known(local, label);
+                    self.replayed_answers += 1;
+                    self.replayed_cost_cents = a.cost_cents;
+                }
+                ShardEvent::Barrier(b) => {
+                    self.base_rounds = self.base_rounds.max(b.rounds as usize);
+                    self.replayed_cost_cents = b.stats.total_cost_cents;
+                }
+            }
+        }
+        self.platform.absorb_replayed_cost(self.replayed_cost_cents);
+        if self.labeler.is_complete() {
+            self.state = ShardState::Done;
+        }
     }
 
     /// Answers replayed from the journal so far (0 for non-resumed runs).
@@ -240,14 +318,10 @@ impl ShardTask {
         let tasks: Vec<TaskSpec> = batch
             .iter()
             .map(|sp| {
-                let id = self.next_id;
-                self.next_id += 1;
+                let global = self.shard.to_global(sp.pair);
+                let id = pair_task_id(global);
                 self.ids.insert(id, sp.pair);
-                TaskSpec {
-                    id,
-                    truth: truth_of(self.shard.to_global(sp.pair)),
-                    priority: sp.likelihood,
-                }
+                TaskSpec { id, truth: truth_of(global), priority: sp.likelihood }
             })
             .collect();
         self.stager.stage(tasks);
@@ -566,7 +640,7 @@ mod tests {
     use super::*;
     use crate::driver::drive_to_completion;
     use crowdjoin_core::{sort_pairs, CandidateSet, GroundTruth, SortStrategy};
-    use crowdjoin_sim::PlatformConfig;
+    use crowdjoin_sim::{Platform, PlatformConfig};
 
     fn running_example() -> (CandidateSet, GroundTruth) {
         let truth = GroundTruth::from_clusters(6, &[vec![0, 1, 2], vec![3, 4]]);

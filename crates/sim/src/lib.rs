@@ -8,6 +8,15 @@
 //! magnitude slower than parallel publishing (Table 1) — behind a small,
 //! deterministic, seedable API.
 //!
+//! The crate also defines the **pluggable crowd-backend layer** the
+//! execution engine is generic over: the [`CrowdBackend`] poll interface
+//! (which [`Platform`] implements as the reference backend), the
+//! [`BackendFactory`] that creates one backend per shard, and the
+//! [`TimeSource`] clocks ([`VirtualClock`] / [`WallClock`]) that let one
+//! event loop drive simulated and real-time backends alike — see
+//! [`backend`] for the contract and `crowdjoin-backend-spool` for the
+//! first external implementation.
+//!
 //! ```
 //! use crowdjoin_sim::{Platform, PlatformConfig, TaskSpec};
 //!
@@ -26,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod clock;
 pub mod config;
 pub mod dist;
@@ -34,10 +44,11 @@ pub mod stager;
 pub mod time;
 pub mod vote;
 
+pub use backend::{BackendFactory, CrowdBackend, ShardContext, SimFactory};
 pub use clock::SharedClock;
 pub use config::{AssignmentPolicy, PlatformConfig};
 pub use dist::LogNormal;
 pub use platform::{Platform, PlatformStats, ResolvedTask, TaskSpec, WorkerStats};
 pub use stager::HitStager;
-pub use time::{SimDuration, VirtualTime};
+pub use time::{SimDuration, TimeSource, VirtualClock, VirtualTime, WallClock};
 pub use vote::majority;

@@ -8,10 +8,12 @@
 //! them, release full HITs immediately, and flush the partial remainder
 //! only when the platform would otherwise sit idle waiting for it.
 
-use crate::platform::{Platform, TaskSpec};
+use crate::backend::CrowdBackend;
+use crate::platform::TaskSpec;
 
-/// Stages publishable tasks and releases them to a [`Platform`] in full
-/// HITs, counting publish rounds.
+/// Stages publishable tasks and releases them to a [`CrowdBackend`] (the
+/// simulator [`crate::Platform`] or any external backend) in full HITs,
+/// counting publish rounds.
 #[derive(Debug, Clone, Default)]
 pub struct HitStager {
     staged: Vec<TaskSpec>,
@@ -44,15 +46,15 @@ impl HitStager {
     }
 
     /// Publishes every staged full HIT; with `flush`, the partial remainder
-    /// too. Uses the platform's configured batch size.
-    pub fn release(&mut self, platform: &mut Platform, flush: bool) {
-        let batch_size = platform.batch_size();
+    /// too. Uses the backend's configured batch size.
+    pub fn release<B: CrowdBackend + ?Sized>(&mut self, backend: &mut B, flush: bool) {
+        let batch_size = backend.batch_size();
         let full = (self.staged.len() / batch_size) * batch_size;
         let take = if flush { self.staged.len() } else { full };
         if take > 0 {
             let tasks: Vec<TaskSpec> = self.staged.drain(..take).collect();
             self.publish_rounds += 1;
-            platform.publish(tasks);
+            backend.post_hits(tasks);
         }
     }
 }
@@ -61,6 +63,7 @@ impl HitStager {
 mod tests {
     use super::*;
     use crate::config::PlatformConfig;
+    use crate::platform::Platform;
 
     fn tasks(n: usize) -> Vec<TaskSpec> {
         (0..n).map(|i| TaskSpec { id: i as u64, truth: true, priority: 0.5 }).collect()

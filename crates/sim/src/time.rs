@@ -1,7 +1,13 @@
-//! Virtual time.
+//! Virtual time, and the [`TimeSource`] abstraction that unifies it with
+//! wall-clock deadlines.
 //!
 //! The simulator advances a millisecond-resolution virtual clock; integer
-//! ticks keep event ordering exact and runs bit-reproducible.
+//! ticks keep event ordering exact and runs bit-reproducible. External
+//! crowd backends measure the same `VirtualTime` ticks against a real
+//! epoch instead ([`WallClock`]), so one scheduler — ordering work by
+//! earliest [`crate::CrowdBackend::next_event_time`] and waiting through
+//! [`TimeSource::wait_until`] — drives both without knowing which kind of
+//! time it is on.
 
 /// A point in virtual time, in milliseconds since simulation start.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -84,6 +90,79 @@ impl std::ops::Add for SimDuration {
     }
 }
 
+/// A clock the event loop schedules against: "what time is it" plus "block
+/// until this deadline". The two implementations encode the two execution
+/// regimes:
+///
+/// * [`VirtualClock`] — simulated time. The real clocks live *inside* the
+///   backends (each simulator platform advances its own `now` as it
+///   processes events), so the scheduler never waits: polling the earliest
+///   backend is what makes time pass.
+/// * [`WallClock`] — physical time, shared by every backend of a run. A
+///   deadline in the future is a real [`std::thread::sleep`].
+///
+/// `wait_until` may wake early (spurious wake-ups are allowed; the event
+/// loop re-polls and re-sorts), but must never wake meaningfully late on
+/// purpose.
+pub trait TimeSource: Send + Sync {
+    /// The current time on this clock. Virtual sources return
+    /// [`VirtualTime::ZERO`] — their time is per-backend state, not a
+    /// global clock.
+    fn now(&self) -> VirtualTime;
+
+    /// Blocks the calling scheduler thread until `t`. No-op on virtual
+    /// sources and for deadlines already past.
+    fn wait_until(&self, t: VirtualTime);
+}
+
+/// The [`TimeSource`] of simulated runs: never waits, because polling a
+/// simulator backend is what advances its virtual clock.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VirtualClock;
+
+impl TimeSource for VirtualClock {
+    fn now(&self) -> VirtualTime {
+        VirtualTime::ZERO
+    }
+
+    fn wait_until(&self, _t: VirtualTime) {}
+}
+
+/// Wall-clock time as `VirtualTime` milliseconds since the clock's
+/// creation (the job's epoch). Every backend of a run must share one
+/// `WallClock` so their timestamps are comparable.
+#[derive(Debug)]
+pub struct WallClock {
+    epoch: std::time::Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose epoch (time zero) is now.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { epoch: std::time::Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeSource for WallClock {
+    fn now(&self) -> VirtualTime {
+        VirtualTime(u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX))
+    }
+
+    fn wait_until(&self, t: VirtualTime) {
+        let now = self.now();
+        if t > now && t != VirtualTime::MAX {
+            std::thread::sleep(std::time::Duration::from_millis(t.0 - now.0));
+        }
+    }
+}
+
 impl std::fmt::Display for VirtualTime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "t+{:.2}h", self.as_hours())
@@ -119,5 +198,27 @@ mod tests {
     #[should_panic(expected = "backwards")]
     fn since_rejects_future() {
         let _ = VirtualTime(5).since(VirtualTime(10));
+    }
+
+    #[test]
+    fn virtual_clock_never_waits() {
+        let clock = VirtualClock;
+        assert_eq!(clock.now(), VirtualTime::ZERO);
+        let start = std::time::Instant::now();
+        clock.wait_until(VirtualTime(3_600_000));
+        assert!(start.elapsed() < std::time::Duration::from_millis(100), "must not sleep");
+    }
+
+    #[test]
+    fn wall_clock_advances_and_waits() {
+        let clock = WallClock::new();
+        let t0 = clock.now();
+        clock.wait_until(t0.after(SimDuration(20)));
+        let t1 = clock.now();
+        assert!(t1 >= t0.after(SimDuration(20)), "waited to the deadline: {t0} → {t1}");
+        // Past deadlines and the sentinel never block.
+        clock.wait_until(VirtualTime::ZERO);
+        clock.wait_until(VirtualTime::MAX);
+        assert!(clock.now() >= t1, "monotone");
     }
 }

@@ -1,0 +1,95 @@
+//! Bring your own crowd: drive a labeling job through a spool directory.
+//!
+//! The engine publishes HITs as JSON files into `<spool>/hits/`; a
+//! scripted "crowd" thread (standing in for any external process or
+//! human) reads them and writes verdicts into `<spool>/answers/`. The
+//! engine side — event loop, transitive deduction, reporting — is exactly
+//! the code the simulator path runs; only the backend differs.
+//!
+//! Run with: `cargo run --example external_crowd`
+
+use crowdjoin::backend_spool::{answer_pending, SpoolConfig, SpoolFactory};
+use crowdjoin::sim::{PlatformConfig, SimDuration};
+use crowdjoin::{
+    sort_pairs, CandidateSet, Engine, EngineConfig, GroundTruth, Pair, ScoredPair, SortStrategy,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn main() {
+    // A tiny dedup workload: two entity clusters over six records, eight
+    // machine-scored candidate pairs (the paper's running example).
+    let truth = GroundTruth::from_clusters(6, &[vec![0, 1, 2], vec![3, 4]]);
+    let pairs = vec![
+        ScoredPair::new(Pair::new(0, 1), 0.95),
+        ScoredPair::new(Pair::new(1, 2), 0.90),
+        ScoredPair::new(Pair::new(0, 5), 0.85),
+        ScoredPair::new(Pair::new(0, 2), 0.80),
+        ScoredPair::new(Pair::new(3, 4), 0.75),
+        ScoredPair::new(Pair::new(3, 5), 0.70),
+        ScoredPair::new(Pair::new(1, 3), 0.65),
+        ScoredPair::new(Pair::new(4, 5), 0.60),
+    ];
+    let candidates = CandidateSet::new(6, pairs);
+    let order = sort_pairs(&candidates, SortStrategy::ExpectedLikelihood);
+
+    // A temp spool directory; in real use this is a shared path your
+    // answering process (or qurk-style HIT poster) watches.
+    let spool = std::env::temp_dir().join(format!("crowdjoin-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spool);
+    println!("spool directory: {}", spool.display());
+
+    // The external crowd: a thread that polls hits/ and answers every
+    // question by echoing the HIT file's expected answer. Replace the
+    // closure with your own logic (or a human prompt) and it is a real
+    // crowd.
+    let done = Arc::new(AtomicBool::new(false));
+    let crowd = {
+        let spool = spool.clone();
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut total = 0usize;
+            while !done.load(Ordering::Relaxed) {
+                let n = answer_pending(&spool, |q| {
+                    println!("  crowd: record {} vs {} → {}", q.a, q.b, q.truth);
+                    q.truth
+                })
+                .expect("scan spool");
+                total += n;
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            total
+        })
+    };
+
+    // Small HITs so the job takes several files; fast polling so the
+    // example finishes in milliseconds.
+    let platform = PlatformConfig { batch_size: 3, ..PlatformConfig::perfect_workers(7) };
+    let factory = SpoolFactory::new(SpoolConfig {
+        poll_interval: SimDuration(5),
+        ..SpoolConfig::new(&spool)
+    })
+    .expect("create spool");
+
+    let engine =
+        Engine::new(candidates.num_objects(), &order, &truth, &platform, EngineConfig::default());
+    let report = engine.run_with_backend(&factory).expect("spool run");
+    done.store(true, Ordering::Relaxed);
+    let hits_answered = crowd.join().expect("crowd thread");
+
+    println!("\nexternal crowd run finished:");
+    println!("  HITs answered      {hits_answered}");
+    println!(
+        "  pairs labeled      {} = {} crowdsourced + {} deduced ({:.0}% saved)",
+        report.result.num_labeled(),
+        report.num_crowdsourced(),
+        report.num_deduced(),
+        report.result.savings_ratio() * 100.0
+    );
+    println!("  cost               ${:.2}", report.total_cost_cents as f64 / 100.0);
+    println!("  completion         {:.2} wall-clock seconds", report.completion.0 as f64 / 1000.0);
+    assert_eq!(report.result.num_labeled(), candidates.len());
+    assert!(report.num_deduced() > 0, "transitivity saved questions");
+
+    let _ = std::fs::remove_dir_all(&spool);
+}

@@ -1,0 +1,274 @@
+//! End-to-end tests of the spool-directory crowd backend: the engine
+//! publishes HITs as JSON files, a scripted answerer thread plays the
+//! external crowd, and the whole job — including kill + `--resume` — runs
+//! through the same event loop as the simulator path.
+
+use crowdjoin::backend_spool::{answer_pending, pending_hits, SpoolConfig, SpoolFactory};
+use crowdjoin::sim::PlatformConfig;
+use crowdjoin::{
+    sort_pairs, CandidateSet, Engine, EngineConfig, EngineReport, GroundTruth, Label, Pair,
+    Provenance, ScoredPair,
+};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The paper's running example: two entity clusters over six objects,
+/// eight candidate pairs.
+fn running_example() -> (CandidateSet, GroundTruth) {
+    let truth = GroundTruth::from_clusters(6, &[vec![0, 1, 2], vec![3, 4]]);
+    let pairs = vec![
+        ScoredPair::new(Pair::new(0, 1), 0.95),
+        ScoredPair::new(Pair::new(1, 2), 0.90),
+        ScoredPair::new(Pair::new(0, 5), 0.85),
+        ScoredPair::new(Pair::new(0, 2), 0.80),
+        ScoredPair::new(Pair::new(3, 4), 0.75),
+        ScoredPair::new(Pair::new(3, 5), 0.70),
+        ScoredPair::new(Pair::new(1, 3), 0.65),
+        ScoredPair::new(Pair::new(4, 5), 0.60),
+    ];
+    (CandidateSet::new(6, pairs), truth)
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("crowdjoin-spool-e2e-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Small HITs and a fast poll so multi-round jobs finish in milliseconds.
+fn platform_cfg() -> PlatformConfig {
+    PlatformConfig { batch_size: 2, ..PlatformConfig::perfect_workers(7) }
+}
+
+fn spool_cfg(dir: &Path) -> SpoolConfig {
+    SpoolConfig { poll_interval: crowdjoin::sim::SimDuration(5), ..SpoolConfig::new(dir) }
+}
+
+/// Runs `job` while a scripted answerer thread echoes each HIT's `truth`
+/// field, recording every pair it answers. Returns the report and the
+/// answered pairs.
+fn run_with_scripted_answerer(
+    dir: &Path,
+    job: impl FnOnce() -> EngineReport,
+) -> (EngineReport, Vec<Pair>) {
+    let done = Arc::new(AtomicBool::new(false));
+    let answered: Arc<Mutex<Vec<Pair>>> = Arc::new(Mutex::new(Vec::new()));
+    let answerer = {
+        let dir = dir.to_path_buf();
+        let done = Arc::clone(&done);
+        let answered = Arc::clone(&answered);
+        std::thread::spawn(move || {
+            while !done.load(Ordering::Relaxed) {
+                answer_pending(&dir, |q| {
+                    answered.lock().unwrap().push(Pair::new(q.a, q.b));
+                    q.truth
+                })
+                .expect("answerer scan");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        })
+    };
+    let report = job();
+    done.store(true, Ordering::Relaxed);
+    answerer.join().expect("answerer thread");
+    let answered = Arc::try_unwrap(answered).expect("sole owner").into_inner().unwrap();
+    (report, answered)
+}
+
+#[test]
+fn spool_job_completes_end_to_end() {
+    let (cs, truth) = running_example();
+    let order = sort_pairs(&cs, crowdjoin::SortStrategy::ExpectedLikelihood);
+    let dir = temp_dir("e2e");
+    let factory = SpoolFactory::new(spool_cfg(&dir)).expect("factory");
+    let platform = platform_cfg();
+    let config = EngineConfig { num_shards: 2, ..EngineConfig::default() };
+
+    let engine = Engine::new(cs.num_objects(), &order, &truth, &platform, config);
+    let (report, answered) =
+        run_with_scripted_answerer(&dir, || engine.run_with_backend(&factory).expect("run"));
+
+    // Every pair labeled correctly, with real transitive savings.
+    assert_eq!(report.result.num_labeled(), cs.len());
+    for sp in cs.pairs() {
+        assert_eq!(report.result.label_of(sp.pair), Some(truth.label_of(sp.pair)));
+    }
+    assert!(report.num_deduced() > 0, "transitivity must save questions");
+    // The external answerer answered exactly the crowdsourced pairs.
+    assert_eq!(answered.len(), report.num_crowdsourced());
+    for pair in &answered {
+        assert_eq!(report.result.provenance_of(*pair), Some(Provenance::Crowdsourced));
+    }
+    // Money: one assignment per answered HIT at the configured price.
+    let hits: usize =
+        report.shards.iter().filter_map(|s| s.stats.as_ref()).map(|st| st.hits_published).sum();
+    assert_eq!(
+        report.total_cost_cents,
+        hits as u64 * u64::from(platform.price_per_assignment_cents)
+    );
+    assert!(report.completion > crowdjoin::sim::VirtualTime::ZERO, "wall clock advanced");
+    assert_eq!(pending_hits(&dir).expect("scan").len(), 0, "nothing left unanswered");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// Kill + resume at every journal record boundary: the resumed run must
+/// never re-ask a journaled question and must converge to the same labels.
+#[test]
+fn spool_resume_never_reasks_journaled_questions() {
+    let (cs, truth) = running_example();
+    let order = sort_pairs(&cs, crowdjoin::SortStrategy::ExpectedLikelihood);
+    let dir = temp_dir("resume");
+    let platform = platform_cfg();
+    let config = |journal: &Path| EngineConfig {
+        num_shards: 2,
+        journal: Some(journal.to_path_buf()),
+        ..EngineConfig::default()
+    };
+
+    // The uninterrupted journaled reference run.
+    let full_journal = dir.join("full.wal");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let factory = SpoolFactory::new(spool_cfg(&dir)).expect("factory");
+    let engine = Engine::new(cs.num_objects(), &order, &truth, &platform, config(&full_journal));
+    let (full_report, _) =
+        run_with_scripted_answerer(&dir, || engine.run_with_backend(&factory).expect("run"));
+    let contents = crowdjoin::wal::read_journal(&full_journal).expect("read journal");
+    assert!(contents.records.len() > 3, "need a real history to cut");
+
+    // Cut the journal at every record boundary (plus the finished state)
+    // and resume each prefix.
+    let mut cuts: Vec<u64> = contents.offsets.clone();
+    cuts.push(contents.valid_len);
+    let bytes = std::fs::read(&full_journal).expect("journal bytes");
+    for (i, &cut) in cuts.iter().enumerate() {
+        let crash_journal = dir.join(format!("crash-{i}.wal"));
+        std::fs::write(&crash_journal, &bytes[..cut as usize]).expect("truncate");
+
+        // Pairs the journal prefix already paid for.
+        let prefix = crowdjoin::wal::read_journal(&crash_journal).expect("prefix");
+        let journaled: Vec<Pair> = prefix
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                crowdjoin::wal::Record::Answer(a) => Some(Pair::new(a.a, a.b)),
+                _ => None,
+            })
+            .collect();
+
+        let factory = SpoolFactory::new(spool_cfg(&dir)).expect("factory");
+        let engine =
+            Engine::new(cs.num_objects(), &order, &truth, &platform, config(&crash_journal));
+        let (report, answered) = run_with_scripted_answerer(&dir, || {
+            engine.resume_with_backend(&crash_journal, &factory).expect("resume")
+        });
+
+        // No journaled question was re-asked.
+        for pair in &answered {
+            assert!(
+                !journaled.contains(pair),
+                "cut {i}: resumed run re-asked journaled pair {pair}"
+            );
+        }
+        // The ledger partitions exactly: journaled + newly asked = all.
+        assert_eq!(report.num_replayed_answers(), journaled.len(), "cut {i}");
+        assert_eq!(report.num_new_answers(), answered.len(), "cut {i}");
+        assert_eq!(
+            report.num_crowd_answers(),
+            journaled.len() + answered.len(),
+            "cut {i}: every paid answer counted exactly once"
+        );
+
+        // Same labels as the uninterrupted run, pair for pair.
+        assert_eq!(report.result.num_labeled(), cs.len(), "cut {i}");
+        for sp in cs.pairs() {
+            assert_eq!(
+                report.result.label_of(sp.pair),
+                full_report.result.label_of(sp.pair),
+                "cut {i}: label of {} diverged",
+                sp.pair
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// Resuming the journal of a *finished* spool job replays everything, asks
+/// the external crowd nothing, and reproduces the labels.
+#[test]
+fn finished_spool_journal_resumes_without_asking() {
+    let (cs, truth) = running_example();
+    let order = sort_pairs(&cs, crowdjoin::SortStrategy::ExpectedLikelihood);
+    let dir = temp_dir("finished");
+    let platform = platform_cfg();
+    let journal = dir.join("job.wal");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let config =
+        EngineConfig { num_shards: 2, journal: Some(journal.clone()), ..EngineConfig::default() };
+
+    let factory = SpoolFactory::new(spool_cfg(&dir)).expect("factory");
+    let engine = Engine::new(cs.num_objects(), &order, &truth, &platform, config);
+    let (full_report, _) =
+        run_with_scripted_answerer(&dir, || engine.run_with_backend(&factory).expect("run"));
+
+    // Resume with NO answerer: if the engine posted anything it would hang,
+    // so a completed in-bound run is itself proof nothing was asked.
+    let hits_before = pending_hits(&dir).expect("scan").len();
+    let factory = SpoolFactory::new(spool_cfg(&dir)).expect("factory");
+    let report = engine.resume_with_backend(&journal, &factory).expect("finished resume");
+    assert_eq!(pending_hits(&dir).expect("scan").len(), hits_before, "no new HITs published");
+    assert_eq!(report.num_new_answers(), 0);
+    assert_eq!(report.num_replayed_answers(), full_report.num_crowd_answers());
+    for sp in cs.pairs() {
+        assert_eq!(report.result.label_of(sp.pair), full_report.result.label_of(sp.pair));
+        assert_eq!(report.result.label_of(sp.pair), Some(truth.label_of(sp.pair)));
+    }
+    assert_eq!(report.total_cost_cents, full_report.total_cost_cents, "no money re-spent");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// An external answerer can disagree with the machine's expected answer;
+/// the engine trusts the crowd and deduces from what it was told.
+#[test]
+fn external_answers_overrule_the_expected_truth() {
+    let (cs, _) = running_example();
+    let order = sort_pairs(&cs, crowdjoin::SortStrategy::ExpectedLikelihood);
+    // The answerer claims *nothing* matches, whatever the HIT file expects.
+    let truth = GroundTruth::from_clusters(6, &[vec![0, 1, 2], vec![3, 4]]);
+    let dir = temp_dir("contrarian");
+    let factory = SpoolFactory::new(spool_cfg(&dir)).expect("factory");
+    let platform = platform_cfg();
+    let engine = Engine::new(
+        cs.num_objects(),
+        &order,
+        &truth,
+        &platform,
+        EngineConfig { num_shards: 1, ..EngineConfig::default() },
+    );
+
+    let done = Arc::new(AtomicBool::new(false));
+    let answerer = {
+        let dir = dir.clone();
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            while !done.load(Ordering::Relaxed) {
+                answer_pending(&dir, |_| false).expect("answerer scan");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        })
+    };
+    let report = engine.run_with_backend(&factory).expect("run");
+    done.store(true, Ordering::Relaxed);
+    answerer.join().expect("answerer thread");
+
+    for sp in cs.pairs() {
+        assert_eq!(report.result.label_of(sp.pair), Some(Label::NonMatching));
+    }
+    // All-non-matching answers admit no transitive deduction (negative
+    // deduction needs a positive edge), so the crowd answered everything —
+    // the engine asked exactly what the answers justified, no less.
+    assert_eq!(report.num_crowdsourced(), cs.len());
+    assert_eq!(report.num_deduced(), 0);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
