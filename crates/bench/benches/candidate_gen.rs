@@ -1,13 +1,29 @@
-//! Candidate-generation throughput: inverted-index similarity join versus
-//! the brute-force pairwise scan (the machine stage of the hybrid
-//! pipeline).
+//! Candidate-generation throughput: the prefix-filtered, token-interned
+//! similarity join versus the legacy inverted-index path (per-record
+//! `String` token sets + hash-map cosine accumulation — the pre-refactor
+//! implementation, kept here as the committed baseline) and the brute-force
+//! pairwise scan.
+//!
+//! Alongside the criterion arms, running this bench writes
+//! `BENCH_matcher.json` (schema `crowdjoin-bench-matcher/1`) with the
+//! measured product workloads at 5k, 50k, and 100k records so the matcher's
+//! perf trajectory is tracked across PRs — the same contract as
+//! `BENCH_engine.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use crowdjoin_matcher::{generate_candidates, generate_candidates_bruteforce, MatcherConfig};
-use crowdjoin_records::{generate_paper, ClusterSpec, PaperGenConfig, PerturbConfig};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use crowdjoin_bench::json::{js_f64, js_str, BenchJson};
+use crowdjoin_bench::measure;
+use crowdjoin_matcher::{
+    generate_candidates, generate_candidates_bruteforce, jaccard, tokenize_words, MatcherConfig,
+    TfIdfIndex,
+};
+use crowdjoin_records::{
+    generate_paper, generate_product, ClusterSpec, Dataset, PaperGenConfig, PerturbConfig,
+    ProductGenConfig,
+};
 use std::hint::black_box;
 
-fn dataset(n: usize) -> crowdjoin_records::Dataset {
+fn paper_dataset(n: usize) -> Dataset {
     generate_paper(&PaperGenConfig {
         num_records: n,
         clusters: ClusterSpec::PowerLaw { alpha: 1.9, max_size: n / 10, force_max: true },
@@ -17,27 +33,180 @@ fn dataset(n: usize) -> crowdjoin_records::Dataset {
     })
 }
 
+fn product_matcher(min_likelihood: f64) -> MatcherConfig {
+    MatcherConfig { min_likelihood, field_weights: vec![1.0, 0.25], ..MatcherConfig::for_arity(2) }
+}
+
+/// The pre-refactor candidate generator, replicated verbatim from the old
+/// `crowdjoin_matcher::generate_candidates`: re-tokenizes every record into
+/// `String` token sets, accumulates cosines through a per-record hash map,
+/// and scans full posting lists. The speedup recorded in
+/// `BENCH_matcher.json` is measured against this.
+fn legacy_generate_candidates(dataset: &Dataset, config: &MatcherConfig) -> Vec<(u32, u32, f64)> {
+    let arity = dataset.table.schema().arity();
+    let index = TfIdfIndex::build(dataset, &config.field_weights);
+    let token_sets: Vec<Vec<String>> = (0..dataset.len())
+        .map(|i| {
+            let mut tokens = Vec::new();
+            for f in 0..arity {
+                tokens.extend(tokenize_words(dataset.table.record(i).field(f)));
+            }
+            tokens.sort_unstable();
+            tokens.dedup();
+            tokens
+        })
+        .collect();
+    let total_weight = config.cosine_weight + config.jaccard_weight;
+    let mut out = Vec::new();
+    for a in 0..dataset.len() as u32 {
+        for (b, cosine) in index.accumulate_cosines(a) {
+            if b <= a || !dataset.is_joinable(a as usize, b as usize) {
+                continue;
+            }
+            let jac = jaccard(&token_sets[a as usize], &token_sets[b as usize]);
+            let likelihood =
+                (config.cosine_weight * cosine + config.jaccard_weight * jac) / total_weight;
+            if likelihood >= config.min_likelihood {
+                out.push((a, b, likelihood));
+            }
+        }
+    }
+    out.sort_unstable_by_key(|&(a, b, _)| (a, b));
+    out
+}
+
 fn bench_candidate_gen(c: &mut Criterion) {
     let mut group = c.benchmark_group("candidate_gen");
     group.sample_size(10);
     for &n in &[100usize, 300] {
-        let ds = dataset(n);
+        let ds = paper_dataset(n);
         let cfg = MatcherConfig::for_arity(5);
-        group.bench_with_input(BenchmarkId::new("inverted_index", n), &ds, |b, ds| {
+        group.bench_with_input(BenchmarkId::new("filtered", n), &ds, |b, ds| {
             b.iter(|| black_box(generate_candidates(ds, &cfg).len()));
+        });
+        group.bench_with_input(BenchmarkId::new("legacy_inverted_index", n), &ds, |b, ds| {
+            b.iter(|| black_box(legacy_generate_candidates(ds, &cfg).len()));
         });
         group.bench_with_input(BenchmarkId::new("bruteforce", n), &ds, |b, ds| {
             b.iter(|| black_box(generate_candidates_bruteforce(ds, &cfg).len()));
         });
     }
-    // Full-scale indexed run (brute force omitted: quadratic).
-    let ds = dataset(997);
+    // Full-scale paper run (brute force omitted: quadratic).
+    let ds = paper_dataset(997);
     let cfg = MatcherConfig::for_arity(5);
-    group.bench_with_input(BenchmarkId::new("inverted_index", 997usize), &ds, |b, ds| {
+    group.bench_with_input(BenchmarkId::new("filtered", 997usize), &ds, |b, ds| {
         b.iter(|| black_box(generate_candidates(ds, &cfg).len()));
+    });
+    group.bench_with_input(BenchmarkId::new("legacy_inverted_index", 997usize), &ds, |b, ds| {
+        b.iter(|| black_box(legacy_generate_candidates(ds, &cfg).len()));
     });
     group.finish();
 }
 
+/// The 5k-record product workload `BENCH_engine.json` also uses, plus the
+/// scaled 50k- and 100k-record workloads.
+fn product_dataset(per_side: usize) -> Dataset {
+    if per_side == 2500 {
+        // The exact workload BENCH_engine.json measures, shared via the lib.
+        crowdjoin_bench::product_5k_dataset()
+    } else {
+        generate_product(&ProductGenConfig::scaled(per_side))
+    }
+}
+
+/// Writes `BENCH_matcher.json`. Override the output path with
+/// `CROWDJOIN_BENCH_MATCHER_JSON`.
+fn emit_machine_readable() {
+    struct Arm {
+        name: &'static str,
+        records: usize,
+        floor: f64,
+        wall_ms: f64,
+        candidates: usize,
+    }
+    let mut arms: Vec<Arm> = Vec::new();
+
+    // 5k: the acceptance workload — legacy baseline vs the filtered path at
+    // the default 0.05 floor (bit-identical outputs), plus the filtered
+    // path at the 0.3 threshold the labeling pipeline actually uses.
+    let ds5k = product_dataset(2500);
+    let cfg = product_matcher(0.05);
+    let (legacy_ms, legacy) = measure(5, || legacy_generate_candidates(&ds5k, &cfg));
+    arms.push(Arm {
+        name: "legacy_inverted_index",
+        records: ds5k.len(),
+        floor: 0.05,
+        wall_ms: legacy_ms,
+        candidates: legacy.len(),
+    });
+    let (filtered_ms, filtered) = measure(5, || generate_candidates(&ds5k, &cfg));
+    assert_eq!(
+        legacy.len(),
+        filtered.len(),
+        "filtered path must emit the same candidate set as the legacy path"
+    );
+    for ((la, lb, _), f) in legacy.iter().zip(filtered.iter()) {
+        assert_eq!((*la, *lb), (f.a, f.b), "candidate sets diverged");
+    }
+    arms.push(Arm {
+        name: "filtered",
+        records: ds5k.len(),
+        floor: 0.05,
+        wall_ms: filtered_ms,
+        candidates: filtered.len(),
+    });
+    let speedup = legacy_ms / filtered_ms;
+    let cfg03 = product_matcher(0.3);
+    let (ms, out) = measure(5, || generate_candidates(&ds5k, &cfg03));
+    arms.push(Arm {
+        name: "filtered",
+        records: ds5k.len(),
+        floor: 0.3,
+        wall_ms: ms,
+        candidates: out.len(),
+    });
+
+    // Scale arms: 50k and 100k records at the pipeline threshold. (The
+    // unfiltered 0.05 floor enumerates every token-sharing pair — ~10⁹
+    // scorings at 100k — which is exactly the regime the prefix filter
+    // exists to avoid, so the large arms run at 0.3.)
+    for (per_side, samples) in [(25_000usize, 3), (50_000, 1)] {
+        let ds = product_dataset(per_side);
+        let (ms, out) = measure(samples, || generate_candidates(&ds, &cfg03));
+        arms.push(Arm {
+            name: "filtered",
+            records: ds.len(),
+            floor: 0.3,
+            wall_ms: ms,
+            candidates: out.len(),
+        });
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut json = BenchJson::new("crowdjoin-bench-matcher/1");
+    json.field("cores", cores.to_string());
+    json.field("workload", js_str("product (Abt-Buy-shaped cross join, name+price)"));
+    json.field("speedup_filtered_vs_legacy_5k", js_f64(speedup, 2));
+    for arm in &arms {
+        json.arm(vec![
+            ("name", js_str(arm.name)),
+            ("records", arm.records.to_string()),
+            ("min_likelihood", js_f64(arm.floor, 2)),
+            ("wall_ms", js_f64(arm.wall_ms, 3)),
+            ("candidates", arm.candidates.to_string()),
+        ]);
+    }
+    let path = json.write(
+        "CROWDJOIN_BENCH_MATCHER_JSON",
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_matcher.json"),
+    );
+    println!("\nmachine-readable results written to {path}");
+    println!("filtered vs legacy on the 5k workload: {speedup:.2}x");
+}
+
 criterion_group!(benches, bench_candidate_gen);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    emit_machine_readable();
+}

@@ -9,24 +9,20 @@
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use crowdjoin::engine::SharedGroundTruth;
 use crowdjoin::matcher::MatcherConfig;
-use crowdjoin::records::{generate_product, ClusterSpec, ProductGenConfig};
 use crowdjoin::sim::PlatformConfig;
 use crowdjoin::{
     build_task, run_parallel_rounds, run_sharded_on_platform, run_sharded_on_platform_threaded,
     sort_pairs, CandidateSet, EngineConfig, GroundTruth, GroundTruthOracle, ScoredPair,
     SortStrategy,
 };
+use crowdjoin_bench::measure;
 use std::hint::black_box;
 
 /// 5k-record product workload: the default Figure 10(b) cluster mix scaled
-/// ×2.6 to fill 2×2500 records.
+/// ×2.6 to fill 2×2500 records (shared with `BENCH_matcher.json` via
+/// `crowdjoin_bench::product_5k_dataset`).
 fn product_5k() -> (CandidateSet, GroundTruth, Vec<ScoredPair>) {
-    let dataset = generate_product(&ProductGenConfig {
-        table_a: 2500,
-        table_b: 2500,
-        clusters: ClusterSpec::Explicit(vec![(2, 1664), (3, 338), (4, 104), (5, 31), (6, 10)]),
-        ..ProductGenConfig::default()
-    });
+    let dataset = crowdjoin_bench::product_5k_dataset();
     let matcher = MatcherConfig { field_weights: vec![1.0, 0.25], ..MatcherConfig::for_arity(2) };
     let (task, truth) = build_task(&dataset, &matcher, 0.3);
     let candidates = task.candidates().clone();
@@ -167,25 +163,13 @@ struct BenchArm {
     waste: Option<f64>,
 }
 
-/// Median-of-N wall clock of `f`, plus its last report-style outcome.
-fn measure<T>(samples: usize, mut f: impl FnMut() -> T) -> (f64, T) {
-    let mut times = Vec::with_capacity(samples);
-    let mut last = None;
-    for _ in 0..samples {
-        let t = std::time::Instant::now();
-        last = Some(black_box(f()));
-        times.push(t.elapsed().as_secs_f64() * 1e3);
-    }
-    times.sort_by(f64::total_cmp);
-    (times[times.len() / 2], last.expect("samples >= 1"))
-}
-
 /// Writes `BENCH_engine.json`: the perf numbers (workload, shards, wall
 /// ms, crowdsourced/deduced counts, partial-HIT waste) in a stable schema
 /// so the trajectory is trackable across PRs. Runs as part of
 /// `cargo bench -p crowdjoin-bench --bench engine`; override the output
 /// path with `CROWDJOIN_BENCH_JSON`.
 fn emit_machine_readable() {
+    use crowdjoin_bench::json::{js_f64, js_opt_f64, js_str, BenchJson};
     let (candidates, truth, order) = product_5k();
     let mut arms: Vec<BenchArm> = Vec::new();
 
@@ -237,37 +221,33 @@ fn emit_machine_readable() {
     }
 
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"crowdjoin-bench-engine/1\",\n");
-    json.push_str(&format!("  \"cores\": {cores},\n"));
-    json.push_str(&format!(
-        "  \"workload\": {{\"name\": \"product_5k\", \"records\": {}, \"candidate_pairs\": {}}},\n",
-        candidates.num_objects(),
-        candidates.len()
-    ));
-    json.push_str("  \"arms\": [\n");
-    for (i, arm) in arms.iter().enumerate() {
-        let waste = arm.waste.map_or("null".to_string(), |w| format!("{w:.4}"));
-        json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"shards\": {}, \"wall_ms\": {:.3}, \
-             \"crowdsourced\": {}, \"deduced\": {}, \"waste\": {}}}{}\n",
-            arm.name,
-            arm.shards,
-            arm.wall_ms,
-            arm.crowdsourced,
-            arm.deduced,
-            waste,
-            if i + 1 == arms.len() { "" } else { "," }
-        ));
+    let mut json = BenchJson::new("crowdjoin-bench-engine/1");
+    json.field("cores", cores.to_string());
+    json.field(
+        "workload",
+        format!(
+            "{{\"name\": \"product_5k\", \"records\": {}, \"candidate_pairs\": {}}}",
+            candidates.num_objects(),
+            candidates.len()
+        ),
+    );
+    for arm in &arms {
+        json.arm(vec![
+            ("name", js_str(arm.name)),
+            ("shards", arm.shards.to_string()),
+            ("wall_ms", js_f64(arm.wall_ms, 3)),
+            ("crowdsourced", arm.crowdsourced.to_string()),
+            ("deduced", arm.deduced.to_string()),
+            ("waste", js_opt_f64(arm.waste, 4)),
+        ]);
     }
-    json.push_str("  ]\n}\n");
 
     // Default to the workspace root (the bench runs with the package as
     // CWD), so the artifact is always at <repo>/BENCH_engine.json.
-    let path = std::env::var("CROWDJOIN_BENCH_JSON").unwrap_or_else(|_| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json").to_string()
-    });
-    std::fs::write(&path, &json).expect("write BENCH_engine.json");
+    let path = json.write(
+        "CROWDJOIN_BENCH_JSON",
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json"),
+    );
     println!("\nmachine-readable results written to {path}");
 }
 

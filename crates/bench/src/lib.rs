@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 use crowdjoin_core::{CandidateSet, GroundTruth, LabelingTask};
 use crowdjoin_matcher::{generate_candidates, MatcherConfig};
 use crowdjoin_records::{
@@ -59,6 +61,42 @@ pub fn product_workload() -> Workload {
     // Names dominate product matching; prices are noisy secondary evidence.
     let matcher = MatcherConfig { field_weights: vec![1.0, 0.25], ..MatcherConfig::for_arity(2) };
     build_workload("Product", dataset, matcher)
+}
+
+/// The 5k-record product dataset (2×2500 records, the Figure 10(b) cluster
+/// mix scaled ×2.6) that **both** perf snapshots measure —
+/// `BENCH_engine.json` and `BENCH_matcher.json` stay comparable because
+/// they share this one definition.
+#[must_use]
+pub fn product_5k_dataset() -> Dataset {
+    generate_product(&ProductGenConfig {
+        table_a: 2500,
+        table_b: 2500,
+        clusters: crowdjoin_records::ClusterSpec::Explicit(vec![
+            (2, 1664),
+            (3, 338),
+            (4, 104),
+            (5, 31),
+            (6, 10),
+        ]),
+        ..ProductGenConfig::default()
+    })
+}
+
+/// Median-of-N wall clock (milliseconds) of `f`, plus its last result. Use
+/// an odd `samples` for a true median — even counts return the upper
+/// middle, which for N = 2 is just the slower run.
+pub fn measure<T>(samples: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    assert!(samples >= 1, "measure needs at least one sample");
+    let mut times = Vec::with_capacity(samples);
+    let mut last = None;
+    for _ in 0..samples {
+        let t = std::time::Instant::now();
+        last = Some(std::hint::black_box(f()));
+        times.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    times.sort_by(f64::total_cmp);
+    (times[times.len() / 2], last.expect("samples >= 1"))
 }
 
 fn build_workload(name: &'static str, dataset: Dataset, matcher: MatcherConfig) -> Workload {

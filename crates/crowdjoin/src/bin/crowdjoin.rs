@@ -28,7 +28,7 @@ use crowdjoin::{
     enforce_one_to_one, resolve_entities, sort_pairs, to_candidate_set, Label, LabelingResult,
     Oracle, Pair, Provenance, ScoredPair, SortStrategy,
 };
-use crowdjoin_matcher::{generate_candidates, MatcherConfig};
+use crowdjoin_matcher::{generate_candidates_prepared, MatcherConfig, TfIdfIndex, TokenizedCorpus};
 use crowdjoin_util::FxHashMap;
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
@@ -77,6 +77,9 @@ struct JoinOpts {
     crowd_size: Option<usize>,
     /// Platform override: cents per completed assignment.
     price: Option<u32>,
+    /// Print a per-phase wall-clock breakdown (tokenize / index /
+    /// candidates / join) to stderr.
+    timings: bool,
 }
 
 impl Default for JoinOpts {
@@ -99,6 +102,7 @@ impl Default for JoinOpts {
             batch_size: None,
             crowd_size: None,
             price: None,
+            timings: false,
         }
     }
 }
@@ -172,7 +176,10 @@ options:
                         THE platform-capacity knob; the separate --crowd
                         flag picks the answering mode, not a size.
   --price CENTS         platform mode: cents per completed assignment
-                        (default 2)";
+                        (default 2)
+  --timings yes         print a per-phase wall-clock breakdown (tokenize /
+                        tf-idf index / candidate generation / join) to
+                        stderr — see where time goes on large inputs";
 
 /// Parses argv (without the program name). Pure for testability.
 fn parse_args(args: &[String]) -> Result<Command, String> {
@@ -225,6 +232,9 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         }
         if let Some(v) = flags("one-to-one") {
             opts.one_to_one = parse_bool("one-to-one", v)?;
+        }
+        if let Some(v) = flags("timings") {
+            opts.timings = parse_bool("timings", v)?;
         }
         if let Some(s) = flags("shards") {
             opts.shards = s.parse().map_err(|_| format!("--shards: not a number: {s:?}"))?;
@@ -579,7 +589,18 @@ fn simulate_on_platform(
 
 fn run_join(dataset: &Dataset, opts: &JoinOpts) -> Result<(), String> {
     let arity = dataset.table.schema().arity();
-    let candidates_raw = generate_candidates(dataset, &MatcherConfig::for_arity(arity));
+    // The matcher stage runs in explicit phases so `--timings` can report
+    // where wall time goes on large inputs.
+    let matcher_cfg = MatcherConfig::for_arity(arity);
+    let clock = std::time::Instant::now();
+    let corpus = TokenizedCorpus::build(dataset);
+    let t_tokenize = clock.elapsed();
+    let clock = std::time::Instant::now();
+    let tfidf = TfIdfIndex::from_corpus(&corpus, &matcher_cfg.field_weights);
+    let t_index = clock.elapsed();
+    let clock = std::time::Instant::now();
+    let candidates_raw = generate_candidates_prepared(dataset, &corpus, &tfidf, &matcher_cfg);
+    let t_candidates = clock.elapsed();
     let candidates = to_candidate_set(dataset, &candidates_raw).above_threshold(opts.threshold);
     eprintln!(
         "{} records -> {} candidate pairs at threshold {}",
@@ -587,6 +608,7 @@ fn run_join(dataset: &Dataset, opts: &JoinOpts) -> Result<(), String> {
         candidates.len(),
         opts.threshold
     );
+    let clock = std::time::Instant::now();
 
     let order: Vec<ScoredPair> = sort_pairs(&candidates, SortStrategy::ExpectedLikelihood);
     // Interactive mode is a crowd of one human answering serially: the
@@ -650,6 +672,7 @@ fn run_join(dataset: &Dataset, opts: &JoinOpts) -> Result<(), String> {
         );
         report.result
     };
+    let t_join = clock.elapsed();
     eprintln!(
         "labeled {} pairs: {} answered, {} deduced for free ({:.0}% saved)",
         result.num_labeled(),
@@ -657,6 +680,17 @@ fn run_join(dataset: &Dataset, opts: &JoinOpts) -> Result<(), String> {
         result.num_deduced(),
         result.savings_ratio() * 100.0
     );
+    if opts.timings {
+        let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+        eprintln!(
+            "timings: tokenize {:.1} ms | tf-idf index {:.1} ms | candidates {:.1} ms | \
+             join {:.1} ms",
+            ms(t_tokenize),
+            ms(t_index),
+            ms(t_candidates),
+            ms(t_join)
+        );
+    }
 
     let likelihood_of: FxHashMap<Pair, f64> =
         order.iter().map(|sp| (sp.pair, sp.likelihood)).collect();
@@ -853,6 +887,19 @@ mod tests {
             other => panic!("wrong command {other:?}"),
         }
         assert!(parse_args(&args("dedup --input a --resolve maybe")).is_err());
+    }
+
+    #[test]
+    fn parses_timings() {
+        match parse_args(&args("dedup --input a.csv --timings yes")).unwrap() {
+            Command::Dedup { opts, .. } => assert!(opts.timings),
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse_args(&args("dedup --input a.csv")).unwrap() {
+            Command::Dedup { opts, .. } => assert!(!opts.timings),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse_args(&args("dedup --input a.csv --timings sometimes")).is_err());
     }
 
     #[test]

@@ -9,15 +9,25 @@
 //!
 //! Two implementations are provided:
 //!
-//! * [`generate_candidates`] — inverted-index similarity join: only pairs
-//!   sharing ≥1 token are materialized (subquadratic in practice);
-//! * [`generate_candidates_bruteforce`] — full pairwise scan, used as the
-//!   test oracle and as the baseline in the `candidate_gen` bench.
+//! * [`generate_candidates`] — the prefix-filtered similarity join: the
+//!   dataset is tokenized **once** into interned `u32` tokens (shared by the
+//!   tf-idf and Jaccard paths), each record probes prefix-filtered posting
+//!   lists (see [`crate::prefix`] for the filter-safety argument), touched
+//!   pairs accumulate into a dense scratch array (touched-list reset, no
+//!   per-record hashing), and probing parallelizes across record ranges.
+//!   Output is exactly every pair that shares ≥ 1 token and clears
+//!   `min_likelihood`, deterministically sorted by `(a, b)` regardless of
+//!   thread count;
+//! * [`generate_candidates_bruteforce`] — full pairwise scan, the
+//!   correctness oracle: the filtered path returns the bit-identical
+//!   candidate set above the floor (property-tested in
+//!   `tests/filter_equivalence.rs`).
 
+use crate::corpus::TokenizedCorpus;
 use crate::fields::ExtraMeasure;
+use crate::prefix::{PrefixIndex, BOUND_SLACK};
 use crate::similarity::jaccard;
 use crate::tfidf::TfIdfIndex;
-use crate::tokenize::tokenize_words;
 use crowdjoin_records::Dataset;
 
 /// A machine-scored candidate pair (`a < b` in the dataset's id space).
@@ -49,12 +59,15 @@ pub struct MatcherConfig {
     /// the extra measures refine the likelihood, they don't create
     /// candidates.
     pub extra_measures: Vec<ExtraMeasure>,
+    /// Worker threads for candidate generation: 0 = one per available core,
+    /// 1 = sequential, N = at most N. Output is identical for every value.
+    pub threads: usize,
 }
 
 impl MatcherConfig {
     /// A sensible default for a schema of `arity` fields: equal field
     /// weights, 60/40 cosine/Jaccard blend, pruning floor 0.05, no extra
-    /// measures.
+    /// measures, one generation thread per core.
     #[must_use]
     pub fn for_arity(arity: usize) -> Self {
         Self {
@@ -63,6 +76,7 @@ impl MatcherConfig {
             jaccard_weight: 0.4,
             field_weights: vec![1.0; arity],
             extra_measures: Vec::new(),
+            threads: 0,
         }
     }
 
@@ -94,24 +108,29 @@ impl MatcherConfig {
         }
         acc / self.total_weight()
     }
-}
 
-/// Concatenated distinct tokens of a record (all fields), sorted.
-fn record_token_set(dataset: &Dataset, i: usize) -> Vec<String> {
-    let mut tokens = Vec::new();
-    for f in 0..dataset.table.schema().arity() {
-        tokens.extend(tokenize_words(dataset.table.record(i).field(f)));
+    /// The blended prefilter threshold `t` of the prefix filter (see
+    /// `crate::prefix`): every candidate clearing `min_likelihood` has
+    /// `cosine >= t` or `jaccard >= t`. Non-positive when the blend cannot
+    /// prune (extras alone can reach the floor, or the floor is 0).
+    fn prefilter_threshold(&self) -> f64 {
+        let token_weight = self.cosine_weight + self.jaccard_weight;
+        if token_weight <= 0.0 {
+            return 0.0;
+        }
+        let extras: f64 = self.extra_measures.iter().map(|em| em.weight).sum();
+        (self.min_likelihood * self.total_weight() - extras) / token_weight
     }
-    tokens.sort_unstable();
-    tokens.dedup();
-    tokens
 }
 
-/// Inverted-index candidate generation: scores every joinable pair sharing at
-/// least one token and keeps those with likelihood ≥ `config.min_likelihood`.
+/// Prefix-filtered candidate generation (see the module docs): every
+/// joinable pair sharing at least one token whose blended likelihood
+/// reaches `config.min_likelihood`, sorted by `(a, b)`.
 ///
-/// Output is sorted by `(a, b)` and deduplicated; for cross-join datasets
-/// only cross-table pairs appear.
+/// Tokenization, tf-idf indexing, and probing happen internally; use
+/// [`TokenizedCorpus::build`], [`TfIdfIndex::from_corpus`], and
+/// [`generate_candidates_prepared`] to stage (and time) the phases
+/// separately.
 ///
 /// # Panics
 ///
@@ -119,29 +138,249 @@ fn record_token_set(dataset: &Dataset, i: usize) -> Vec<String> {
 #[must_use]
 pub fn generate_candidates(dataset: &Dataset, config: &MatcherConfig) -> Vec<ScoredCandidate> {
     config.validate(dataset.table.schema().arity());
-    let index = TfIdfIndex::build(dataset, &config.field_weights);
-    let token_sets: Vec<Vec<String>> =
-        (0..dataset.len()).map(|i| record_token_set(dataset, i)).collect();
+    let corpus = TokenizedCorpus::build(dataset);
+    let index = TfIdfIndex::from_corpus(&corpus, &config.field_weights);
+    generate_candidates_prepared(dataset, &corpus, &index, config)
+}
 
-    let mut out = Vec::new();
-    for a in 0..dataset.len() as u32 {
-        for (b, cosine) in index.accumulate_cosines(a) {
-            // Emit each unordered pair once, from its smaller endpoint.
-            if b <= a || !dataset.is_joinable(a as usize, b as usize) {
+/// The probing stage of [`generate_candidates`], over an already-built
+/// corpus and tf-idf index.
+///
+/// # Panics
+///
+/// Panics if the corpus or index do not match the dataset, or if
+/// `config.field_weights` does not match the schema arity.
+#[must_use]
+pub fn generate_candidates_prepared(
+    dataset: &Dataset,
+    corpus: &TokenizedCorpus,
+    index: &TfIdfIndex,
+    config: &MatcherConfig,
+) -> Vec<ScoredCandidate> {
+    config.validate(dataset.table.schema().arity());
+    assert_eq!(corpus.num_records(), dataset.len(), "corpus built for a different dataset");
+    assert_eq!(index.num_records(), dataset.len(), "index built for a different dataset");
+    let prefix = PrefixIndex::build(
+        corpus,
+        index,
+        config.prefilter_threshold(),
+        config.cosine_weight > 0.0,
+        config.jaccard_weight > 0.0,
+        dataset.split,
+    );
+    let gen = Generator { dataset, config, corpus, index, prefix };
+    let probe_count = dataset.split.unwrap_or(dataset.len());
+    gen.run(probe_count, config.threads)
+}
+
+/// The probing kernel plus everything it scores against.
+struct Generator<'a> {
+    dataset: &'a Dataset,
+    config: &'a MatcherConfig,
+    corpus: &'a TokenizedCorpus,
+    index: &'a TfIdfIndex,
+    prefix: PrefixIndex,
+}
+
+/// Dense per-worker scratch: `stamp[b] == epoch` marks `b` as touched by the
+/// current probe, `acc[b]` accumulates its partial cosine and `cnt[b]` its
+/// token-overlap count. Reset is O(1) per probe (bump the epoch); only
+/// touched entries are ever visited.
+struct Scratch {
+    stamp: Vec<u32>,
+    acc: Vec<f64>,
+    cnt: Vec<u32>,
+    touched: Vec<u32>,
+    epoch: u32,
+}
+
+impl Scratch {
+    fn new(n: usize) -> Self {
+        Self {
+            stamp: vec![0; n],
+            acc: vec![0.0; n],
+            cnt: vec![0; n],
+            touched: Vec::new(),
+            epoch: 0,
+        }
+    }
+}
+
+impl Generator<'_> {
+    /// Probes records `0..probe_count` on up to `threads` workers and
+    /// returns the merged, `(a, b)`-sorted candidate list.
+    fn run(&self, probe_count: usize, threads: usize) -> Vec<ScoredCandidate> {
+        // Small enough that a few-thousand-record workload still spreads
+        // over several chunks (and tests exercise the multi-worker merge),
+        // large enough that queue traffic stays negligible at 100k records.
+        const CHUNK: usize = 512;
+        let n = self.dataset.len();
+        let chunks = probe_count.div_ceil(CHUNK);
+        let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let workers = (if threads == 0 { hw } else { threads }).min(chunks.max(1));
+        if workers <= 1 {
+            let mut scratch = Scratch::new(n);
+            let mut out = Vec::new();
+            for a in 0..probe_count as u32 {
+                self.probe(a, &mut scratch, &mut out);
+            }
+            return out;
+        }
+
+        // The engine-scheduler pattern: workers pull the next unclaimed
+        // chunk of probe records; chunk outputs are reassembled in chunk
+        // order, so the merged result is identical for every worker count.
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results: std::sync::Mutex<Vec<(usize, Vec<ScoredCandidate>)>> =
+            std::sync::Mutex::new(Vec::with_capacity(chunks));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut scratch = Scratch::new(n);
+                    loop {
+                        let chunk = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if chunk >= chunks {
+                            return;
+                        }
+                        let lo = chunk * CHUNK;
+                        let hi = ((chunk + 1) * CHUNK).min(probe_count);
+                        let mut out = Vec::new();
+                        for a in lo as u32..hi as u32 {
+                            self.probe(a, &mut scratch, &mut out);
+                        }
+                        results.lock().expect("results mutex poisoned").push((chunk, out));
+                    }
+                });
+            }
+        });
+        let mut results = results.into_inner().expect("results mutex poisoned");
+        results.sort_unstable_by_key(|&(i, _)| i);
+        results.into_iter().flat_map(|(_, out)| out).collect()
+    }
+
+    /// Probes record `a` against the prefix postings and emits every
+    /// qualifying pair `(a, b)` with `b > a`, ascending in `b`.
+    fn probe(&self, a: u32, s: &mut Scratch, out: &mut Vec<ScoredCandidate>) {
+        s.epoch += 1;
+        s.touched.clear();
+        let epoch = s.epoch;
+        // Cross-join postings hold only B-side records, all of which sit
+        // above every probe id — the "entries after a" cut is a no-op there.
+        let cross = self.dataset.split.is_some();
+
+        if self.prefix.cos_active {
+            for &(token, wa) in self.index.vector(a) {
+                let postings = &self.prefix.cos_postings[token as usize];
+                let lo = if cross { 0 } else { postings.partition_point(|&(id, _)| id <= a) };
+                for &(b, wb) in &postings[lo..] {
+                    let bi = b as usize;
+                    if s.stamp[bi] != epoch {
+                        s.stamp[bi] = epoch;
+                        s.acc[bi] = 0.0;
+                        s.cnt[bi] = 0;
+                        s.touched.push(b);
+                    }
+                    s.acc[bi] += wa as f64 * wb as f64;
+                }
+            }
+        }
+        for &token in self.corpus.token_set(a as usize) {
+            let postings = &self.prefix.jac_postings[token as usize];
+            let lo = if cross { 0 } else { postings.partition_point(|&id| id <= a) };
+            for &b in &postings[lo..] {
+                let bi = b as usize;
+                if s.stamp[bi] != epoch {
+                    s.stamp[bi] = epoch;
+                    s.acc[bi] = 0.0;
+                    s.cnt[bi] = 0;
+                    s.touched.push(b);
+                }
+                s.cnt[bi] += 1;
+            }
+        }
+
+        let emit_start = out.len();
+        let set_a = self.corpus.token_set(a as usize);
+        let min_l = self.config.min_likelihood;
+        // Bound checks compare blend *numerators* against this floor
+        // (avoiding a division per touched pair): a real numerator below
+        // `min_l·W − 1e-9` cannot round up to a blend ≥ min_l.
+        let wc = self.config.cosine_weight;
+        let wj = self.config.jaccard_weight;
+        let extras_sum: f64 = self.config.extra_measures.iter().map(|em| em.weight).sum();
+        let numer_floor = min_l * self.config.total_weight() - BOUND_SLACK;
+        for &b in &s.touched {
+            let bi = b as usize;
+            let set_b = self.corpus.token_set(bi);
+            // Size + overlap filter: jac <= shared_ub / (|a|+|b|-shared_ub),
+            // where the true intersection is at most the counted indexed
+            // overlap plus b's unindexed tokens, and never more than the
+            // smaller set. Touched records share a token, so neither set is
+            // empty.
+            let min_len = set_a.len().min(set_b.len());
+            let jac_cut = self.prefix.jac_cut[bi];
+            let shared_ub = if jac_cut == u32::MAX {
+                min_len
+            } else {
+                ((s.cnt[bi] + jac_cut) as usize).min(min_len)
+            };
+            let jac_ub = shared_ub as f64 / (set_a.len() + set_b.len() - shared_ub) as f64;
+            let suffix = self.prefix.cos_suffix_bound[bi];
+            // Clamp below at 0: sublinear tf damping gives fractional field
+            // weights *negative* vector components, so the accumulated dot
+            // product can be negative while the true cosine clamps to 0 —
+            // an unclamped bound would underestimate the blend numerator.
+            let cos_ub = if self.prefix.cos_active {
+                (s.acc[bi] + suffix + BOUND_SLACK).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+            if wc * cos_ub + wj * jac_ub + extras_sum < numer_floor {
                 continue;
             }
-            let jac = jaccard(&token_sets[a as usize], &token_sets[b as usize]);
-            let likelihood = config.blend(dataset, a, b, cosine, jac);
-            if likelihood >= config.min_likelihood {
+            // Exact cosine. When b's vector is fully indexed, the dense
+            // accumulator received exactly the shared-token products in
+            // ascending token-id order — the same f64 operations as the
+            // merge in `TfIdfIndex::cosine` — so `acc` IS the merge cosine.
+            let cos = if self.prefix.cos_active && suffix == 0.0 {
+                s.acc[bi].clamp(0.0, 1.0)
+            } else {
+                self.index.cosine(a, b)
+            };
+            if wc * cos + wj * jac_ub + extras_sum < numer_floor {
+                continue;
+            }
+            // Exact Jaccard. When b's whole token set is indexed, the
+            // overlap counter is the exact intersection size and the
+            // formula below is `similarity::jaccard` verbatim; otherwise
+            // fall back to the merge join.
+            let jac = if jac_cut == 0 {
+                let shared = s.cnt[bi] as usize;
+                shared as f64 / (set_a.len() + set_b.len() - shared) as f64
+            } else {
+                jaccard(set_a, set_b)
+            };
+            // With exact cosine and Jaccard in hand, this bound only prunes
+            // when extra measures exist (it skips their evaluation).
+            if wc * cos + wj * jac + extras_sum < numer_floor {
+                continue;
+            }
+            let likelihood = self.config.blend(self.dataset, a, b, cos, jac);
+            if likelihood >= min_l {
                 out.push(ScoredCandidate { a, b, likelihood });
             }
         }
+        // Emit in ascending b (touched order is posting-scan order) so the
+        // merged output needs no global sort.
+        out[emit_start..].sort_unstable_by_key(|c| c.b);
     }
-    out.sort_unstable_by_key(|c| (c.a, c.b));
-    out
 }
 
-/// Full pairwise scan — O(n²) reference implementation.
+/// Full pairwise scan — O(n²) reference implementation and the correctness
+/// oracle for the filtered path. Unlike [`generate_candidates`] it also
+/// emits qualifying pairs that share **no** token (e.g. two empty records,
+/// or extras-only likelihood): the filtered path's contract is exactly the
+/// brute-force output restricted to token-sharing pairs.
 ///
 /// # Panics
 ///
@@ -152,9 +391,8 @@ pub fn generate_candidates_bruteforce(
     config: &MatcherConfig,
 ) -> Vec<ScoredCandidate> {
     config.validate(dataset.table.schema().arity());
-    let index = TfIdfIndex::build(dataset, &config.field_weights);
-    let token_sets: Vec<Vec<String>> =
-        (0..dataset.len()).map(|i| record_token_set(dataset, i)).collect();
+    let corpus = TokenizedCorpus::build(dataset);
+    let index = TfIdfIndex::from_corpus(&corpus, &config.field_weights);
     let mut out = Vec::new();
     for a in 0..dataset.len() as u32 {
         for b in (a + 1)..dataset.len() as u32 {
@@ -162,7 +400,7 @@ pub fn generate_candidates_bruteforce(
                 continue;
             }
             let cosine = index.cosine(a, b);
-            let jac = jaccard(&token_sets[a as usize], &token_sets[b as usize]);
+            let jac = jaccard(corpus.token_set(a as usize), corpus.token_set(b as usize));
             let likelihood = config.blend(dataset, a, b, cosine, jac);
             if likelihood >= config.min_likelihood {
                 out.push(ScoredCandidate { a, b, likelihood });
@@ -204,7 +442,7 @@ mod tests {
     }
 
     #[test]
-    fn agrees_with_bruteforce() {
+    fn agrees_with_bruteforce_bit_identically() {
         let ds = dataset(
             &[
                 "alpha beta gamma",
@@ -220,15 +458,72 @@ mod tests {
         let fast = generate_candidates(&ds, &cfg);
         let mut slow = generate_candidates_bruteforce(&ds, &cfg);
         // Brute force also emits zero-likelihood disjoint pairs when the
-        // floor is 0; the index only emits token-sharing pairs. Compare on
-        // the shared support.
+        // floor is 0; the filtered join only emits token-sharing pairs.
+        // Compare on the shared support.
         slow.retain(|c| c.likelihood > 0.0);
         let fast: Vec<_> = fast.into_iter().filter(|c| c.likelihood > 0.0).collect();
         assert_eq!(fast.len(), slow.len());
         for (f, s) in fast.iter().zip(slow.iter()) {
             assert_eq!((f.a, f.b), (s.a, s.b));
-            assert!((f.likelihood - s.likelihood).abs() < 1e-9);
+            assert_eq!(
+                f.likelihood.to_bits(),
+                s.likelihood.to_bits(),
+                "likelihood drifted on ({}, {})",
+                f.a,
+                f.b
+            );
         }
+    }
+
+    #[test]
+    fn filtered_path_matches_bruteforce_at_high_floors() {
+        let ds = dataset(
+            &[
+                "sony bravia tv 40",
+                "sony bravia tv 40 black",
+                "sony tv 46",
+                "canon eos camera kit",
+                "canon eos camera",
+                "alpha beta gamma delta",
+                "alpha beta gamma",
+            ],
+            None,
+        );
+        for floor in [0.2, 0.4, 0.6, 0.8] {
+            let cfg = MatcherConfig { min_likelihood: floor, ..MatcherConfig::for_arity(1) };
+            let fast = generate_candidates(&ds, &cfg);
+            let slow = generate_candidates_bruteforce(&ds, &cfg);
+            assert_eq!(fast.len(), slow.len(), "floor {floor}");
+            for (f, s) in fast.iter().zip(slow.iter()) {
+                assert_eq!((f.a, f.b), (s.a, s.b), "floor {floor}");
+                assert_eq!(f.likelihood.to_bits(), s.likelihood.to_bits(), "floor {floor}");
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_output() {
+        // 2500 probe records = 5 chunks of 512, so the explicit `threads:
+        // 4` run genuinely spawns workers and merges multiple chunks
+        // (including the final partial one) — even on a 1-core machine.
+        let names: Vec<String> =
+            (0..2500).map(|i| format!("rec{} tok{} x{}", i % 97, i % 53, i % 31)).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let ds = dataset(&refs, None);
+        let sequential =
+            generate_candidates(&ds, &MatcherConfig { threads: 1, ..MatcherConfig::for_arity(1) });
+        let parallel =
+            generate_candidates(&ds, &MatcherConfig { threads: 4, ..MatcherConfig::for_arity(1) });
+        assert!(!sequential.is_empty());
+        assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(parallel.iter()) {
+            assert_eq!((s.a, s.b), (p.a, p.b));
+            assert_eq!(s.likelihood.to_bits(), p.likelihood.to_bits());
+        }
+        assert!(
+            sequential.windows(2).all(|w| (w[0].a, w[0].b) < (w[1].a, w[1].b)),
+            "output sorted and deduplicated"
+        );
     }
 
     #[test]
@@ -257,6 +552,21 @@ mod tests {
         let strict = MatcherConfig { min_likelihood: 0.9, ..MatcherConfig::for_arity(1) };
         assert_eq!(generate_candidates(&ds, &loose).len(), 1);
         assert!(generate_candidates(&ds, &strict).is_empty());
+    }
+
+    #[test]
+    fn staged_pipeline_matches_one_shot() {
+        let ds = dataset(&["sony tv", "sony tv black", "canon camera", "sony camera"], None);
+        let cfg = MatcherConfig { min_likelihood: 0.0, ..MatcherConfig::for_arity(1) };
+        let corpus = TokenizedCorpus::build(&ds);
+        let index = TfIdfIndex::from_corpus(&corpus, &cfg.field_weights);
+        let staged = generate_candidates_prepared(&ds, &corpus, &index, &cfg);
+        let one_shot = generate_candidates(&ds, &cfg);
+        assert_eq!(staged.len(), one_shot.len());
+        for (s, o) in staged.iter().zip(one_shot.iter()) {
+            assert_eq!((s.a, s.b), (o.a, o.b));
+            assert_eq!(s.likelihood.to_bits(), o.likelihood.to_bits());
+        }
     }
 
     #[test]
@@ -331,6 +641,76 @@ mod tests {
     }
 
     #[test]
+    fn negative_tfidf_components_do_not_drop_candidates() {
+        // Fractional field weights give price tokens tf 0.25, and
+        // 1 + ln(0.25) < 0 — negative vector components. A pair whose dot
+        // product is negative (cosine clamps to 0) but whose Jaccard alone
+        // clears the floor must survive the verifier's cosine bound.
+        // Regression: an unclamped `acc + suffix` bound went negative and
+        // dropped such pairs.
+        let mut table =
+            crowdjoin_records::Table::new(crowdjoin_records::Schema::new(vec!["name", "price"]));
+        table.push(crowdjoin_records::Record::new(vec!["black alpha beta gamma delta", "1254.88"]));
+        table.push(crowdjoin_records::Record::new(vec!["black 1254 zeta eta theta", "999.99"]));
+        // Filler records make "black" common (low idf) so the shared-name
+        // contribution stays small against the negative "1254" product.
+        for i in 0..6 {
+            table.push(crowdjoin_records::Record::new(vec![
+                match i {
+                    0 => "black filler one",
+                    1 => "black filler two",
+                    2 => "black filler three",
+                    3 => "black filler four",
+                    4 => "black filler five",
+                    _ => "black filler six",
+                },
+                "10.00",
+            ]));
+        }
+        let n = table.len();
+        let ds =
+            Dataset { table, entity_of: (0..n as u32).collect(), split: None, name: "t".into() };
+        let cfg = MatcherConfig {
+            min_likelihood: 0.05,
+            field_weights: vec![1.0, 0.25],
+            ..MatcherConfig::for_arity(2)
+        };
+        let fast = generate_candidates(&ds, &cfg);
+        let slow = generate_candidates_bruteforce(&ds, &cfg);
+        assert!(
+            slow.iter().any(|c| (c.a, c.b) == (0, 1)),
+            "test setup: the oracle must emit the negative-dot pair"
+        );
+        assert_eq!(fast.len(), slow.len());
+        for (f, s) in fast.iter().zip(slow.iter()) {
+            assert_eq!((f.a, f.b), (s.a, s.b));
+            assert_eq!(f.likelihood.to_bits(), s.likelihood.to_bits());
+        }
+    }
+
+    #[test]
+    fn zero_weight_field_tokens_still_generate_candidates() {
+        // Two records that only share a token in a zero-weight field: the
+        // pair has cosine 0 but positive Jaccard, and the Jaccard join must
+        // still discover it (the brute-force oracle emits it).
+        let mut table =
+            crowdjoin_records::Table::new(crowdjoin_records::Schema::new(vec!["name", "price"]));
+        table.push(crowdjoin_records::Record::new(vec!["alpha beta", "499"]));
+        table.push(crowdjoin_records::Record::new(vec!["gamma delta", "499"]));
+        let ds = Dataset { table, entity_of: vec![0, 1], split: None, name: "t".into() };
+        let cfg = MatcherConfig {
+            min_likelihood: 0.05,
+            field_weights: vec![1.0, 0.0],
+            ..MatcherConfig::for_arity(2)
+        };
+        let fast = generate_candidates(&ds, &cfg);
+        let slow = generate_candidates_bruteforce(&ds, &cfg);
+        assert_eq!(fast.len(), slow.len());
+        assert_eq!(fast.len(), 1, "price token \"499\" is shared: jac 1/5 = 0.2, blend 0.08");
+        assert_eq!(fast[0].likelihood.to_bits(), slow[0].likelihood.to_bits());
+    }
+
+    #[test]
     #[should_panic(expected = "references field")]
     fn extra_measure_field_out_of_range_rejected() {
         use crate::fields::{ExtraMeasure, FieldMeasure};
@@ -356,6 +736,7 @@ mod tests {
             jaccard_weight: 0.0,
             field_weights: vec![1.0],
             extra_measures: Vec::new(),
+            threads: 0,
         };
         let _ = generate_candidates(&ds, &cfg);
     }

@@ -6,10 +6,14 @@
 //! machine stage:
 //!
 //! * [`tokenize`] — word and q-gram tokenizers;
+//! * [`corpus`] — one-pass tokenization of a dataset into interned `u32`
+//!   tokens (a [`TokenizedCorpus`] is shared by the tf-idf and Jaccard
+//!   paths, so nothing is ever tokenized twice);
 //! * [`similarity`] — Jaccard, Dice, overlap, Levenshtein, Jaro(-Winkler);
 //! * [`tfidf`] — sparse tf-idf vectors + inverted index with cosine scoring;
-//! * [`candidates`] — the similarity join producing [`ScoredCandidate`]s
-//!   (indexed and brute-force variants).
+//! * [`candidates`] — the prefix-filtered, parallel similarity join
+//!   producing [`ScoredCandidate`]s (see [`prefix`] for the AllPairs-style
+//!   filter and its safety argument), plus the brute-force oracle.
 //!
 //! ```
 //! use crowdjoin_matcher::{generate_candidates, MatcherConfig};
@@ -31,14 +35,18 @@
 #![warn(missing_docs)]
 
 pub mod candidates;
+pub mod corpus;
 pub mod fields;
+pub mod prefix;
 pub mod similarity;
 pub mod tfidf;
 pub mod tokenize;
 
 pub use candidates::{
-    generate_candidates, generate_candidates_bruteforce, MatcherConfig, ScoredCandidate,
+    generate_candidates, generate_candidates_bruteforce, generate_candidates_prepared,
+    MatcherConfig, ScoredCandidate,
 };
+pub use corpus::TokenizedCorpus;
 pub use fields::{ExtraMeasure, FieldMeasure};
 pub use similarity::{
     dice, jaccard, jaro, jaro_winkler, levenshtein, levenshtein_similarity, overlap,

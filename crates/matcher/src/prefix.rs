@@ -1,0 +1,282 @@
+//! AllPairs/PPJoin-style prefix and size filtering for candidate generation.
+//!
+//! The unfiltered inverted-index join scans the **full** posting list of
+//! every token a record holds — effectively quadratic on common tokens. The
+//! (crate-internal) `PrefixIndex` built here indexes only a provably
+//! sufficient *prefix* of each record, so a probing record discovers every
+//! pair that can still clear the matcher's pruning floor while skipping the
+//! bulk of the common-token cross products.
+//!
+//! # The filter-safety argument
+//!
+//! The matcher emits a candidate `(a, b)` when the records share ≥ 1 token
+//! and their blended likelihood clears `min_likelihood`:
+//!
+//! ```text
+//! likelihood = (wc·cos + wj·jac + Σᵢ wiᵢ·eᵢ) / W,   W = wc + wj + Σᵢ wiᵢ
+//! ```
+//!
+//! with `cos`, `jac`, and every extra measure `eᵢ` in `[0, 1]`. Substituting
+//! `eᵢ ≤ 1`, any qualifying pair satisfies `wc·cos + wj·jac ≥ S` where
+//! `S = min_likelihood·W − Σᵢ wiᵢ`. A weighted average is at most its
+//! maximum, so **every qualifying pair has `cos ≥ t` or `jac ≥ t`** for the
+//! blended prefilter threshold
+//!
+//! ```text
+//! t = S / (wc + wj)      (t ≤ min_likelihood ≤ 1)
+//! ```
+//!
+//! Candidate generation therefore runs two prefix-filtered similarity joins
+//! and unions their discoveries; each is individually lossless at
+//! threshold `t`:
+//!
+//! * **Cosine join.** Record `b` stores its unit tf-idf vector sorted by
+//!   descending weight and indexes the shortest prefix whose remaining tail
+//!   has L2 norm `‖tail(b)‖ < t` (the tail norm is kept as
+//!   `suffix_bound[b]`). For any probe `a` (also a unit vector),
+//!   Cauchy–Schwarz bounds the tail's possible contribution:
+//!   `Σ_{shared ∩ tail(b)} a_i·b_i ≤ ‖tail(b)‖ < t`. Hence if
+//!   `cos(a, b) ≥ t`, the *indexed prefix* of `b` must contribute
+//!   `cos − ‖tail(b)‖ > 0` — at least one shared token is indexed, and `a`
+//!   (which probes with **all** of its tokens) touches `b`.
+//! * **Jaccard join.** Record `b` orders its token set by ascending document
+//!   frequency and indexes its first `|b| − ⌈t·|b|⌉ + 1` tokens. If
+//!   `jac(a, b) ≥ t` then `|a ∩ b| ≥ t·|a ∪ b| ≥ t·|b|`, while the
+//!   unindexed suffix only holds `⌈t·|b|⌉ − 1 < t·|b|` tokens — the shared
+//!   tokens cannot all hide in the suffix, so `a` (probing with all of its
+//!   tokens) touches `b` through an indexed one. This argument only uses the
+//!   *size* of the prefix, so ordering by rarity is purely a performance
+//!   choice: common tokens fall off the end of most prefixes and their
+//!   posting lists collapse.
+//!
+//! A **size filter** rejects touched pairs before any exact scoring:
+//! `jac(a, b) ≤ min(|a|,|b|) / max(|a|,|b|)`, and the cosine accumulated
+//! over indexed postings bounds the true cosine by
+//! `cos ≤ acc + suffix_bound[b]`. Both bounds feed the monotone blend
+//! upper bound; a pair is skipped only when even the bound cannot reach
+//! `min_likelihood`.
+//!
+//! One sign subtlety: sublinear tf damping (`1 + ln(tf)`) makes tokens of
+//! fractionally-weighted fields carry *negative* vector components, so a
+//! pair's dot product can be negative (the cosine clamps at 0). The
+//! Cauchy–Schwarz tail bound is sign-free, so discovery is unaffected; the
+//! verifier's accumulator-derived cosine bound clamps at 0 before it enters
+//! the blend bound.
+//!
+//! Floating-point safety: the thresholds used to *cut* prefixes are slacked
+//! by `1e-7` (`t_eff = t − 1e-7`, and `⌈(t − 1e-9)·|b|⌉` for the integer
+//! prefix), and the accumulator-based cosine bound adds `1e-9` — orders of
+//! magnitude above the worst-case rounding of these O(10)-term sums, so a
+//! borderline pair is always *kept* and re-scored exactly, never dropped.
+//!
+//! Degenerate blends stay lossless: when `t ≤ 0` (the extra measures alone
+//! can reach the floor, or `wc = wj = 0`) the Jaccard join indexes every
+//! token of every record, which rediscovers exactly the classic "shares ≥ 1
+//! token" join.
+
+use crate::corpus::TokenizedCorpus;
+use crate::tfidf::TfIdfIndex;
+
+/// Slack subtracted from prefix-cut thresholds so float rounding can only
+/// ever enlarge a prefix, never drop a qualifying pair.
+pub(crate) const FILTER_SLACK: f64 = 1e-7;
+
+/// Slack added to accumulator-derived cosine upper bounds.
+pub(crate) const BOUND_SLACK: f64 = 1e-9;
+
+/// Prefix-filtered posting lists for one candidate-generation run.
+///
+/// Only *index-side* records appear in the postings: for a cross join the B
+/// side (ids `split..n`, probed by every A record), for a self join all
+/// records (a probe `a` slices each list to entries with id `> a`, so every
+/// unordered pair is generated exactly once, from its smaller endpoint).
+#[derive(Debug)]
+pub(crate) struct PrefixIndex {
+    /// Whether the cosine join runs (`wc > 0` and `t > 0`).
+    pub cos_active: bool,
+    /// Token id → `(record, tf-idf weight)` for indexed prefix entries,
+    /// ascending by record id.
+    pub cos_postings: Vec<Vec<(u32, f32)>>,
+    /// Per record: L2 norm of its *unindexed* vector tail (0 when the whole
+    /// vector is indexed, in particular whenever the filter is inactive).
+    pub cos_suffix_bound: Vec<f64>,
+    /// Token id → record ids whose Jaccard prefix contains the token,
+    /// ascending.
+    pub jac_postings: Vec<Vec<u32>>,
+    /// Per record: how many of its tokens are *not* indexed in
+    /// `jac_postings`. A probe's per-token overlap counter plus this cut is
+    /// an upper bound on the true intersection size; when the cut is 0 the
+    /// counter is exact and the verifier skips the merge join entirely.
+    pub jac_cut: Vec<u32>,
+}
+
+impl PrefixIndex {
+    /// Builds prefix-filtered postings for `threshold = t` over the
+    /// index-side records.
+    ///
+    /// `jac_weight_positive` / `cos_weight_positive` say which similarity
+    /// actually carries blend weight; a zero-weight side cannot make a pair
+    /// qualify on its own, so its join is skipped (unless `t ≤ 0`, where the
+    /// full Jaccard join is kept as the lossless fallback).
+    // The record id `b` indexes per-record arrays *and* drives corpus/index
+    // lookups; an enumerate-skip chain would obscure that.
+    #[allow(clippy::needless_range_loop)]
+    pub fn build(
+        corpus: &TokenizedCorpus,
+        index: &TfIdfIndex,
+        threshold: f64,
+        cos_weight_positive: bool,
+        jac_weight_positive: bool,
+        split: Option<usize>,
+    ) -> Self {
+        let n = corpus.num_records();
+        let vocab = corpus.vocabulary_size();
+        let index_start = split.unwrap_or(0);
+        let filtered = threshold > 0.0;
+        let cos_active = filtered && cos_weight_positive;
+        let jac_active = !filtered || jac_weight_positive;
+
+        let mut cos_postings: Vec<Vec<(u32, f32)>> = vec![Vec::new(); vocab];
+        let mut cos_suffix_bound: Vec<f64> = vec![0.0; n];
+        if cos_active {
+            let t_eff = threshold - FILTER_SLACK;
+            let mut order: Vec<(u32, f32)> = Vec::new();
+            let mut tails: Vec<f64> = Vec::new();
+            for b in index_start..n {
+                order.clear();
+                order.extend_from_slice(index.vector(b as u32));
+                // Heaviest tokens first (by magnitude — sublinear tf damping
+                // can make fractionally-weighted components negative); ties
+                // broken by id for determinism.
+                order.sort_unstable_by(|x, y| {
+                    y.1.abs().partial_cmp(&x.1.abs()).expect("finite weights").then(x.0.cmp(&y.0))
+                });
+                tails.clear();
+                tails.resize(order.len() + 1, 0.0);
+                for i in (0..order.len()).rev() {
+                    tails[i] = tails[i + 1] + order[i].1 as f64 * order[i].1 as f64;
+                }
+                let prefix =
+                    (0..=order.len()).find(|&p| tails[p].sqrt() < t_eff).unwrap_or(order.len());
+                cos_suffix_bound[b] = tails[prefix].sqrt();
+                for &(token, w) in &order[..prefix] {
+                    cos_postings[token as usize].push((b as u32, w));
+                }
+            }
+        }
+
+        let mut jac_postings: Vec<Vec<u32>> = vec![Vec::new(); vocab];
+        // Un-indexed records keep a cut of u32::MAX: their overlap counter
+        // never bounds anything and never claims exactness.
+        let mut jac_cut: Vec<u32> = vec![u32::MAX; n];
+        if jac_active {
+            let df = corpus.set_doc_freq();
+            let mut order: Vec<u32> = Vec::new();
+            for b in index_start..n {
+                let set = corpus.token_set(b);
+                if set.is_empty() {
+                    continue;
+                }
+                let prefix = if filtered {
+                    let required = ((threshold - BOUND_SLACK) * set.len() as f64).ceil() as usize;
+                    if required < 1 {
+                        set.len()
+                    } else {
+                        set.len() - required + 1
+                    }
+                } else {
+                    set.len()
+                };
+                jac_cut[b] = (set.len() - prefix) as u32;
+                order.clear();
+                order.extend_from_slice(set);
+                // Rarest first — correctness only needs the prefix *size*.
+                order.sort_unstable_by_key(|&t| (df[t as usize], t));
+                for &token in &order[..prefix] {
+                    jac_postings[token as usize].push(b as u32);
+                }
+            }
+        }
+
+        Self { cos_active, cos_postings, cos_suffix_bound, jac_postings, jac_cut }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdjoin_records::{Dataset, Record, Schema, Table};
+
+    fn dataset(names: &[&str]) -> Dataset {
+        let mut table = Table::new(Schema::new(vec!["name"]));
+        for n in names {
+            table.push(Record::new(vec![*n]));
+        }
+        let n = table.len();
+        Dataset { table, entity_of: (0..n as u32).collect(), split: None, name: "t".into() }
+    }
+
+    #[test]
+    fn inactive_threshold_indexes_everything_via_jaccard() {
+        let ds = dataset(&["sony tv", "sony camera"]);
+        let corpus = TokenizedCorpus::build(&ds);
+        let index = TfIdfIndex::from_corpus(&corpus, &[1.0]);
+        let pf = PrefixIndex::build(&corpus, &index, 0.0, true, true, None);
+        assert!(!pf.cos_active);
+        let total: usize = pf.jac_postings.iter().map(Vec::len).sum();
+        assert_eq!(total, 4, "every token of every record indexed");
+    }
+
+    #[test]
+    fn high_threshold_shrinks_postings() {
+        let ds = dataset(&[
+            "tv common alpha",
+            "tv common beta",
+            "tv common gamma",
+            "tv common delta",
+            "tv common epsilon",
+        ]);
+        let corpus = TokenizedCorpus::build(&ds);
+        let index = TfIdfIndex::from_corpus(&corpus, &[1.0]);
+        let loose = PrefixIndex::build(&corpus, &index, 0.05, true, true, None);
+        let tight = PrefixIndex::build(&corpus, &index, 0.9, true, true, None);
+        let count = |pf: &PrefixIndex| pf.jac_postings.iter().map(Vec::len).sum::<usize>();
+        assert!(count(&tight) < count(&loose), "tight {} loose {}", count(&tight), count(&loose));
+        let cos_count = |pf: &PrefixIndex| pf.cos_postings.iter().map(Vec::len).sum::<usize>();
+        assert!(cos_count(&tight) < cos_count(&loose));
+        // The tight index leaves a positive tail bound on at least one record.
+        assert!(tight.cos_suffix_bound.iter().any(|&b| b > 0.0));
+    }
+
+    #[test]
+    fn cross_join_indexes_only_the_b_side() {
+        let mut table = Table::new(Schema::new(vec!["name"]));
+        for n in ["left one", "left two", "right one", "right two"] {
+            table.push(Record::new(vec![n]));
+        }
+        let ds = Dataset { table, entity_of: vec![0, 1, 2, 3], split: Some(2), name: "t".into() };
+        let corpus = TokenizedCorpus::build(&ds);
+        let index = TfIdfIndex::from_corpus(&corpus, &[1.0]);
+        let pf = PrefixIndex::build(&corpus, &index, 0.05, true, true, Some(2));
+        for postings in &pf.jac_postings {
+            assert!(postings.iter().all(|&r| r >= 2), "A-side record indexed: {postings:?}");
+        }
+        for postings in &pf.cos_postings {
+            assert!(postings.iter().all(|&(r, _)| r >= 2));
+        }
+    }
+
+    #[test]
+    fn postings_ascend_by_record_id() {
+        let ds = dataset(&["a b c", "a b d", "a c d", "b c d", "a b c d"]);
+        let corpus = TokenizedCorpus::build(&ds);
+        let index = TfIdfIndex::from_corpus(&corpus, &[1.0]);
+        let pf = PrefixIndex::build(&corpus, &index, 0.3, true, true, None);
+        for postings in &pf.jac_postings {
+            assert!(postings.windows(2).all(|w| w[0] < w[1]), "{postings:?}");
+        }
+        for postings in &pf.cos_postings {
+            assert!(postings.windows(2).all(|w| w[0].0 < w[1].0));
+        }
+    }
+}

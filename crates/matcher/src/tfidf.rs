@@ -1,28 +1,34 @@
 //! Tf-idf vectors and cosine scoring over a record corpus.
 //!
-//! Each record becomes a sparse, L2-normalized tf-idf vector over its word
-//! tokens (with optional per-field weights). The same inverted index that
-//! backs cosine scoring also drives candidate generation: only record pairs
-//! sharing at least one token can have non-zero cosine, so one
+//! Each record becomes a sparse, L2-normalized tf-idf vector over its
+//! interned word tokens (with optional per-field weights). Vectors are built
+//! from a [`TokenizedCorpus`] — the dataset is tokenized exactly once and the
+//! interned ids are shared with the Jaccard path — and the same inverted
+//! index that backs cosine scoring also drives candidate generation: only
+//! record pairs sharing at least one token can have non-zero cosine, so one
 //! term-at-a-time accumulation pass finds and scores them together (the
 //! standard similarity-join trick the paper's machine stage (CrowdER) uses to
 //! weed out obviously non-matching pairs).
 
-use crate::tokenize::tokenize_words;
+use crate::corpus::TokenizedCorpus;
 use crowdjoin_records::Dataset;
 use crowdjoin_util::FxHashMap;
 
 /// Sparse tf-idf index over a dataset's records.
 #[derive(Debug, Clone)]
 pub struct TfIdfIndex {
-    /// Per record: sorted `(token_id, weight)` with L2 norm 1.
+    /// Per record: sorted `(token_id, weight)` with L2 norm 1. Token ids are
+    /// the corpus interner's ids.
     vectors: Vec<Vec<(u32, f32)>>,
-    /// Inverted index: token id → `(record, weight)` postings.
+    /// Inverted index: token id → `(record, weight)` postings, ascending by
+    /// record id.
     postings: Vec<Vec<(u32, f32)>>,
 }
 
 impl TfIdfIndex {
-    /// Builds the index over all records of `dataset`.
+    /// Builds the index over all records of `dataset` (tokenizing the
+    /// dataset itself; prefer [`TfIdfIndex::from_corpus`] when a
+    /// [`TokenizedCorpus`] already exists).
     ///
     /// `field_weights` scales each schema field's token counts (e.g. weigh a
     /// product name above its price); it must match the schema arity.
@@ -32,39 +38,61 @@ impl TfIdfIndex {
     /// Panics if `field_weights.len()` differs from the schema arity.
     #[must_use]
     pub fn build(dataset: &Dataset, field_weights: &[f64]) -> Self {
-        let arity = dataset.table.schema().arity();
-        assert_eq!(field_weights.len(), arity, "one weight per schema field required");
-        let n = dataset.len();
+        Self::from_corpus(&TokenizedCorpus::build(dataset), field_weights)
+    }
 
-        // Pass 1: vocabulary and document frequencies.
-        let mut token_ids: FxHashMap<String, u32> = FxHashMap::default();
-        let mut doc_freq: Vec<u32> = Vec::new();
-        let mut record_counts: Vec<FxHashMap<u32, f64>> = Vec::with_capacity(n);
+    /// Builds the index from an already-tokenized corpus — no re-tokenization,
+    /// and the vectors share the corpus's interned token ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `field_weights.len()` differs from the corpus arity.
+    #[must_use]
+    pub fn from_corpus(corpus: &TokenizedCorpus, field_weights: &[f64]) -> Self {
+        let arity = corpus.arity();
+        assert_eq!(field_weights.len(), arity, "one weight per schema field required");
+        let n = corpus.num_records();
+        let vocab = corpus.vocabulary_size();
+
+        // Pass 1: per-record weighted term counts (zero-weight fields are
+        // skipped entirely) and document frequencies over those counts.
+        // Occurrences are sorted by token id and aggregated in one sweep —
+        // O(k log k) per record with no hashing, regardless of how many
+        // distinct tokens a long text field carries.
+        let mut doc_freq: Vec<u32> = vec![0; vocab];
+        let mut record_counts: Vec<Vec<(u32, f64)>> = Vec::with_capacity(n);
+        let mut occurrences: Vec<(u32, f64)> = Vec::new();
         for i in 0..n {
-            let mut counts: FxHashMap<u32, f64> = FxHashMap::default();
+            occurrences.clear();
             for (f, &w) in field_weights.iter().enumerate() {
                 if w == 0.0 {
                     continue;
                 }
-                for token in tokenize_words(dataset.table.record(i).field(f)) {
-                    let next_id = token_ids.len() as u32;
-                    let id = *token_ids.entry(token).or_insert(next_id);
-                    if id as usize == doc_freq.len() {
-                        doc_freq.push(0);
-                    }
-                    *counts.entry(id).or_insert(0.0) += w;
+                occurrences.extend(corpus.field_tokens(i, f).iter().map(|&id| (id, w)));
+            }
+            occurrences.sort_unstable_by_key(|&(id, _)| id);
+            let mut counts: Vec<(u32, f64)> = Vec::new();
+            for &(id, w) in &occurrences {
+                match counts.last_mut() {
+                    Some((last, c)) if *last == id => *c += w,
+                    _ => counts.push((id, w)),
                 }
             }
-            for &id in counts.keys() {
+            for &(id, _) in &counts {
                 doc_freq[id as usize] += 1;
             }
             record_counts.push(counts);
         }
 
-        // Pass 2: tf-idf weights, L2 normalization, postings.
-        let idf: Vec<f64> = doc_freq.iter().map(|&df| (1.0 + n as f64 / df as f64).ln()).collect();
+        // Pass 2: tf-idf weights, L2 normalization, postings. (Tokens that
+        // only ever appear in zero-weight fields keep df 0 and an unused idf
+        // slot; their postings stay empty.)
+        let idf: Vec<f64> = doc_freq
+            .iter()
+            .map(|&df| if df == 0 { 0.0 } else { (1.0 + n as f64 / df as f64).ln() })
+            .collect();
         let mut vectors: Vec<Vec<(u32, f32)>> = Vec::with_capacity(n);
-        let mut postings: Vec<Vec<(u32, f32)>> = vec![Vec::new(); doc_freq.len()];
+        let mut postings: Vec<Vec<(u32, f32)>> = vec![Vec::new(); vocab];
         for (i, counts) in record_counts.into_iter().enumerate() {
             let mut vec: Vec<(u32, f64)> = counts
                 .into_iter()
@@ -91,10 +119,17 @@ impl TfIdfIndex {
         self.vectors.len()
     }
 
-    /// Number of distinct tokens.
+    /// Number of token-id slots (the corpus vocabulary size; tokens confined
+    /// to zero-weight fields have empty postings).
     #[must_use]
     pub fn vocabulary_size(&self) -> usize {
         self.postings.len()
+    }
+
+    /// Record `i`'s sparse unit vector: sorted `(token_id, weight)` entries.
+    #[must_use]
+    pub fn vector(&self, i: u32) -> &[(u32, f32)] {
+        &self.vectors[i as usize]
     }
 
     /// Cosine similarity between two indexed records, in `[0, 1]`.
@@ -120,7 +155,10 @@ impl TfIdfIndex {
 
     /// For record `i`, accumulates cosine scores against every *other* record
     /// sharing at least one token, returning `(record, cosine)` pairs
-    /// (unsorted). This is the term-at-a-time similarity-join kernel.
+    /// (unsorted). This is the term-at-a-time similarity-join kernel; the
+    /// filtered candidate generator supersedes it on large inputs, but it
+    /// remains the reference (and the benchmark baseline) for the
+    /// unfiltered inverted-index join.
     #[must_use]
     pub fn accumulate_cosines(&self, i: u32) -> Vec<(u32, f64)> {
         let mut acc: FxHashMap<u32, f64> = FxHashMap::default();
@@ -211,6 +249,20 @@ mod tests {
         let with_price = TfIdfIndex::build(&ds, &[1.0, 1.0]);
         assert!((heavy_name.cosine(0, 1) - 1.0).abs() < 1e-6, "identical names, price ignored");
         assert!(with_price.cosine(0, 1) < 1.0, "prices differ");
+    }
+
+    #[test]
+    fn from_corpus_matches_build_and_shares_ids() {
+        let ds = dataset(&["sony tv", "sony camera", "tv stand"]);
+        let corpus = TokenizedCorpus::build(&ds);
+        let a = TfIdfIndex::from_corpus(&corpus, &[1.0]);
+        let b = TfIdfIndex::build(&ds, &[1.0]);
+        for i in 0..3u32 {
+            assert_eq!(a.vector(i), b.vector(i));
+        }
+        // Vector entries use the corpus's interned ids.
+        let sony = corpus.interner().get("sony").unwrap();
+        assert!(a.vector(0).iter().any(|&(id, _)| id == sony));
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! Candidate-generation scale smoke: the 50k-record product workload must
+//! complete in a debug build, and the strongly-filtered run must agree with
+//! a weakly-filtered run of the same pipeline (different prefix lengths,
+//! different posting lists — same candidates above the stronger floor).
+//!
+//! Run explicitly (CI has a dedicated step): `cargo test -p
+//! crowdjoin-matcher --test scale_guard -- --ignored`. Exhaustive
+//! brute-force equivalence at small sizes lives in
+//! `tests/filter_equivalence.rs`; this guard is about *scale*.
+
+use crowdjoin_matcher::{generate_candidates, MatcherConfig};
+use crowdjoin_records::{generate_product, ProductGenConfig};
+
+#[test]
+#[ignore = "scale smoke — run via `cargo test -p crowdjoin-matcher --test scale_guard -- --ignored` (CI perf-smoke step)"]
+fn product_50k_completes_and_filter_levels_agree() {
+    let dataset = generate_product(&ProductGenConfig::scaled(25_000));
+    assert_eq!(dataset.len(), 50_000);
+
+    let matcher_at = |floor: f64| MatcherConfig {
+        min_likelihood: floor,
+        field_weights: vec![1.0, 0.25],
+        ..MatcherConfig::for_arity(2)
+    };
+    // The 0.35 run prunes with tight prefixes; the 0.25 run with loose
+    // ones. Above 0.35 they index different posting subsets yet must
+    // produce the identical candidate list.
+    let strong = generate_candidates(&dataset, &matcher_at(0.35));
+    let weak = generate_candidates(&dataset, &matcher_at(0.25));
+    assert!(!strong.is_empty(), "50k workload should keep some candidates at 0.35");
+    assert!(weak.len() > strong.len(), "looser floor must keep more candidates");
+
+    let weak_above: Vec<_> = weak.into_iter().filter(|c| c.likelihood >= 0.35).collect();
+    assert_eq!(
+        strong.len(),
+        weak_above.len(),
+        "filter strength changed the candidate set above the shared floor"
+    );
+    for (s, w) in strong.iter().zip(weak_above.iter()) {
+        assert_eq!((s.a, s.b), (w.a, w.b));
+        assert_eq!(s.likelihood.to_bits(), w.likelihood.to_bits());
+    }
+}

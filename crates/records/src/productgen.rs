@@ -46,6 +46,41 @@ impl Default for ProductGenConfig {
     }
 }
 
+impl ProductGenConfig {
+    /// The default Abt-Buy-shaped workload scaled to `per_side` records in
+    /// each table (2·`per_side` records total), keeping the Figure 10(b)
+    /// cluster-size *mix* proportional. This is how the large matcher
+    /// benchmark workloads (25 000 and 50 000 per side → 50k- and
+    /// 100k-record datasets) are built.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_side` is 0.
+    #[must_use]
+    pub fn scaled(per_side: usize) -> Self {
+        assert!(per_side > 0, "per_side must be positive");
+        let default = Self::default();
+        let ClusterSpec::Explicit(mix) = &default.clusters else {
+            unreachable!("default cluster spec is explicit")
+        };
+        let factor = (2 * per_side) as f64 / (default.table_a + default.table_b) as f64;
+        // Floor the scaled counts so the matched records never exceed the
+        // record budget; the remainder becomes singletons, as in the
+        // original mix.
+        let clusters: Vec<(usize, usize)> = mix
+            .iter()
+            .map(|&(size, count)| (size, (count as f64 * factor) as usize))
+            .filter(|&(_, count)| count > 0)
+            .collect();
+        Self {
+            table_a: per_side,
+            table_b: per_side,
+            clusters: ClusterSpec::Explicit(clusters),
+            ..default
+        }
+    }
+}
+
 /// The two-attribute product schema (name, price).
 #[must_use]
 pub fn product_schema() -> Schema {
@@ -239,6 +274,27 @@ mod tests {
             let p: f64 = ds.table.record(i).field(price_idx).parse().expect("parsable price");
             assert!(p > 0.0);
         }
+    }
+
+    #[test]
+    fn scaled_config_keeps_the_cluster_mix() {
+        let cfg = ProductGenConfig::scaled(5405); // 5x the default A side
+        assert_eq!(cfg.table_a, 5405);
+        assert_eq!(cfg.table_b, 5405);
+        let ds = generate_product(&cfg);
+        assert_eq!(ds.len(), 10810);
+        let h = ds.cluster_size_histogram();
+        // ~5x the default counts (floored by the integer scaling).
+        assert!((3150..=3250).contains(&h.count(2)), "size-2 clusters: {}", h.count(2));
+        assert!(h.count(3) >= 600);
+        assert!(h.max_bucket() <= Some(6));
+    }
+
+    #[test]
+    fn scaled_config_is_generatable_at_tiny_sizes() {
+        let ds = generate_product(&ProductGenConfig::scaled(30));
+        assert_eq!(ds.len(), 60);
+        assert_eq!(ds.split, Some(30));
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! String interning: a workspace-level token dictionary.
+//!
+//! Entity-resolution pipelines tokenize every record field and then compare
+//! token *sets* millions of times. Comparing `String`s re-hashes and
+//! re-compares bytes on every probe; interning maps each distinct token to a
+//! dense `u32` id once, so the hot paths (tf-idf postings, Jaccard merges,
+//! prefix filters) work on sorted integer slices instead.
+//!
+//! Ids are assigned densely in first-encounter order, which makes every
+//! structure built on top of an [`Interner`] deterministic for a fixed input
+//! order.
+
+use crate::hash::FxHashMap;
+
+/// A dense `str -> u32` dictionary with reverse lookup.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    ids: FxHashMap<Box<str>, u32>,
+    names: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// An empty dictionary.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id of `token`, assigning the next dense id on first
+    /// encounter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` distinct tokens are interned.
+    pub fn intern(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.ids.get(token) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("interner overflow: > u32::MAX tokens");
+        let boxed: Box<str> = token.into();
+        self.names.push(boxed.clone());
+        self.ids.insert(boxed, id);
+        id
+    }
+
+    /// The id of `token`, if it has been interned.
+    #[must_use]
+    pub fn get(&self, token: &str) -> Option<u32> {
+        self.ids.get(token).copied()
+    }
+
+    /// The token text of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never returned by [`Interner::intern`].
+    #[must_use]
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Number of distinct tokens interned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when nothing has been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_first_encounter_ids() {
+        let mut interner = Interner::new();
+        assert_eq!(interner.intern("sony"), 0);
+        assert_eq!(interner.intern("tv"), 1);
+        assert_eq!(interner.intern("sony"), 0, "re-interning is stable");
+        assert_eq!(interner.intern("black"), 2);
+        assert_eq!(interner.len(), 3);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut interner = Interner::new();
+        let ids: Vec<u32> = ["a", "bb", "ccc", "a"].iter().map(|t| interner.intern(t)).collect();
+        assert_eq!(ids, vec![0, 1, 2, 0]);
+        assert_eq!(interner.resolve(1), "bb");
+        assert_eq!(interner.get("ccc"), Some(2));
+        assert_eq!(interner.get("missing"), None);
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let interner = Interner::new();
+        assert!(interner.is_empty());
+        assert_eq!(interner.len(), 0);
+        assert_eq!(interner.get(""), None);
+    }
+
+    #[test]
+    fn empty_string_is_a_token() {
+        let mut interner = Interner::new();
+        assert_eq!(interner.intern(""), 0);
+        assert_eq!(interner.get(""), Some(0));
+        assert_eq!(interner.resolve(0), "");
+    }
+}

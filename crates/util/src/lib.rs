@@ -7,6 +7,10 @@
 //!   (object ids, cluster roots); SipHash dominates profiles there, so the
 //!   perf-book recommendation of an Fx-style multiply hasher is implemented
 //!   in-tree rather than pulling an extra dependency.
+//! * [`interner`] — a dense `str -> u32` token dictionary. The matcher
+//!   tokenizes every record field exactly once into interned ids and all
+//!   downstream similarity machinery (tf-idf postings, Jaccard merges,
+//!   prefix filters) works on sorted integer slices instead of `String`s.
 //! * [`rng`] — deterministic seeding helpers. Every stochastic component in
 //!   the workspace (dataset generators, the crowd simulator, random labeling
 //!   orders) takes an explicit `u64` seed so experiments reproduce
@@ -21,10 +25,12 @@
 
 pub mod hash;
 pub mod histogram;
+pub mod interner;
 pub mod rng;
 pub mod stats;
 
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use histogram::Histogram;
+pub use interner::Interner;
 pub use rng::{derive_seed, seeded_rng, SplitMix64};
 pub use stats::Summary;

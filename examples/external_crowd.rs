@@ -39,6 +39,18 @@ fn main() {
     let _ = std::fs::remove_dir_all(&spool);
     println!("spool directory: {}", spool.display());
 
+    // Small HITs so the job takes several files; fast polling so the
+    // example finishes in milliseconds. Creating the factory also creates
+    // the spool's hits/ and answers/ directories — it must exist before the
+    // crowd thread starts scanning, or the scan errors out and the engine
+    // waits forever.
+    let platform = PlatformConfig { batch_size: 3, ..PlatformConfig::perfect_workers(7) };
+    let factory = SpoolFactory::new(SpoolConfig {
+        poll_interval: SimDuration(5),
+        ..SpoolConfig::new(&spool)
+    })
+    .expect("create spool");
+
     // The external crowd: a thread that polls hits/ and answers every
     // question by echoing the HIT file's expected answer. Replace the
     // closure with your own logic (or a human prompt) and it is a real
@@ -61,15 +73,6 @@ fn main() {
             total
         })
     };
-
-    // Small HITs so the job takes several files; fast polling so the
-    // example finishes in milliseconds.
-    let platform = PlatformConfig { batch_size: 3, ..PlatformConfig::perfect_workers(7) };
-    let factory = SpoolFactory::new(SpoolConfig {
-        poll_interval: SimDuration(5),
-        ..SpoolConfig::new(&spool)
-    })
-    .expect("create spool");
 
     let engine =
         Engine::new(candidates.num_objects(), &order, &truth, &platform, EngineConfig::default());
