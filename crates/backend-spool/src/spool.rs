@@ -189,6 +189,13 @@ impl SpoolBackend {
     /// into the resolved queue, in publish order. Returns how many HITs
     /// resolved.
     fn consume_ready(&mut self) -> usize {
+        // Wall-clock span: the real filesystem latency of one answers scan.
+        let mut span = crowdjoin_obs::obs_span!(
+            "backend",
+            "spool.scan",
+            self.shard as u32,
+            pending = self.pending.len(),
+        );
         let mut consumed = 0;
         let mut i = 0;
         while i < self.pending.len() {
@@ -225,6 +232,7 @@ impl SpoolBackend {
                 }
             }
         }
+        span.set_field("resolved_hits", consumed);
         consumed
     }
 }
@@ -277,6 +285,14 @@ impl CrowdBackend for SpoolBackend {
         if tasks.is_empty() {
             return;
         }
+        // Wall-clock span: the tmp-write + rename latency of publishing.
+        let _span = crowdjoin_obs::obs_span!(
+            "backend",
+            "spool.write",
+            self.shard as u32,
+            pairs = tasks.len(),
+            hits = tasks.len().div_ceil(self.batch_size),
+        );
         self.stats.pairs_published += tasks.len();
         for chunk in tasks.chunks(self.batch_size) {
             let name = format!("h-{}-{}-{}", self.shard, self.next_seq, self.nonce);

@@ -5,38 +5,12 @@
 //! snapshot so the performance trajectory is trackable across PRs. This
 //! module is the shared writer: a top-level object with a `schema` tag, a
 //! few scalar fields, and an `arms` array of measured rows — rendered with
-//! stable formatting so committed snapshots diff cleanly.
+//! stable formatting so committed snapshots diff cleanly. The primitive
+//! `js_*` renderers live in `crowdjoin-obs`'s `json` module (the same
+//! helpers the trace sinks and the CLI's JSON report use) and are
+//! re-exported here so existing bench code keeps compiling unchanged.
 
-/// Renders a JSON string literal (the workspace only emits ASCII
-/// identifiers, but quotes and backslashes are escaped defensively).
-#[must_use]
-pub fn js_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Renders an `f64` with fixed decimals.
-#[must_use]
-pub fn js_f64(v: f64, decimals: usize) -> String {
-    format!("{v:.decimals$}")
-}
-
-/// Renders an optional `f64` (`None` → `null`).
-#[must_use]
-pub fn js_opt_f64(v: Option<f64>, decimals: usize) -> String {
-    v.map_or_else(|| "null".to_string(), |v| js_f64(v, decimals))
-}
+pub use crowdjoin_obs::json::{js_f64, js_opt_f64, js_str};
 
 /// A benchmark snapshot under construction: scalar fields plus an `arms`
 /// array. Values are pre-rendered JSON (use the `js_*` helpers).

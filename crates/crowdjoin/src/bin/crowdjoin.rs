@@ -24,6 +24,9 @@
 //! after the left file's).
 
 use crowdjoin::records::{table_from_csv, write_csv, Dataset, Table};
+use crowdjoin::report::{
+    EngineBackend, JournalOutcome, MatcherTimings, ProgressLine, ReportFormat, Reporter,
+};
 use crowdjoin::{
     enforce_one_to_one, resolve_entities, sort_pairs, to_candidate_set, Label, LabelingResult,
     Oracle, Pair, Provenance, ScoredPair, SortStrategy,
@@ -80,6 +83,17 @@ struct JoinOpts {
     /// Print a per-phase wall-clock breakdown (tokenize / index /
     /// candidates / join) to stderr.
     timings: bool,
+    /// Final-report format: progressive stderr lines, or one JSON document
+    /// on stdout.
+    report: ReportFormat,
+    /// Write a JSONL trace of engine/matcher/backend events to this file
+    /// (plus a Chrome-trace twin at `FILE.chrome.json` for Perfetto).
+    trace: Option<String>,
+    /// Write the final metrics-registry snapshot (JSON) to this file.
+    metrics: Option<String>,
+    /// Repaint a live stderr progress line while a spool-backed job waits
+    /// on its external crowd.
+    progress: bool,
 }
 
 impl Default for JoinOpts {
@@ -103,6 +117,10 @@ impl Default for JoinOpts {
             crowd_size: None,
             price: None,
             timings: false,
+            report: ReportFormat::Human,
+            trace: None,
+            metrics: None,
+            progress: false,
         }
     }
 }
@@ -179,7 +197,19 @@ options:
                         (default 2)
   --timings yes         print a per-phase wall-clock breakdown (tokenize /
                         tf-idf index / candidate generation / join) to
-                        stderr — see where time goes on large inputs";
+                        stderr — see where time goes on large inputs
+  --report FORMAT       human (progressive stderr lines, default) | json
+                        (one machine-readable report document on stdout at
+                        the end; the labels CSV then only appears with
+                        --output FILE)
+  --trace FILE          record a structured event trace of the run: JSONL
+                        at FILE plus a Chrome-trace twin at
+                        FILE.chrome.json (open in Perfetto / about:tracing)
+  --metrics FILE        write the final counters/gauges/histograms snapshot
+                        (JSON) to FILE
+  --progress yes        spool backend only: repaint a live stderr line
+                        (answers so far, pairs awaiting the crowd) while
+                        the job waits on its external answerer";
 
 /// Parses argv (without the program name). Pure for testability.
 fn parse_args(args: &[String]) -> Result<Command, String> {
@@ -235,6 +265,18 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         }
         if let Some(v) = flags("timings") {
             opts.timings = parse_bool("timings", v)?;
+        }
+        if let Some(r) = flags("report") {
+            opts.report = match r.as_str() {
+                "human" => ReportFormat::Human,
+                "json" => ReportFormat::Json,
+                other => return Err(format!("--report must be human|json, got {other:?}")),
+            };
+        }
+        opts.trace = flags("trace");
+        opts.metrics = flags("metrics");
+        if let Some(v) = flags("progress") {
+            opts.progress = parse_bool("progress", v)?;
         }
         if let Some(s) = flags("shards") {
             opts.shards = s.parse().map_err(|_| format!("--shards: not a number: {s:?}"))?;
@@ -328,6 +370,11 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                     );
                 }
             }
+        }
+        if opts.progress && opts.backend != BackendKind::Spool {
+            return Err("--progress tracks a wall-clock crowd; it requires --backend spool \
+                        (simulated runs finish in virtual time)"
+                .to_string());
         }
         let platform_only: [(&str, bool); 5] = [
             ("--journal", opts.journal.is_some()),
@@ -451,6 +498,7 @@ fn simulate_on_platform(
     order: &[ScoredPair],
     opts: &JoinOpts,
     preset: PlatformPreset,
+    reporter: &mut Reporter,
 ) -> Result<LabelingResult, String> {
     use crowdjoin::graph::UnionFind;
     use crowdjoin::sim::PlatformConfig;
@@ -482,6 +530,7 @@ fn simulate_on_platform(
         journal: opts.journal.clone().map(std::path::PathBuf::from),
         ..crowdjoin::EngineConfig::default()
     };
+    let progress = if opts.progress { Some(ProgressLine::start()) } else { None };
     let report = match opts.backend {
         BackendKind::Spool => {
             let dir = opts.spool.as_deref().expect("--backend spool always carries --spool");
@@ -489,11 +538,11 @@ fn simulate_on_platform(
                 crowdjoin::backend_spool::SpoolConfig::new(dir),
             )
             .map_err(|e| format!("--spool {dir}: {e}"))?;
-            eprintln!(
+            reporter.note(&format!(
                 "spool backend: publishing HITs into {dir}/hits/, waiting on {dir}/answers/ \
                  (any process — or human — may answer; see the README's \"Bring your own \
                  crowd\" walkthrough)"
-            );
+            ));
             let job = crowdjoin::Engine::new(num_objects, order, &truth, &platform, engine.clone());
             if let Some(path) = &opts.resume {
                 job.resume_with_backend(std::path::Path::new(path), &factory)
@@ -522,72 +571,41 @@ fn simulate_on_platform(
             }
         }
     };
+    if let Some(line) = progress {
+        line.finish();
+    }
 
-    let (hits, assignments) = report
-        .shards
-        .iter()
-        .filter_map(|s| s.stats.as_ref())
-        .fold((0usize, 0usize), |(h, a), st| (h + st.hits_published, a + st.assignments_completed));
-    match opts.backend {
-        BackendKind::Sim => eprintln!("=== simulated crowd run (event-loop engine) ==="),
-        BackendKind::Spool => {
-            eprintln!("=== external crowd run (spool backend, event-loop engine) ===");
-        }
-    }
-    if report.reshard_generations > 0 {
-        // With re-sharding, `shards` holds one report per shard
-        // *incarnation* (retired generations plus their merged successors),
-        // not a concurrent shard count.
-        eprintln!(
-            "  shard runs         {} incarnations over {} component(s), {} re-shard generation(s)",
-            report.num_shards(),
-            report.num_components,
-            report.reshard_generations
-        );
-    } else {
-        eprintln!(
-            "  shards             {} over {} component(s)",
-            report.num_shards(),
-            report.num_components
-        );
-    }
-    eprintln!("  publish rounds     {} (critical path)", report.critical_path_rounds());
-    eprintln!(
-        "  pairs labeled      {} = {} crowdsourced + {} deduced ({:.0}% saved)",
-        report.result.num_labeled(),
-        report.num_crowdsourced(),
-        report.num_deduced(),
-        report.result.savings_ratio() * 100.0
-    );
-    eprintln!("  HITs               {hits} published, {assignments} assignments completed");
-    eprintln!("  partial-HIT waste  {:.1}% of paid pair slots", report.partial_hit_waste() * 100.0);
-    eprintln!("  cost               ${:.2}", report.total_cost_cents as f64 / 100.0);
-    match opts.backend {
-        BackendKind::Sim => {
-            eprintln!("  completion         {:.2} virtual hours", report.completion.as_hours());
-        }
-        BackendKind::Spool => eprintln!(
-            "  completion         {:.1} wall-clock seconds",
-            report.completion.0 as f64 / 1000.0
-        ),
-    }
-    if let Some(path) = &opts.resume {
-        eprintln!(
-            "  resumed            {} answer(s) (${:.2}) replayed from {path}, {} newly asked",
-            report.num_replayed_answers(),
-            report.replayed_cost_cents() as f64 / 100.0,
-            report.num_new_answers(),
-        );
+    let backend = match opts.backend {
+        BackendKind::Sim => EngineBackend::Sim,
+        BackendKind::Spool => EngineBackend::Spool,
+    };
+    let journal = if let Some(path) = &opts.resume {
+        JournalOutcome::Resumed(path)
     } else if let Some(path) = &opts.journal {
-        eprintln!(
-            "  journal            {} answer(s) logged to {path} (resume with --resume {path})",
-            report.num_crowd_answers()
-        );
-    }
+        JournalOutcome::Journaled(path)
+    } else {
+        JournalOutcome::None
+    };
+    reporter.platform_summary(&report, backend, journal);
     Ok(report.result)
 }
 
 fn run_join(dataset: &Dataset, opts: &JoinOpts) -> Result<(), String> {
+    // Observability first: sinks must be live before the matcher stages run
+    // so their spans land in the trace, and the metrics registry starts
+    // clean for this job.
+    if let Some(path) = &opts.trace {
+        let jsonl = crowdjoin::obs::JsonlSink::create(std::path::Path::new(path))
+            .map_err(|e| format!("--trace {path}: {e}"))?;
+        let chrome_path = format!("{path}.chrome.json");
+        let chrome = crowdjoin::obs::ChromeTraceSink::create(std::path::Path::new(&chrome_path))
+            .map_err(|e| format!("--trace {chrome_path}: {e}"))?;
+        crowdjoin::obs::install_sink(Box::new(jsonl));
+        crowdjoin::obs::install_sink(Box::new(chrome));
+    }
+    crowdjoin::obs::reset_metrics();
+    let mut reporter = Reporter::new(opts.report);
+
     let arity = dataset.table.schema().arity();
     // The matcher stage runs in explicit phases so `--timings` can report
     // where wall time goes on large inputs.
@@ -602,12 +620,7 @@ fn run_join(dataset: &Dataset, opts: &JoinOpts) -> Result<(), String> {
     let candidates_raw = generate_candidates_prepared(dataset, &corpus, &tfidf, &matcher_cfg);
     let t_candidates = clock.elapsed();
     let candidates = to_candidate_set(dataset, &candidates_raw).above_threshold(opts.threshold);
-    eprintln!(
-        "{} records -> {} candidate pairs at threshold {}",
-        dataset.len(),
-        candidates.len(),
-        opts.threshold
-    );
+    reporter.candidates(dataset.len(), candidates.len(), opts.threshold);
     let clock = std::time::Instant::now();
 
     let order: Vec<ScoredPair> = sort_pairs(&candidates, SortStrategy::ExpectedLikelihood);
@@ -618,9 +631,9 @@ fn run_join(dataset: &Dataset, opts: &JoinOpts) -> Result<(), String> {
     // order. So a human always gets the sequential path.
     let use_engine = opts.shards != 1 && opts.crowd != CrowdMode::Interactive;
     if opts.shards != 1 && opts.crowd == CrowdMode::Interactive {
-        eprintln!(
+        reporter.note(
             "note: --shards is ignored with --crowd interactive (a single human answers \
-             sequentially; batching would ask you more questions)"
+             sequentially; batching would ask you more questions)",
         );
     }
     let result: LabelingResult = if let Some(preset) = opts.platform {
@@ -630,7 +643,7 @@ fn run_join(dataset: &Dataset, opts: &JoinOpts) -> Result<(), String> {
                     .to_string(),
             );
         }
-        simulate_on_platform(candidates.num_objects(), &order, opts, preset)?
+        simulate_on_platform(candidates.num_objects(), &order, opts, preset, &mut reporter)?
     } else if !use_engine {
         match opts.crowd {
             CrowdMode::Auto => {
@@ -664,32 +677,18 @@ fn run_join(dataset: &Dataset, opts: &JoinOpts) -> Result<(), String> {
             &oracle,
             &engine_cfg,
         );
-        eprintln!(
-            "engine: {} component(s) across {} shard(s), critical path {} publish round(s)",
-            report.num_components,
-            report.num_shards(),
-            report.critical_path_rounds()
-        );
+        reporter.engine_oracle(&report);
         report.result
     };
     let t_join = clock.elapsed();
-    eprintln!(
-        "labeled {} pairs: {} answered, {} deduced for free ({:.0}% saved)",
-        result.num_labeled(),
-        result.num_crowdsourced(),
-        result.num_deduced(),
-        result.savings_ratio() * 100.0
-    );
+    reporter.labeled(&result);
     if opts.timings {
-        let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
-        eprintln!(
-            "timings: tokenize {:.1} ms | tf-idf index {:.1} ms | candidates {:.1} ms | \
-             join {:.1} ms",
-            ms(t_tokenize),
-            ms(t_index),
-            ms(t_candidates),
-            ms(t_join)
-        );
+        reporter.timings(&MatcherTimings {
+            tokenize: t_tokenize,
+            index: t_index,
+            candidates: t_candidates,
+            join: t_join,
+        });
     }
 
     let likelihood_of: FxHashMap<Pair, f64> =
@@ -706,7 +705,7 @@ fn run_join(dataset: &Dataset, opts: &JoinOpts) -> Result<(), String> {
         let outcome = enforce_one_to_one(&matches);
         demoted = outcome.demoted.iter().map(|sp| sp.pair).collect();
         if !demoted.is_empty() {
-            eprintln!("one-to-one constraint demoted {} match(es)", demoted.len());
+            reporter.note(&format!("one-to-one constraint demoted {} match(es)", demoted.len()));
         }
     }
     let effective_label = |pair: Pair, label: Label| {
@@ -725,10 +724,10 @@ fn run_join(dataset: &Dataset, opts: &JoinOpts) -> Result<(), String> {
         }
         let resolution = resolve_entities(dataset.len(), &adjusted);
         if !resolution.is_consistent() {
-            eprintln!(
+            reporter.note(&format!(
                 "warning: {} non-matching label(s) inside clusters (inconsistent answers)",
                 resolution.intra_cluster_nonmatches.len()
-            );
+            ));
         }
         let mut rows = vec![vec!["entity".to_string(), "record".to_string()]];
         for (entity, cluster) in resolution.clusters.iter().enumerate() {
@@ -763,7 +762,21 @@ fn run_join(dataset: &Dataset, opts: &JoinOpts) -> Result<(), String> {
         Some(path) => {
             std::fs::write(path, csv).map_err(|e| format!("cannot write {path:?}: {e}"))?
         }
+        // In JSON-report mode stdout carries exactly one document; the
+        // labels CSV is only emitted when routed to a file.
+        None if opts.report == ReportFormat::Json => {}
         None => print!("{csv}"),
+    }
+
+    // Flush the trace before declaring success: a truncated trace file is
+    // an error the user should see, not silently keep.
+    crowdjoin::obs::finish_sinks().map_err(|e| format!("--trace: {e}"))?;
+    if let Some(path) = &opts.metrics {
+        std::fs::write(path, crowdjoin::obs::metrics_json())
+            .map_err(|e| format!("--metrics {path}: {e}"))?;
+    }
+    if let Some(doc) = reporter.finish() {
+        print!("{doc}");
     }
     Ok(())
 }
@@ -1070,6 +1083,48 @@ mod tests {
         // The legitimate uses stay untouched.
         assert!(parse_args(&args("dedup --input a.csv --crowd interactive")).is_ok());
         assert!(parse_args(&args("dedup --input a.csv --platform amt --crowd-size 40")).is_ok());
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        match parse_args(&args(
+            "dedup --input a.csv --platform amt --report json --trace t.jsonl --metrics m.json",
+        ))
+        .unwrap()
+        {
+            Command::Dedup { opts, .. } => {
+                assert_eq!(opts.report, ReportFormat::Json);
+                assert_eq!(opts.trace.as_deref(), Some("t.jsonl"));
+                assert_eq!(opts.metrics.as_deref(), Some("m.json"));
+                assert!(!opts.progress);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Defaults: human report, no trace/metrics, no progress line.
+        match parse_args(&args("dedup --input a.csv")).unwrap() {
+            Command::Dedup { opts, .. } => {
+                assert_eq!(opts.report, ReportFormat::Human);
+                assert_eq!(opts.trace, None);
+                assert_eq!(opts.metrics, None);
+                assert!(!opts.progress);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse_args(&args("dedup --input a.csv --report xml")).is_err());
+    }
+
+    #[test]
+    fn progress_requires_spool_backend() {
+        match parse_args(&args("dedup --input a.csv --backend spool --spool /tmp/s --progress yes"))
+            .unwrap()
+        {
+            Command::Dedup { opts, .. } => assert!(opts.progress),
+            other => panic!("wrong command {other:?}"),
+        }
+        let err =
+            parse_args(&args("dedup --input a.csv --platform amt --progress yes")).unwrap_err();
+        assert!(err.contains("--backend spool"), "hint missing from {err:?}");
+        assert!(parse_args(&args("dedup --input a.csv --progress sometimes")).is_err());
     }
 
     #[test]

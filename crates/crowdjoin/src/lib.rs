@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod pipeline;
+pub mod report;
 pub mod runner;
 
 /// The spool-directory external crowd backend (re-export of
@@ -63,6 +64,9 @@ pub use crowdjoin_engine as engine;
 pub use crowdjoin_graph as graph;
 /// The machine matcher (re-export of `crowdjoin-matcher`).
 pub use crowdjoin_matcher as matcher;
+/// The observability layer: tracing, metrics, sinks (re-export of
+/// `crowdjoin-obs`).
+pub use crowdjoin_obs as obs;
 /// Dataset generators (re-export of `crowdjoin-records`).
 pub use crowdjoin_records as records;
 /// The crowd-platform simulator (re-export of `crowdjoin-sim`).
@@ -81,8 +85,8 @@ pub use crowdjoin_core::{
     SortStrategy, WorldEnumeration,
 };
 pub use crowdjoin_engine::{
-    BackendFactory, CrowdBackend, Engine, EngineConfig, EngineReport, ShardContext, ShardReport,
-    SharedGroundTruth, SharedOracle, SimFactory, SyncOracle, TimeSource,
+    BackendFactory, CrowdBackend, Engine, EngineConfig, EngineReport, RoundMetric, ShardContext,
+    ShardMetrics, ShardReport, SharedGroundTruth, SharedOracle, SimFactory, SyncOracle, TimeSource,
 };
 pub use pipeline::{build_task, ground_truth_of, to_candidate_set};
 pub use runner::{

@@ -354,6 +354,8 @@ pub fn run_with_oracle<O: SharedOracle + ?Sized>(
             publish_rounds,
             replayed_answers: 0,
             replayed_cost_cents: 0,
+            rounds: Vec::new(),
+            peak_unresolved: 0,
         }
     });
     EngineReport::from_shards(reports, num_components)
@@ -478,6 +480,8 @@ fn run_shard_on_platform(
         publish_rounds,
         replayed_answers: 0,
         replayed_cost_cents: 0,
+        rounds: Vec::new(),
+        peak_unresolved: 0,
     }
 }
 
@@ -511,6 +515,8 @@ pub fn run_non_transitive_with_oracle<O: SharedOracle + ?Sized>(
             publish_rounds: 1,
             replayed_answers: 0,
             replayed_cost_cents: 0,
+            rounds: Vec::new(),
+            peak_unresolved: 0,
         }
     });
     EngineReport::from_shards(reports, num_components)

@@ -379,8 +379,28 @@ fn worker_loop<F: BackendFactory>(
 
             // Wall-clock backends schedule polls in the future; sleep until
             // the deadline instead of busy-polling. Virtual time returns
-            // immediately — polling is what advances it.
-            ctx.factory.time_source().wait_until(wake);
+            // immediately — polling is what advances it. Waits that really
+            // slept (≥ 1ms of wall time) are traced as scheduling gaps;
+            // virtual-time no-op waits would only be noise.
+            if crowdjoin_obs::enabled() {
+                let start = crowdjoin_obs::recorder::wall_micros();
+                ctx.factory.time_source().wait_until(wake);
+                let dur = crowdjoin_obs::recorder::wall_micros().saturating_sub(start);
+                if dur >= 1000 {
+                    crowdjoin_obs::record(crowdjoin_obs::TraceEvent {
+                        kind: "loop.wait",
+                        cat: "engine",
+                        shard: crowdjoin_obs::NO_SHARD,
+                        tid: crowdjoin_obs::recorder::thread_ordinal(),
+                        wall_us: start,
+                        dur_us: Some(dur),
+                        virt_ms: Some(wake.0),
+                        fields: vec![("slot", crowdjoin_obs::FieldValue::U64(slot as u64))],
+                    });
+                }
+            } else {
+                ctx.factory.time_source().wait_until(wake);
+            }
 
             let mut guard = AdvanceGuard { state, cv, armed: true };
             task.advance(&truth_of, park_on_idle);
@@ -459,6 +479,16 @@ fn reshard<F: BackendFactory>(st: &mut LoopState<F::Backend>, ctx: &LoopCtx<'_, 
     let target = open_pairs.len().div_ceil(min_load.max(1)).clamp(1, ctx.initial_shards);
     let partition = partition_candidates(ctx.num_objects, &open_pairs, target);
     let active_shards = partition.shards.len().max(1);
+
+    if crowdjoin_obs::enabled() {
+        crowdjoin_obs::EventBuilder::new("engine", "engine.reshard", crowdjoin_obs::NO_SHARD)
+            .virt(barrier.0)
+            .field("generation", st.generations)
+            .field("shards", active_shards)
+            .field("open_pairs", open_pairs.len())
+            .field("rounds", barrier_rounds)
+            .emit();
+    }
 
     // The generation record goes to the journal before any merged task can
     // append an answer, so a journal always reads `…gen-N answers,

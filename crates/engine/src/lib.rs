@@ -86,6 +86,6 @@ pub use engine::{
 pub use labeler::ShardLabeler;
 pub use oracle::{SharedGroundTruth, SharedOracle, SyncOracle};
 pub use partition::{partition_candidates, Partition, Shard};
-pub use report::{EngineReport, ShardReport};
+pub use report::{EngineReport, RoundMetric, ShardMetrics, ShardReport};
 pub use scheduler::{effective_threads, run_sharded};
 pub use task::{pair_task_id, task_id_pair, ShardState, ShardTask};

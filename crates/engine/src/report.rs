@@ -1,7 +1,55 @@
-//! Merged outcome of a sharded engine run.
+//! Merged outcome of a sharded engine run, with per-shard and per-round
+//! metric rollups.
 
 use crowdjoin_core::LabelingResult;
 use crowdjoin_sim::{PlatformStats, VirtualTime};
+
+/// One publish round as a shard saw it, recorded at release time. The
+/// cumulative columns (`crowdsourced`, `deduced`, `cost_cents`) reflect
+/// the shard's state **when the round was published** — i.e. before the
+/// round's own answers arrive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundMetric {
+    /// Publish round index on the shard's critical path (1-based;
+    /// re-sharded generations continue their predecessors' count).
+    pub round: usize,
+    /// Pairs published by this release.
+    pub published: usize,
+    /// Cumulative crowdsourced labels when the round went out.
+    pub crowdsourced: usize,
+    /// Cumulative deduced labels when the round went out.
+    pub deduced: usize,
+    /// Cumulative platform spend (cents) when the round went out.
+    pub cost_cents: u64,
+    /// Virtual time of the release.
+    pub at: VirtualTime,
+}
+
+/// Rolled-up per-shard telemetry derived from a [`ShardReport`]: the
+/// paper's money/waste columns plus scheduling depth, in one row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardMetrics {
+    /// Report index of the shard incarnation.
+    pub shard: usize,
+    /// Pairs the crowd answered.
+    pub crowdsourced: usize,
+    /// Pairs deduced for free via transitivity.
+    pub deduced: usize,
+    /// Answers that contradicted an existing deduction.
+    pub conflicts: usize,
+    /// Publish rounds on the shard's critical path.
+    pub publish_rounds: usize,
+    /// Money spent by the shard's platform (cents); 0 for oracle runs.
+    pub spend_cents: u64,
+    /// Fraction of this shard's paid HIT pair slots left empty by partial
+    /// HITs (0 when no platform or no slots).
+    pub waste: f64,
+    /// Highest number of simultaneously unresolved published pairs the
+    /// shard ever had in flight (its peak crowd queue depth).
+    pub peak_unresolved: usize,
+    /// Crowd answers replayed from a journal instead of re-asked.
+    pub replayed_answers: usize,
+}
 
 /// Outcome of one shard's labeling run. `result` is expressed in **global**
 /// object ids (the engine maps back before reporting).
@@ -30,6 +78,40 @@ pub struct ShardReport {
     /// journal at its last replayed record — money the crashed run paid,
     /// not this one.
     pub replayed_cost_cents: u64,
+    /// Per-round telemetry, ascending by round (empty for drivers that do
+    /// not track rounds, e.g. oracle runs).
+    pub rounds: Vec<RoundMetric>,
+    /// Peak simultaneously-unresolved published pairs (crowd queue depth).
+    pub peak_unresolved: usize,
+}
+
+impl ShardReport {
+    /// This shard's rolled-up metric row.
+    #[must_use]
+    pub fn metrics(&self) -> ShardMetrics {
+        let (spend_cents, waste) = match &self.stats {
+            Some(st) => (
+                st.total_cost_cents,
+                if st.pair_slots == 0 {
+                    0.0
+                } else {
+                    1.0 - st.pairs_published as f64 / st.pair_slots as f64
+                },
+            ),
+            None => (0, 0.0),
+        };
+        ShardMetrics {
+            shard: self.shard,
+            crowdsourced: self.result.num_crowdsourced(),
+            deduced: self.result.num_deduced(),
+            conflicts: self.result.num_conflicts(),
+            publish_rounds: self.publish_rounds,
+            spend_cents,
+            waste,
+            peak_unresolved: self.peak_unresolved,
+            replayed_answers: self.replayed_answers,
+        }
+    }
 }
 
 /// The stitched, job-level outcome of a sharded run.
@@ -183,5 +265,123 @@ impl EngineReport {
         } else {
             1.0 - published as f64 / slots as f64
         }
+    }
+
+    /// Rolled-up per-shard metric rows, ascending by shard index.
+    #[must_use]
+    pub fn shard_metrics(&self) -> Vec<ShardMetrics> {
+        self.shards.iter().map(ShardReport::metrics).collect()
+    }
+
+    /// Job-level per-round telemetry: for each publish round on the
+    /// critical path, pairs published that round (summed over shards)
+    /// plus the cumulative crowdsourced/deduced/spend totals as of each
+    /// shard's latest release at or before that round (a shard that
+    /// finished early carries its final values forward). `at` is the
+    /// latest release time of the round. Empty for oracle runs.
+    #[must_use]
+    pub fn round_metrics(&self) -> Vec<RoundMetric> {
+        let last_round =
+            self.shards.iter().filter_map(|s| s.rounds.last()).map(|r| r.round).max().unwrap_or(0);
+        (1..=last_round)
+            .map(|round| {
+                let mut m = RoundMetric { round, ..RoundMetric::default() };
+                for shard in &self.shards {
+                    for r in shard.rounds.iter().filter(|r| r.round == round) {
+                        m.published += r.published;
+                        m.at = m.at.max(r.at);
+                    }
+                    if let Some(r) = shard.rounds.iter().rev().find(|r| r.round <= round) {
+                        m.crowdsourced += r.crowdsourced;
+                        m.deduced += r.deduced;
+                        m.cost_cents += r.cost_cents;
+                    }
+                }
+                m
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdjoin_core::{Label, Pair, Provenance};
+
+    fn shard_report(shard: usize) -> ShardReport {
+        ShardReport {
+            shard,
+            num_objects: 2,
+            num_pairs: 1,
+            num_components: 1,
+            result: LabelingResult::new(),
+            stats: None,
+            completion: VirtualTime::ZERO,
+            publish_rounds: 0,
+            replayed_answers: 0,
+            replayed_cost_cents: 0,
+            rounds: Vec::new(),
+            peak_unresolved: 0,
+        }
+    }
+
+    /// A job resolved entirely by deduction publishes zero pair slots;
+    /// the waste ratio must report 0, never NaN (the satellite bug this
+    /// test pins).
+    #[test]
+    fn waste_is_zero_not_nan_with_zero_published_slots() {
+        let mut all_deduced = shard_report(0);
+        all_deduced.result.record(Pair::new(0, 1), Label::Matching, Provenance::Deduced);
+        all_deduced.stats = Some(PlatformStats::default());
+        let report = EngineReport::from_shards(vec![all_deduced], 1);
+        assert_eq!(report.partial_hit_waste(), 0.0);
+        assert_eq!(report.shard_metrics()[0].waste, 0.0);
+        assert!(!report.partial_hit_waste().is_nan());
+
+        // No platforms at all (oracle run) is equally guarded.
+        let oracle = EngineReport::from_shards(vec![shard_report(0)], 1);
+        assert_eq!(oracle.partial_hit_waste(), 0.0);
+    }
+
+    #[test]
+    fn round_metrics_aggregate_and_carry_forward() {
+        let mut a = shard_report(0);
+        a.rounds = vec![
+            RoundMetric {
+                round: 1,
+                published: 20,
+                cost_cents: 0,
+                at: VirtualTime(10),
+                ..Default::default()
+            },
+            RoundMetric {
+                round: 2,
+                published: 5,
+                crowdsourced: 20,
+                deduced: 3,
+                cost_cents: 120,
+                at: VirtualTime(40),
+            },
+        ];
+        let mut b = shard_report(1);
+        b.rounds = vec![RoundMetric {
+            round: 1,
+            published: 10,
+            cost_cents: 0,
+            at: VirtualTime(25),
+            ..Default::default()
+        }];
+        let report = EngineReport::from_shards(vec![a, b], 2);
+        let rounds = report.round_metrics();
+        assert_eq!(rounds.len(), 2);
+        assert_eq!(rounds[0].published, 30);
+        assert_eq!(rounds[0].at, VirtualTime(25));
+        // Round 2: only shard 0 published, shard 1 carries its round-1
+        // cumulative values forward.
+        assert_eq!(rounds[1].published, 5);
+        assert_eq!(rounds[1].crowdsourced, 20);
+        assert_eq!(rounds[1].deduced, 3);
+        assert_eq!(rounds[1].cost_cents, 120);
+        assert_eq!(rounds[1].at, VirtualTime(40));
     }
 }

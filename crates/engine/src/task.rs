@@ -71,7 +71,7 @@
 use crate::labeler::ShardLabeler;
 use crate::partition::Shard;
 use crate::persist::snapshot_of;
-use crate::report::ShardReport;
+use crate::report::{RoundMetric, ShardReport};
 use crowdjoin_core::{Label, LabelingResult, Pair, Provenance, ScoredPair};
 use crowdjoin_graph::UnionFind;
 use crowdjoin_sim::{CrowdBackend, HitStager, ResolvedTask, TaskSpec, VirtualTime};
@@ -167,6 +167,26 @@ pub struct ShardTask<B: CrowdBackend> {
     /// maximum counts chained generations sequentially, not as parallel
     /// shards.
     base_rounds: usize,
+    /// Per-round telemetry, recorded at each publish release (pure
+    /// bookkeeping over deterministic state — rolls up into
+    /// [`ShardReport::rounds`], never feeds back into decisions).
+    rounds: Vec<RoundMetric>,
+    /// Peak simultaneously-unresolved published pairs.
+    peak_unresolved: usize,
+    /// Global metric handles (`--progress` reads these live).
+    m_answers: std::sync::Arc<crowdjoin_obs::metrics::Counter>,
+    m_queue: std::sync::Arc<crowdjoin_obs::metrics::Gauge>,
+}
+
+/// Human-readable state name for trace events.
+fn state_name(s: ShardState) -> &'static str {
+    match s {
+        ShardState::Publishing => "Publishing",
+        ShardState::AwaitingCrowd => "AwaitingCrowd",
+        ShardState::Deducing => "Deducing",
+        ShardState::Parked => "Parked",
+        ShardState::Done => "Done",
+    }
 }
 
 impl<B: CrowdBackend> ShardTask<B> {
@@ -190,11 +210,12 @@ impl<B: CrowdBackend> ShardTask<B> {
         base_rounds: usize,
     ) -> Self {
         let state = if labeler.is_complete() { ShardState::Done } else { ShardState::Publishing };
+        let shard_tag = report_index as u32;
         Self {
             shard,
             labeler,
             platform,
-            stager: HitStager::new(),
+            stager: HitStager::for_shard(shard_tag),
             ids: FxHashMap::default(),
             instant_decision,
             state,
@@ -207,6 +228,10 @@ impl<B: CrowdBackend> ShardTask<B> {
             first_round: true,
             report_index,
             base_rounds,
+            rounds: Vec::new(),
+            peak_unresolved: 0,
+            m_answers: crowdjoin_obs::counter("engine.answers", shard_tag),
+            m_queue: crowdjoin_obs::gauge("engine.unresolved_pairs", shard_tag),
         }
     }
 
@@ -314,6 +339,52 @@ impl<B: CrowdBackend> ShardTask<B> {
         self.platform.now()
     }
 
+    /// Updates the state, emitting a `task.state` trace event when the
+    /// transition is real and tracing is on (one relaxed load otherwise).
+    fn set_state(&mut self, next: ShardState) {
+        if crowdjoin_obs::enabled() && next != self.state {
+            crowdjoin_obs::EventBuilder::new("engine", "task.state", self.report_index as u32)
+                .virt(self.platform.now().0)
+                .field("from", state_name(self.state))
+                .field("to", state_name(next))
+                .emit();
+        }
+        self.state = next;
+    }
+
+    /// Publishes staged pairs under a `backend.post` span and records the
+    /// round's telemetry when anything went out.
+    fn release_staged(&mut self, flush: bool) {
+        let mut span =
+            crowdjoin_obs::SpanGuard::new("engine", "backend.post", self.report_index as u32)
+                .virt(self.platform.now().0);
+        let published = self.stager.release(&mut self.platform, flush);
+        span.set_field("pairs", published);
+        drop(span);
+        if published > 0 {
+            let round = self.total_rounds();
+            let result = self.labeler.result();
+            let metric = RoundMetric {
+                round,
+                published,
+                crowdsourced: result.num_crowdsourced(),
+                deduced: result.num_deduced(),
+                cost_cents: self.platform.stats().total_cost_cents,
+                at: self.platform.now(),
+            };
+            self.rounds.push(metric);
+        }
+        self.note_queue_depth();
+    }
+
+    /// Tracks the crowd queue depth (peak for the report, gauge for live
+    /// `--progress`).
+    fn note_queue_depth(&mut self) {
+        let depth = self.platform.num_unresolved_pairs();
+        self.peak_unresolved = self.peak_unresolved.max(depth);
+        self.m_queue.set(depth as i64);
+    }
+
     fn stage(&mut self, batch: &[ScoredPair], truth_of: &(dyn Fn(Pair) -> bool + Sync)) {
         let tasks: Vec<TaskSpec> = batch
             .iter()
@@ -353,8 +424,8 @@ impl<B: CrowdBackend> ShardTask<B> {
                         self.labeler.result().num_labeled()
                     );
                     self.first_round = false;
-                    self.stager.release(&mut self.platform, true);
-                    self.state = ShardState::AwaitingCrowd;
+                    self.release_staged(true);
+                    self.set_state(ShardState::AwaitingCrowd);
                     return;
                 }
                 ShardState::AwaitingCrowd => {
@@ -363,20 +434,28 @@ impl<B: CrowdBackend> ShardTask<B> {
                         // verifiable recovery point.
                         self.journal_round_boundary();
                         if self.labeler.is_complete() {
-                            self.state = ShardState::Done;
+                            self.set_state(ShardState::Done);
                         } else if park_on_idle {
-                            self.state = ShardState::Parked;
+                            self.set_state(ShardState::Parked);
                         } else {
-                            self.state = ShardState::Publishing;
+                            self.set_state(ShardState::Publishing);
                             continue;
                         }
                         return;
                     };
+                    let mut poll_span = crowdjoin_obs::SpanGuard::new(
+                        "engine",
+                        "backend.poll",
+                        self.report_index as u32,
+                    )
+                    .virt(until.0);
                     match self.platform.poll_completions(until) {
                         Some((at, resolved)) => {
+                            poll_span.set_field("resolved", resolved.len());
+                            drop(poll_span);
                             self.resolved = resolved;
                             self.resolved_at = at;
-                            self.state = ShardState::Deducing;
+                            self.set_state(ShardState::Deducing);
                         }
                         // Events processed without a resolution; hand
                         // control back so the loop can reschedule fairly.
@@ -394,8 +473,10 @@ impl<B: CrowdBackend> ShardTask<B> {
                         let label = if r.label { Label::Matching } else { Label::NonMatching };
                         self.labeler.submit_answer(pair, label);
                     }
+                    self.m_answers.add(resolved.len() as u64);
+                    self.note_queue_depth();
                     if self.labeler.is_complete() {
-                        self.state = ShardState::Done;
+                        self.set_state(ShardState::Done);
                         return;
                     }
                     // A fully-resolved round with nothing staged or awaiting
@@ -407,7 +488,7 @@ impl<B: CrowdBackend> ShardTask<B> {
                         && self.stager.num_staged() == 0
                         && self.labeler.num_outstanding() == 0
                     {
-                        self.state = ShardState::Parked;
+                        self.set_state(ShardState::Parked);
                         return;
                     }
                     let may_publish =
@@ -418,9 +499,9 @@ impl<B: CrowdBackend> ShardTask<B> {
                         // Flush partial HITs only when the platform would
                         // otherwise go idle waiting for them.
                         let flush = self.platform.num_unresolved_pairs() == 0;
-                        self.stager.release(&mut self.platform, flush);
+                        self.release_staged(flush);
                     }
-                    self.state = ShardState::AwaitingCrowd;
+                    self.set_state(ShardState::AwaitingCrowd);
                     return;
                 }
             }
@@ -442,6 +523,9 @@ impl<B: CrowdBackend> ShardTask<B> {
         if self.journal.is_none() && self.replay.is_empty() {
             return;
         }
+        let _span = crowdjoin_obs::SpanGuard::new("wal", "wal.append", self.report_index as u32)
+            .virt(self.resolved_at.0)
+            .field("answers", resolved.len());
         for r in resolved {
             let global = self.shard.to_global(self.ids[&r.id]);
             let record = AnswerRecord {
@@ -491,6 +575,9 @@ impl<B: CrowdBackend> ShardTask<B> {
         if self.journal.is_none() && self.replay.is_empty() {
             return;
         }
+        // Barrier appends fsync; the span makes that latency visible.
+        let _span = crowdjoin_obs::SpanGuard::new("wal", "wal.barrier", self.report_index as u32)
+            .virt(self.platform.now().0);
         let record = BarrierRecord {
             shard: self.report_index as u32,
             rounds: self.total_rounds() as u32,
@@ -550,6 +637,8 @@ impl<B: CrowdBackend> ShardTask<B> {
             publish_rounds,
             replayed_answers: self.replayed_answers,
             replayed_cost_cents: self.replayed_cost_cents,
+            rounds: self.rounds,
+            peak_unresolved: self.peak_unresolved,
         }
     }
 
@@ -628,6 +717,8 @@ impl<B: CrowdBackend> ShardTask<B> {
                 publish_rounds: self.total_rounds(),
                 replayed_answers: self.replayed_answers,
                 replayed_cost_cents: self.replayed_cost_cents,
+                rounds: self.rounds.clone(),
+                peak_unresolved: self.peak_unresolved,
             },
             open_pairs,
             known,

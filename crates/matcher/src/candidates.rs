@@ -160,14 +160,22 @@ pub fn generate_candidates_prepared(
     config.validate(dataset.table.schema().arity());
     assert_eq!(corpus.num_records(), dataset.len(), "corpus built for a different dataset");
     assert_eq!(index.num_records(), dataset.len(), "index built for a different dataset");
-    let prefix = PrefixIndex::build(
-        corpus,
-        index,
-        config.prefilter_threshold(),
-        config.cosine_weight > 0.0,
-        config.jaccard_weight > 0.0,
-        dataset.split,
-    );
+    let prefix = {
+        let _span = crowdjoin_obs::obs_span!(
+            "matcher",
+            "matcher.prefix",
+            crowdjoin_obs::NO_SHARD,
+            records = dataset.len(),
+        );
+        PrefixIndex::build(
+            corpus,
+            index,
+            config.prefilter_threshold(),
+            config.cosine_weight > 0.0,
+            config.jaccard_weight > 0.0,
+            dataset.split,
+        )
+    };
     let gen = Generator { dataset, config, corpus, index, prefix };
     let probe_count = dataset.split.unwrap_or(dataset.len());
     gen.run(probe_count, config.threads)
@@ -219,11 +227,15 @@ impl Generator<'_> {
         let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         let workers = (if threads == 0 { hw } else { threads }).min(chunks.max(1));
         if workers <= 1 {
+            let mut span =
+                crowdjoin_obs::obs_span!("matcher", "matcher.probe", crowdjoin_obs::NO_SHARD);
             let mut scratch = Scratch::new(n);
             let mut out = Vec::new();
             for a in 0..probe_count as u32 {
                 self.probe(a, &mut scratch, &mut out);
             }
+            span.set_field("records", probe_count);
+            span.set_field("candidates", out.len());
             return out;
         }
 
@@ -236,26 +248,43 @@ impl Generator<'_> {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
+                    // One span per probe worker thread (never per record —
+                    // `probe` is the hot kernel and stays uninstrumented).
+                    let mut span = crowdjoin_obs::obs_span!(
+                        "matcher",
+                        "matcher.probe",
+                        crowdjoin_obs::NO_SHARD
+                    );
+                    let mut claimed = 0usize;
+                    let mut found = 0usize;
                     let mut scratch = Scratch::new(n);
                     loop {
                         let chunk = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if chunk >= chunks {
+                            span.set_field("chunks", claimed);
+                            span.set_field("candidates", found);
                             return;
                         }
+                        claimed += 1;
                         let lo = chunk * CHUNK;
                         let hi = ((chunk + 1) * CHUNK).min(probe_count);
                         let mut out = Vec::new();
                         for a in lo as u32..hi as u32 {
                             self.probe(a, &mut scratch, &mut out);
                         }
+                        found += out.len();
                         results.lock().expect("results mutex poisoned").push((chunk, out));
                     }
                 });
             }
         });
+        let mut span =
+            crowdjoin_obs::obs_span!("matcher", "matcher.merge", crowdjoin_obs::NO_SHARD);
         let mut results = results.into_inner().expect("results mutex poisoned");
         results.sort_unstable_by_key(|&(i, _)| i);
-        results.into_iter().flat_map(|(_, out)| out).collect()
+        let merged: Vec<ScoredCandidate> = results.into_iter().flat_map(|(_, out)| out).collect();
+        span.set_field("candidates", merged.len());
+        merged
     }
 
     /// Probes record `a` against the prefix postings and emits every

@@ -40,6 +40,8 @@ impl TokenizedCorpus {
     /// Tokenizes every field of every record exactly once.
     #[must_use]
     pub fn build(dataset: &Dataset) -> Self {
+        let mut span =
+            crowdjoin_obs::obs_span!("matcher", "matcher.tokenize", crowdjoin_obs::NO_SHARD);
         let arity = dataset.table.schema().arity();
         let n = dataset.len();
         let mut interner = Interner::new();
@@ -65,6 +67,8 @@ impl TokenizedCorpus {
             set_flat.extend_from_slice(&scratch);
             set_bounds.push(u32::try_from(set_flat.len()).expect("corpus overflow"));
         }
+        span.set_field("records", n);
+        span.set_field("vocabulary", interner.len());
         Self { interner, arity, flat, bounds, set_flat, set_bounds }
     }
 

@@ -49,6 +49,12 @@ impl TfIdfIndex {
     /// Panics if `field_weights.len()` differs from the corpus arity.
     #[must_use]
     pub fn from_corpus(corpus: &TokenizedCorpus, field_weights: &[f64]) -> Self {
+        let _span = crowdjoin_obs::obs_span!(
+            "matcher",
+            "matcher.index",
+            crowdjoin_obs::NO_SHARD,
+            records = corpus.num_records(),
+        );
         let arity = corpus.arity();
         assert_eq!(field_weights.len(), arity, "one weight per schema field required");
         let n = corpus.num_records();

@@ -1,0 +1,96 @@
+//! Hand-rolled JSON writer helpers.
+//!
+//! The container this workspace builds in has no crates.io access, so
+//! every JSON producer hand-rolls the small subset it needs. These
+//! helpers are the shared writer side: `crowdjoin-bench` re-exports them
+//! for its benchmark snapshots, the trace sinks render event lines with
+//! them, and the CLI's `--report json` / `--metrics` output goes through
+//! them too. The matching reader lives in `crowdjoin-backend-spool`'s
+//! `json` module.
+
+/// Renders a JSON string literal (the workspace only emits ASCII
+/// identifiers, but quotes and backslashes are escaped defensively).
+#[must_use]
+pub fn js_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders an `f64` with fixed decimals.
+#[must_use]
+pub fn js_f64(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// Renders an optional `f64` (`None` → `null`).
+#[must_use]
+pub fn js_opt_f64(v: Option<f64>, decimals: usize) -> String {
+    v.map_or_else(|| "null".to_string(), |v| js_f64(v, decimals))
+}
+
+/// An object under construction: `key: pre-rendered value` pairs joined
+/// into `{…}`. Values must already be valid JSON (use the `js_*` helpers
+/// for strings and floats).
+#[derive(Debug, Clone, Default)]
+pub struct JsonObject {
+    pairs: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// An empty object.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a field with a pre-rendered JSON value.
+    pub fn field(&mut self, key: &str, rendered: impl Into<String>) -> &mut Self {
+        self.pairs.push((key.to_string(), rendered.into()));
+        self
+    }
+
+    /// Renders `{"k": v, …}` on one line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let body: Vec<String> =
+            self.pairs.iter().map(|(k, v)| format!("{}: {v}", js_str(k))).collect();
+        format!("{{{}}}", body.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(js_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(js_str("line\nbreak"), "\"line\\nbreak\"");
+        assert_eq!(js_str("tab\tchar"), "\"tab\\u0009char\"");
+    }
+
+    #[test]
+    fn numeric_helpers() {
+        assert_eq!(js_f64(1.0 / 3.0, 4), "0.3333");
+        assert_eq!(js_opt_f64(Some(2.5), 1), "2.5");
+        assert_eq!(js_opt_f64(None, 1), "null");
+    }
+
+    #[test]
+    fn object_renders_in_insertion_order() {
+        let mut obj = JsonObject::new();
+        obj.field("b", "1").field("a", js_str("x"));
+        assert_eq!(obj.render(), "{\"b\": 1, \"a\": \"x\"}");
+    }
+}

@@ -1,0 +1,284 @@
+//! Trace sinks: where enabled recordings go.
+//!
+//! * [`JsonlSink`] — one JSON object per line, streamed as events arrive.
+//!   The stable machine-readable format (schema pinned by
+//!   `tests/trace_schema.rs`): every line carries `ts` (µs since the
+//!   trace epoch), `kind`, and `shard`; spans add `dur_us`, simulated
+//!   timelines add `virt_ms`, payloads nest under `fields`.
+//! * [`ChromeTraceSink`] — buffers events and writes a Chrome
+//!   trace-event JSON file on finish, loadable in Perfetto
+//!   (<https://ui.perfetto.dev>) or `chrome://tracing`. Each shard
+//!   becomes a process row ("shard N"), shard-less events go to the
+//!   "job" row, spans render as complete (`"ph": "X"`) slices.
+//! * [`CaptureSink`] — in-memory, for tests.
+
+use crate::event::{FieldValue, TraceEvent, NO_SHARD};
+use crate::json::{js_str, JsonObject};
+use std::collections::BTreeSet;
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// A destination for recorded events. `record` runs under the global
+/// sink lock — keep it cheap (buffered writes, no fsync).
+pub trait TraceSink: Send {
+    /// Consumes one event.
+    fn record(&mut self, event: &TraceEvent);
+
+    /// Flushes and finalizes the output.
+    fn finish(&mut self) -> std::io::Result<()>;
+}
+
+/// Renders a [`FieldValue`] as JSON (non-finite floats become `null` —
+/// the JSON subset has no NaN).
+fn render_field(v: FieldValue) -> String {
+    match v {
+        FieldValue::U64(v) => v.to_string(),
+        FieldValue::I64(v) => v.to_string(),
+        FieldValue::F64(v) if v.is_finite() => format!("{v}"),
+        FieldValue::F64(_) => "null".to_string(),
+        FieldValue::Bool(v) => v.to_string(),
+        FieldValue::Str(s) => js_str(s),
+    }
+}
+
+fn render_fields(fields: &[(&'static str, FieldValue)]) -> String {
+    let mut obj = JsonObject::new();
+    for &(k, v) in fields {
+        obj.field(k, render_field(v));
+    }
+    obj.render()
+}
+
+/// Streaming line-per-event JSON writer. See the module docs for the
+/// line schema.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write + Send> {
+    out: W,
+    /// First write error, reported at finish (recording cannot fail).
+    err: Option<std::io::Error>,
+}
+
+impl JsonlSink<std::io::BufWriter<std::fs::File>> {
+    /// Creates a sink writing to `path` (truncating).
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(Self::new(std::io::BufWriter::new(std::fs::File::create(path)?)))
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps any writer.
+    pub fn new(out: W) -> Self {
+        Self { out, err: None }
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.err.is_some() {
+            return;
+        }
+        let mut line = JsonObject::new();
+        line.field("ts", event.wall_us.to_string());
+        line.field("kind", js_str(event.kind));
+        line.field("shard", event.shard.to_string());
+        line.field("cat", js_str(event.cat));
+        line.field("tid", event.tid.to_string());
+        if let Some(dur) = event.dur_us {
+            line.field("dur_us", dur.to_string());
+        }
+        if let Some(virt) = event.virt_ms {
+            line.field("virt_ms", virt.to_string());
+        }
+        if !event.fields.is_empty() {
+            line.field("fields", render_fields(&event.fields));
+        }
+        if let Err(e) = writeln!(self.out, "{}", line.render()) {
+            self.err = Some(e);
+        }
+    }
+
+    fn finish(&mut self) -> std::io::Result<()> {
+        match self.err.take() {
+            Some(e) => Err(e),
+            None => self.out.flush(),
+        }
+    }
+}
+
+/// Chrome trace-event exporter: buffers rendered events in memory and
+/// writes one `{"traceEvents": […]}` document on finish.
+#[derive(Debug)]
+pub struct ChromeTraceSink<W: Write + Send> {
+    out: W,
+    rows: Vec<String>,
+    /// Shard pids seen, for the process-name metadata rows.
+    pids: BTreeSet<u32>,
+}
+
+/// Chrome pid of a shard row (`pid 0` is the shard-less "job" row).
+fn pid_of(shard: u32) -> u32 {
+    if shard == NO_SHARD {
+        0
+    } else {
+        shard.saturating_add(1)
+    }
+}
+
+impl ChromeTraceSink<std::io::BufWriter<std::fs::File>> {
+    /// Creates a sink writing to `path` (truncating) on finish.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(Self::new(std::io::BufWriter::new(std::fs::File::create(path)?)))
+    }
+}
+
+impl<W: Write + Send> ChromeTraceSink<W> {
+    /// Wraps any writer.
+    pub fn new(out: W) -> Self {
+        Self { out, rows: Vec::new(), pids: BTreeSet::new() }
+    }
+}
+
+impl<W: Write + Send> TraceSink for ChromeTraceSink<W> {
+    fn record(&mut self, event: &TraceEvent) {
+        self.pids.insert(pid_of(event.shard));
+        let mut row = JsonObject::new();
+        row.field("name", js_str(event.kind));
+        row.field("cat", js_str(event.cat));
+        match event.dur_us {
+            Some(dur) => {
+                row.field("ph", js_str("X"));
+                row.field("dur", dur.to_string());
+            }
+            None => {
+                row.field("ph", js_str("i"));
+                row.field("s", js_str("t"));
+            }
+        }
+        row.field("ts", event.wall_us.to_string());
+        row.field("pid", pid_of(event.shard).to_string());
+        row.field("tid", event.tid.to_string());
+        let mut args = event.fields.clone();
+        if let Some(virt) = event.virt_ms {
+            args.push(("virt_ms", FieldValue::U64(virt)));
+        }
+        if !args.is_empty() {
+            row.field("args", render_fields(&args));
+        }
+        self.rows.push(row.render());
+    }
+
+    fn finish(&mut self) -> std::io::Result<()> {
+        // Process-name metadata first, so viewers label the shard rows.
+        let mut rows = Vec::with_capacity(self.rows.len() + self.pids.len());
+        for &pid in &self.pids {
+            let name = if pid == 0 { "job".to_string() } else { format!("shard {}", pid - 1) };
+            let mut meta = JsonObject::new();
+            meta.field("name", js_str("process_name"));
+            meta.field("ph", js_str("M"));
+            meta.field("pid", pid.to_string());
+            meta.field("tid", "0");
+            meta.field("args", format!("{{\"name\": {}}}", js_str(&name)));
+            rows.push(meta.render());
+        }
+        rows.append(&mut self.rows);
+        writeln!(self.out, "{{\"traceEvents\": [")?;
+        for (i, row) in rows.iter().enumerate() {
+            writeln!(self.out, "  {row}{}", if i + 1 == rows.len() { "" } else { "," })?;
+        }
+        writeln!(self.out, "], \"displayTimeUnit\": \"ms\"}}")?;
+        self.out.flush()
+    }
+}
+
+/// Test sink: appends every event to a shared vector.
+#[derive(Debug)]
+pub struct CaptureSink {
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl CaptureSink {
+    /// A capture sink plus the handle its events land in.
+    #[must_use]
+    pub fn new() -> (Self, Arc<Mutex<Vec<TraceEvent>>>) {
+        let events = Arc::new(Mutex::new(Vec::new()));
+        (Self { events: Arc::clone(&events) }, events)
+    }
+}
+
+impl TraceSink for CaptureSink {
+    fn record(&mut self, event: &TraceEvent) {
+        self.events.lock().expect("capture sink poisoned").push(event.clone());
+    }
+
+    fn finish(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_span() -> TraceEvent {
+        TraceEvent {
+            kind: "task.publish",
+            cat: "engine",
+            shard: 2,
+            tid: 1,
+            wall_us: 1000,
+            dur_us: Some(50),
+            virt_ms: Some(90_000),
+            fields: vec![("pairs", FieldValue::U64(40)), ("flush", FieldValue::Bool(true))],
+        }
+    }
+
+    #[test]
+    fn jsonl_line_shape() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&sample_span());
+        sink.record(&TraceEvent { dur_us: None, virt_ms: None, fields: vec![], ..sample_span() });
+        sink.finish().unwrap();
+        let text = String::from_utf8(sink.out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"ts\": 1000, \"kind\": \"task.publish\", \"shard\": 2, \"cat\": \"engine\", \
+             \"tid\": 1, \"dur_us\": 50, \"virt_ms\": 90000, \"fields\": {\"pairs\": 40, \
+             \"flush\": true}}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"ts\": 1000, \"kind\": \"task.publish\", \"shard\": 2, \"cat\": \"engine\", \
+             \"tid\": 1}"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_document_shape() {
+        let mut sink = ChromeTraceSink::new(Vec::new());
+        sink.record(&sample_span());
+        let mut instant = sample_span();
+        instant.shard = NO_SHARD;
+        instant.dur_us = None;
+        sink.record(&instant);
+        sink.finish().unwrap();
+        let text = String::from_utf8(sink.out).unwrap();
+        assert!(text.starts_with("{\"traceEvents\": ["));
+        assert!(text.trim_end().ends_with("], \"displayTimeUnit\": \"ms\"}"));
+        // Metadata rows name both process rows.
+        assert!(text.contains("{\"name\": \"job\"}"));
+        assert!(text.contains("{\"name\": \"shard 2\"}"));
+        // The span renders as a complete slice on pid 3 (shard 2 + 1).
+        assert!(text.contains("\"ph\": \"X\", \"dur\": 50, \"ts\": 1000, \"pid\": 3"));
+        // The instant event renders thread-scoped on the job row.
+        assert!(text.contains("\"ph\": \"i\", \"s\": \"t\", \"ts\": 1000, \"pid\": 0"));
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(render_field(FieldValue::F64(f64::NAN)), "null");
+        assert_eq!(render_field(FieldValue::F64(0.25)), "0.25");
+        assert_eq!(render_field(FieldValue::I64(-3)), "-3");
+    }
+}

@@ -13,11 +13,19 @@ use crate::platform::TaskSpec;
 
 /// Stages publishable tasks and releases them to a [`CrowdBackend`] (the
 /// simulator [`crate::Platform`] or any external backend) in full HITs,
-/// counting publish rounds.
-#[derive(Debug, Clone, Default)]
+/// counting publish rounds. Carries an optional shard tag so its
+/// `stager.publish` trace events attribute to the owning shard.
+#[derive(Debug, Clone)]
 pub struct HitStager {
     staged: Vec<TaskSpec>,
     publish_rounds: usize,
+    shard: u32,
+}
+
+impl Default for HitStager {
+    fn default() -> Self {
+        Self { staged: Vec::new(), publish_rounds: 0, shard: crowdjoin_obs::NO_SHARD }
+    }
 }
 
 impl HitStager {
@@ -25,6 +33,13 @@ impl HitStager {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty stager tagged with the owning shard's report index (trace
+    /// attribution only; publishing behavior is identical).
+    #[must_use]
+    pub fn for_shard(shard: u32) -> Self {
+        Self { shard, ..Self::default() }
     }
 
     /// Adds tasks to the staging buffer (publishes nothing yet).
@@ -46,16 +61,26 @@ impl HitStager {
     }
 
     /// Publishes every staged full HIT; with `flush`, the partial remainder
-    /// too. Uses the backend's configured batch size.
-    pub fn release<B: CrowdBackend + ?Sized>(&mut self, backend: &mut B, flush: bool) {
+    /// too. Uses the backend's configured batch size. Returns the number
+    /// of pairs published (0 when nothing was released).
+    pub fn release<B: CrowdBackend + ?Sized>(&mut self, backend: &mut B, flush: bool) -> usize {
         let batch_size = backend.batch_size();
         let full = (self.staged.len() / batch_size) * batch_size;
         let take = if flush { self.staged.len() } else { full };
         if take > 0 {
             let tasks: Vec<TaskSpec> = self.staged.drain(..take).collect();
             self.publish_rounds += 1;
+            if crowdjoin_obs::enabled() {
+                crowdjoin_obs::EventBuilder::new("sim", "stager.publish", self.shard)
+                    .virt(backend.now().0)
+                    .field("pairs", take)
+                    .field("round", self.publish_rounds)
+                    .field("flush", flush)
+                    .emit();
+            }
             backend.post_hits(tasks);
         }
+        take
     }
 }
 
