@@ -5,17 +5,20 @@
 //! pairwise scan.
 //!
 //! Alongside the criterion arms, running this bench writes
-//! `BENCH_matcher.json` (schema `crowdjoin-bench-matcher/1`) with the
-//! measured product workloads at 5k, 50k, and 100k records so the matcher's
-//! perf trajectory is tracked across PRs — the same contract as
-//! `BENCH_engine.json`.
+//! `BENCH_matcher.json` (schema `crowdjoin-bench-matcher/2`) with the
+//! measured product workloads at 5k through 1M records — plus a MinHash/LSH
+//! arm with its measured recall — so the matcher's perf trajectory is
+//! tracked across PRs, the same contract as `BENCH_engine.json`. Each arm
+//! records the core count it ran on, and `positional_filter_speedup` pins
+//! the 100k @ 0.3 arm against that arm's committed pre-positional-filter
+//! wall time.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use crowdjoin_bench::json::{js_f64, js_str, BenchJson};
 use crowdjoin_bench::measure;
 use crowdjoin_matcher::{
-    generate_candidates, generate_candidates_bruteforce, jaccard, tokenize_words, MatcherConfig,
-    TfIdfIndex,
+    generate_candidates, generate_candidates_bruteforce, jaccard, recall_of, tokenize_words,
+    MatcherConfig, MatcherStrategy, TfIdfIndex,
 };
 use crowdjoin_records::{
     generate_paper, generate_product, ClusterSpec, Dataset, PaperGenConfig, PerturbConfig,
@@ -104,7 +107,7 @@ fn bench_candidate_gen(c: &mut Criterion) {
 }
 
 /// The 5k-record product workload `BENCH_engine.json` also uses, plus the
-/// scaled 50k- and 100k-record workloads.
+/// scaled workloads (50k up through 1M records).
 fn product_dataset(per_side: usize) -> Dataset {
     if per_side == 2500 {
         // The exact workload BENCH_engine.json measures, shared via the lib.
@@ -113,6 +116,12 @@ fn product_dataset(per_side: usize) -> Dataset {
         generate_product(&ProductGenConfig::scaled(per_side))
     }
 }
+
+/// The 100k @ 0.3 arm's committed wall time from the PR that introduced
+/// the large arms (token-interned prefix filter, before the positional and
+/// length filters landed). `positional_filter_speedup` in the emitted JSON
+/// is the same arm's current wall time measured against this constant.
+const PRE_POSITIONAL_100K_MS: f64 = 32_218.085;
 
 /// Writes `BENCH_matcher.json`. Override the output path with
 /// `CROWDJOIN_BENCH_MATCHER_JSON`.
@@ -123,6 +132,13 @@ fn emit_machine_readable() {
         floor: f64,
         wall_ms: f64,
         candidates: usize,
+        recall: Option<f64>,
+    }
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    if cores == 1 {
+        // Wall times below are not comparable to multi-core baselines;
+        // leave an explicit marker in the run log next to the JSON note.
+        println!("note: single-core run — arm wall times reflect 1 worker");
     }
     let mut arms: Vec<Arm> = Vec::new();
 
@@ -138,6 +154,7 @@ fn emit_machine_readable() {
         floor: 0.05,
         wall_ms: legacy_ms,
         candidates: legacy.len(),
+        recall: None,
     });
     let (filtered_ms, filtered) = measure(5, || generate_candidates(&ds5k, &cfg));
     assert_eq!(
@@ -154,6 +171,7 @@ fn emit_machine_readable() {
         floor: 0.05,
         wall_ms: filtered_ms,
         candidates: filtered.len(),
+        recall: None,
     });
     let speedup = legacy_ms / filtered_ms;
     let cfg03 = product_matcher(0.3);
@@ -164,37 +182,92 @@ fn emit_machine_readable() {
         floor: 0.3,
         wall_ms: ms,
         candidates: out.len(),
+        recall: None,
     });
 
     // Scale arms: 50k and 100k records at the pipeline threshold. (The
     // unfiltered 0.05 floor enumerates every token-sharing pair — ~10⁹
     // scorings at 100k — which is exactly the regime the prefix filter
-    // exists to avoid, so the large arms run at 0.3.)
+    // exists to avoid, so the large arms run at 0.3.) The 100k arm doubles
+    // as the positional-filter yardstick: its wall time is pinned against
+    // the committed pre-positional baseline.
+    let mut ms_100k = f64::NAN;
     for (per_side, samples) in [(25_000usize, 3), (50_000, 1)] {
         let ds = product_dataset(per_side);
         let (ms, out) = measure(samples, || generate_candidates(&ds, &cfg03));
+        if per_side == 50_000 {
+            ms_100k = ms;
+        }
         arms.push(Arm {
             name: "filtered",
             records: ds.len(),
             floor: 0.3,
             wall_ms: ms,
             candidates: out.len(),
+            recall: None,
+        });
+    }
+    let positional_speedup = PRE_POSITIONAL_100K_MS / ms_100k;
+
+    // Very large arms: 500k and 1M records. Candidate volume at 0.3 grows
+    // roughly with n^1.9 on this workload (~1.2M pairs at 100k), so the
+    // big arms raise the floor — 0.4 at 500k, 0.5 at 1M — which is also
+    // the regime a 1M-record crowdsourced join would actually run at (the
+    // crowd budget, not the matcher, is the binding constraint).
+    for (per_side, floor) in [(250_000usize, 0.4), (500_000, 0.5)] {
+        let ds = product_dataset(per_side);
+        let cfg_big = product_matcher(floor);
+        let (ms, out) = measure(1, || generate_candidates(&ds, &cfg_big));
+        arms.push(Arm {
+            name: "filtered",
+            records: ds.len(),
+            floor,
+            wall_ms: ms,
+            candidates: out.len(),
+            recall: None,
         });
     }
 
-    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    let mut json = BenchJson::new("crowdjoin-bench-matcher/1");
+    // Low-floor LSH arm: same 100k @ 0.3 workload as the exact yardstick
+    // arm, so wall times compare directly; recall is measured against the
+    // exact run (deterministic — fixed seeds and hash family).
+    {
+        let ds = product_dataset(50_000);
+        let exact = generate_candidates(&ds, &cfg03);
+        let cfg_lsh = MatcherConfig {
+            strategy: MatcherStrategy::Lsh { bands: 16, rows: 4 },
+            ..cfg03.clone()
+        };
+        let (ms, out) = measure(1, || generate_candidates(&ds, &cfg_lsh));
+        arms.push(Arm {
+            name: "lsh_16x4",
+            records: ds.len(),
+            floor: 0.3,
+            wall_ms: ms,
+            candidates: out.len(),
+            recall: Some(recall_of(&out, &exact)),
+        });
+    }
+
+    let mut json = BenchJson::new("crowdjoin-bench-matcher/2");
     json.field("cores", cores.to_string());
     json.field("workload", js_str("product (Abt-Buy-shaped cross join, name+price)"));
     json.field("speedup_filtered_vs_legacy_5k", js_f64(speedup, 2));
+    json.field("positional_filter_speedup", js_f64(positional_speedup, 2));
+    json.field("positional_baseline_100k_ms", js_f64(PRE_POSITIONAL_100K_MS, 3));
     for arm in &arms {
-        json.arm(vec![
+        let mut fields = vec![
             ("name", js_str(arm.name)),
             ("records", arm.records.to_string()),
             ("min_likelihood", js_f64(arm.floor, 2)),
             ("wall_ms", js_f64(arm.wall_ms, 3)),
             ("candidates", arm.candidates.to_string()),
-        ]);
+            ("cores", cores.to_string()),
+        ];
+        if let Some(recall) = arm.recall {
+            fields.push(("recall", js_f64(recall, 4)));
+        }
+        json.arm(fields);
     }
     let path = json.write(
         "CROWDJOIN_BENCH_MATCHER_JSON",
@@ -202,6 +275,10 @@ fn emit_machine_readable() {
     );
     println!("\nmachine-readable results written to {path}");
     println!("filtered vs legacy on the 5k workload: {speedup:.2}x");
+    println!(
+        "positional+length filter on the 100k @ 0.3 arm: {positional_speedup:.2}x vs the \
+         committed {PRE_POSITIONAL_100K_MS:.0} ms baseline"
+    );
 }
 
 criterion_group!(benches, bench_candidate_gen);

@@ -607,18 +607,14 @@ fn run_join(dataset: &Dataset, opts: &JoinOpts) -> Result<(), String> {
     let mut reporter = Reporter::new(opts.report);
 
     let arity = dataset.table.schema().arity();
-    // The matcher stage runs in explicit phases so `--timings` can report
-    // where wall time goes on large inputs.
+    // The matcher stage runs in explicit phases; each library stage
+    // publishes its own wall time into the metrics registry
+    // (`matcher.*.us` counters), which `--timings` reads back at the end —
+    // no CLI-side stopwatches for the matcher phases.
     let matcher_cfg = MatcherConfig::for_arity(arity);
-    let clock = std::time::Instant::now();
     let corpus = TokenizedCorpus::build(dataset);
-    let t_tokenize = clock.elapsed();
-    let clock = std::time::Instant::now();
     let tfidf = TfIdfIndex::from_corpus(&corpus, &matcher_cfg.field_weights);
-    let t_index = clock.elapsed();
-    let clock = std::time::Instant::now();
     let candidates_raw = generate_candidates_prepared(dataset, &corpus, &tfidf, &matcher_cfg);
-    let t_candidates = clock.elapsed();
     let candidates = to_candidate_set(dataset, &candidates_raw).above_threshold(opts.threshold);
     reporter.candidates(dataset.len(), candidates.len(), opts.threshold);
     let clock = std::time::Instant::now();
@@ -680,15 +676,13 @@ fn run_join(dataset: &Dataset, opts: &JoinOpts) -> Result<(), String> {
         reporter.engine_oracle(&report);
         report.result
     };
-    let t_join = clock.elapsed();
+    // The labeling stage is the CLI's own phase (the library stages above
+    // publish theirs); same registry, same read-back path.
+    crowdjoin::obs::counter("join.label.us", crowdjoin::obs::NO_SHARD)
+        .add(clock.elapsed().as_micros() as u64);
     reporter.labeled(&result);
     if opts.timings {
-        reporter.timings(&MatcherTimings {
-            tokenize: t_tokenize,
-            index: t_index,
-            candidates: t_candidates,
-            join: t_join,
-        });
+        reporter.timings(&MatcherTimings::from_metrics());
     }
 
     let likelihood_of: FxHashMap<Pair, f64> =

@@ -71,6 +71,37 @@ pub struct MatcherTimings {
     pub join: Duration,
 }
 
+impl MatcherTimings {
+    /// Reads the phase breakdown back from the always-on metrics registry.
+    ///
+    /// The matcher library publishes its own stage timers as µs counters
+    /// (`matcher.tokenize.us`, `matcher.index.us`, `matcher.candidates.us`)
+    /// and the CLI publishes `join.label.us` around the labeling run, so
+    /// `--timings` no longer needs its own `Instant` bookkeeping — one
+    /// registry read after the job replaces four ad-hoc stopwatch sites.
+    /// Counters accumulate, so callers should `reset_metrics()` at job
+    /// start (the CLI already does).
+    #[must_use]
+    pub fn from_metrics() -> Self {
+        let mut t = Self::default();
+        for snap in crowdjoin_obs::snapshot_metrics() {
+            if snap.shard != NO_SHARD {
+                continue;
+            }
+            let MetricValue::Counter(us) = snap.value else { continue };
+            let d = Duration::from_micros(us);
+            match snap.name {
+                "matcher.tokenize.us" => t.tokenize = d,
+                "matcher.index.us" => t.index = d,
+                "matcher.candidates.us" => t.candidates = d,
+                "join.label.us" => t.join = d,
+                _ => {}
+            }
+        }
+        t
+    }
+}
+
 fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
@@ -450,6 +481,21 @@ mod tests {
         assert!(doc.contains("\"critical_path_rounds\": 2"), "{doc}");
         assert!(doc.contains("\"round_metrics\": [{\"round\": 1, \"published\": 2"), "{doc}");
         assert!(doc.ends_with("}\n"), "{doc}");
+    }
+
+    #[test]
+    fn timings_read_back_from_the_registry() {
+        crowdjoin_obs::reset_metrics();
+        crowdjoin_obs::counter("matcher.tokenize.us", NO_SHARD).add(1_500);
+        crowdjoin_obs::counter("matcher.index.us", NO_SHARD).add(2_500);
+        crowdjoin_obs::counter("matcher.candidates.us", NO_SHARD).add(10_000);
+        crowdjoin_obs::counter("join.label.us", NO_SHARD).add(42);
+        let t = MatcherTimings::from_metrics();
+        assert_eq!(t.tokenize, Duration::from_micros(1_500));
+        assert_eq!(t.index, Duration::from_micros(2_500));
+        assert_eq!(t.candidates, Duration::from_micros(10_000));
+        assert_eq!(t.join, Duration::from_micros(42));
+        crowdjoin_obs::reset_metrics();
     }
 
     #[test]

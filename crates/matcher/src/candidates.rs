@@ -9,15 +9,18 @@
 //!
 //! Two implementations are provided:
 //!
-//! * [`generate_candidates`] — the prefix-filtered similarity join: the
-//!   dataset is tokenized **once** into interned `u32` tokens (shared by the
-//!   tf-idf and Jaccard paths), each record probes prefix-filtered posting
-//!   lists (see [`crate::prefix`] for the filter-safety argument), touched
-//!   pairs accumulate into a dense scratch array (touched-list reset, no
+//! * [`generate_candidates`] — the prefix/positional/length-filtered
+//!   similarity join: the dataset is tokenized **once** into interned `u32`
+//!   tokens (shared by the tf-idf and Jaccard paths), each record probes
+//!   arena-backed CSR posting lists (see [`crate::prefix`] for the
+//!   filter-safety argument covering all three filters), touched pairs
+//!   accumulate into a dense scratch array (touched-list reset, no
 //!   per-record hashing), and probing parallelizes across record ranges.
 //!   Output is exactly every pair that shares ≥ 1 token and clears
 //!   `min_likelihood`, deterministically sorted by `(a, b)` regardless of
-//!   thread count;
+//!   thread count. With [`MatcherStrategy::Lsh`] the same entry point
+//!   instead runs the approximate MinHash/LSH banding join
+//!   ([`crate::lsh`]);
 //! * [`generate_candidates_bruteforce`] — full pairwise scan, the
 //!   correctness oracle: the filtered path returns the bit-identical
 //!   candidate set above the floor (property-tested in
@@ -25,7 +28,7 @@
 
 use crate::corpus::TokenizedCorpus;
 use crate::fields::ExtraMeasure;
-use crate::prefix::{PrefixIndex, BOUND_SLACK};
+use crate::prefix::{length_filtered, PrefixIndex, BOUND_SLACK};
 use crate::similarity::jaccard;
 use crate::tfidf::TfIdfIndex;
 use crowdjoin_records::Dataset;
@@ -39,6 +42,30 @@ pub struct ScoredCandidate {
     pub b: u32,
     /// Blended likelihood of matching, in `[0, 1]`.
     pub likelihood: f64,
+}
+
+/// How candidate pairs are discovered.
+///
+/// [`MatcherStrategy::Exact`] is the default and the only *lossless*
+/// strategy: its output is bit-identical to the brute-force oracle
+/// (property-pinned). [`MatcherStrategy::Lsh`] trades recall for speed in
+/// the low-floor regime where prefix filtering degenerates — see
+/// [`crate::lsh`] for the banding math and the measured-recall contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatcherStrategy {
+    /// The prefix/positional/length-filtered similarity join; lossless.
+    #[default]
+    Exact,
+    /// MinHash/LSH banding: `bands × rows` hash functions, one bucket join
+    /// per band, exact re-scoring of colliding pairs. **Approximate** —
+    /// every emitted pair is exactly scored, but pairs can be *missed*;
+    /// recall is measured, not guaranteed.
+    Lsh {
+        /// Number of bands (each band hashed to a bucket key).
+        bands: usize,
+        /// MinHash rows per band.
+        rows: usize,
+    },
 }
 
 /// Matcher configuration.
@@ -62,6 +89,9 @@ pub struct MatcherConfig {
     /// Worker threads for candidate generation: 0 = one per available core,
     /// 1 = sequential, N = at most N. Output is identical for every value.
     pub threads: usize,
+    /// Candidate discovery strategy (exact prefix-filtered join by
+    /// default; opt-in MinHash/LSH for the low-floor regime).
+    pub strategy: MatcherStrategy,
 }
 
 impl MatcherConfig {
@@ -77,10 +107,11 @@ impl MatcherConfig {
             field_weights: vec![1.0; arity],
             extra_measures: Vec::new(),
             threads: 0,
+            strategy: MatcherStrategy::Exact,
         }
     }
 
-    fn validate(&self, arity: usize) {
+    pub(crate) fn validate(&self, arity: usize) {
         assert!(
             self.cosine_weight >= 0.0 && self.jaccard_weight >= 0.0,
             "blend weights must be non-negative"
@@ -91,6 +122,9 @@ impl MatcherConfig {
         }
         assert!(self.total_weight() > 0.0, "at least one blend weight must be positive");
         assert!((0.0..=1.0).contains(&self.min_likelihood), "min_likelihood must be in [0,1]");
+        if let MatcherStrategy::Lsh { bands, rows } = self.strategy {
+            assert!(bands >= 1 && rows >= 1, "LSH needs at least one band and one row");
+        }
     }
 
     fn total_weight(&self) -> f64 {
@@ -99,7 +133,7 @@ impl MatcherConfig {
             + self.extra_measures.iter().map(|em| em.weight).sum::<f64>()
     }
 
-    fn blend(&self, dataset: &Dataset, a: u32, b: u32, cosine: f64, jac: f64) -> f64 {
+    pub(crate) fn blend(&self, dataset: &Dataset, a: u32, b: u32, cosine: f64, jac: f64) -> f64 {
         let mut acc = self.cosine_weight * cosine + self.jaccard_weight * jac;
         for em in &self.extra_measures {
             let va = dataset.table.record(a as usize).field(em.field);
@@ -140,16 +174,31 @@ pub fn generate_candidates(dataset: &Dataset, config: &MatcherConfig) -> Vec<Sco
     config.validate(dataset.table.schema().arity());
     let corpus = TokenizedCorpus::build(dataset);
     let index = TfIdfIndex::from_corpus(&corpus, &config.field_weights);
-    generate_candidates_prepared(dataset, &corpus, &index, config)
+    match config.strategy {
+        MatcherStrategy::Exact => generate_candidates_prepared(dataset, &corpus, &index, config),
+        MatcherStrategy::Lsh { .. } => {
+            crate::lsh::generate_candidates_lsh(dataset, &corpus, &index, config)
+        }
+    }
 }
 
 /// The probing stage of [`generate_candidates`], over an already-built
-/// corpus and tf-idf index.
+/// corpus and tf-idf index. This is the staged **exact** path: callers
+/// reaching for it ask for lossless, bit-identical-to-brute-force
+/// semantics, so an approximate [`MatcherStrategy::Lsh`] config is
+/// rejected rather than silently honored (route through
+/// [`generate_candidates`] or [`crate::lsh::generate_candidates_lsh`]
+/// instead).
+///
+/// Stage wall time lands in the always-on metrics registry as the
+/// `matcher.candidates.us` counter (plus `matcher.prefix.us` for the
+/// prefix-index build) — the `--timings` breakdown reads those.
 ///
 /// # Panics
 ///
-/// Panics if the corpus or index do not match the dataset, or if
-/// `config.field_weights` does not match the schema arity.
+/// Panics if the corpus or index do not match the dataset, if
+/// `config.field_weights` does not match the schema arity, or if
+/// `config.strategy` is not [`MatcherStrategy::Exact`].
 #[must_use]
 pub fn generate_candidates_prepared(
     dataset: &Dataset,
@@ -158,8 +207,15 @@ pub fn generate_candidates_prepared(
     config: &MatcherConfig,
 ) -> Vec<ScoredCandidate> {
     config.validate(dataset.table.schema().arity());
+    assert_eq!(
+        config.strategy,
+        MatcherStrategy::Exact,
+        "generate_candidates_prepared is the exact (lossless) path; \
+         use generate_candidates_lsh for the approximate LSH strategy"
+    );
     assert_eq!(corpus.num_records(), dataset.len(), "corpus built for a different dataset");
     assert_eq!(index.num_records(), dataset.len(), "index built for a different dataset");
+    let stage_clock = std::time::Instant::now();
     let prefix = {
         let _span = crowdjoin_obs::obs_span!(
             "matcher",
@@ -167,18 +223,25 @@ pub fn generate_candidates_prepared(
             crowdjoin_obs::NO_SHARD,
             records = dataset.len(),
         );
-        PrefixIndex::build(
+        let clock = std::time::Instant::now();
+        let prefix = PrefixIndex::build(
             corpus,
             index,
             config.prefilter_threshold(),
             config.cosine_weight > 0.0,
             config.jaccard_weight > 0.0,
             dataset.split,
-        )
+        );
+        crowdjoin_obs::counter("matcher.prefix.us", crowdjoin_obs::NO_SHARD)
+            .add(clock.elapsed().as_micros() as u64);
+        prefix
     };
     let gen = Generator { dataset, config, corpus, index, prefix };
     let probe_count = dataset.split.unwrap_or(dataset.len());
-    gen.run(probe_count, config.threads)
+    let out = gen.run(probe_count, config.threads);
+    crowdjoin_obs::counter("matcher.candidates.us", crowdjoin_obs::NO_SHARD)
+        .add(stage_clock.elapsed().as_micros() as u64);
+    out
 }
 
 /// The probing kernel plus everything it scores against.
@@ -191,13 +254,16 @@ struct Generator<'a> {
 }
 
 /// Dense per-worker scratch: `stamp[b] == epoch` marks `b` as touched by the
-/// current probe, `acc[b]` accumulates its partial cosine and `cnt[b]` its
-/// token-overlap count. Reset is O(1) per probe (bump the epoch); only
-/// touched entries are ever visited.
+/// current probe, `acc[b]` accumulates its partial cosine, `cnt[b]` its
+/// token-overlap count, and `pos[b]` the number of probe tokens consumed
+/// through the last counted Jaccard match (the positional filter's
+/// cursor). Reset is O(1) per probe (bump the epoch); only touched entries
+/// are ever visited.
 struct Scratch {
     stamp: Vec<u32>,
     acc: Vec<f64>,
     cnt: Vec<u32>,
+    pos: Vec<u32>,
     touched: Vec<u32>,
     epoch: u32,
 }
@@ -208,8 +274,23 @@ impl Scratch {
             stamp: vec![0; n],
             acc: vec![0.0; n],
             cnt: vec![0; n],
+            pos: vec![0; n],
             touched: Vec::new(),
             epoch: 0,
+        }
+    }
+
+    /// First touch of record `b` in this probe's epoch: zero its
+    /// accumulators and put it on the touched list.
+    #[inline]
+    fn touch(&mut self, b: u32, epoch: u32) {
+        let bi = b as usize;
+        if self.stamp[bi] != epoch {
+            self.stamp[bi] = epoch;
+            self.acc[bi] = 0.0;
+            self.cnt[bi] = 0;
+            self.pos[bi] = 0;
+            self.touched.push(b);
         }
     }
 }
@@ -299,37 +380,51 @@ impl Generator<'_> {
 
         if self.prefix.cos_active {
             for &(token, wa) in self.index.vector(a) {
-                let postings = &self.prefix.cos_postings[token as usize];
+                let postings = self.prefix.cos_postings(token);
                 let lo = if cross { 0 } else { postings.partition_point(|&(id, _)| id <= a) };
                 for &(b, wb) in &postings[lo..] {
-                    let bi = b as usize;
-                    if s.stamp[bi] != epoch {
-                        s.stamp[bi] = epoch;
-                        s.acc[bi] = 0.0;
-                        s.cnt[bi] = 0;
-                        s.touched.push(b);
-                    }
-                    s.acc[bi] += wa as f64 * wb as f64;
+                    s.touch(b, epoch);
+                    s.acc[b as usize] += wa as f64 * wb as f64;
                 }
             }
         }
-        for &token in self.corpus.token_set(a as usize) {
-            let postings = &self.prefix.jac_postings[token as usize];
-            let lo = if cross { 0 } else { postings.partition_point(|&id| id <= a) };
-            for &b in &postings[lo..] {
-                let bi = b as usize;
-                if s.stamp[bi] != epoch {
-                    s.stamp[bi] = epoch;
-                    s.acc[bi] = 0.0;
-                    s.cnt[bi] = 0;
-                    s.touched.push(b);
+        let set_a = self.corpus.token_set(a as usize);
+        if self.prefix.jac_positional {
+            // Positional scan: the probe walks its full token set in global
+            // rank order against the prefix-only postings. `pos[b]` after
+            // the scan points just past the highest-ranked counted match —
+            // everything uncounted must sit after it. The length filter
+            // skips entries before they ever touch scratch; its predicate
+            // depends only on the two set sizes, so the verifier can
+            // re-derive exactly which pairs were skipped.
+            let la = set_a.len();
+            let t_len = self.prefix.t_len;
+            let probe = self.prefix.probe_tokens(a);
+            for (i, &token) in probe.iter().enumerate() {
+                let postings = self.prefix.jac_postings(token);
+                let lo = if cross { 0 } else { postings.partition_point(|&(id, _)| id <= a) };
+                for &(b, lb) in &postings[lo..] {
+                    if length_filtered(t_len, la, lb as usize) {
+                        continue;
+                    }
+                    s.touch(b, epoch);
+                    let bi = b as usize;
+                    s.cnt[bi] += 1;
+                    s.pos[bi] = (i + 1) as u32;
                 }
-                s.cnt[bi] += 1;
+            }
+        } else {
+            for &token in set_a {
+                let postings = self.prefix.jac_postings(token);
+                let lo = if cross { 0 } else { postings.partition_point(|&(id, _)| id <= a) };
+                for &(b, _) in &postings[lo..] {
+                    s.touch(b, epoch);
+                    s.cnt[b as usize] += 1;
+                }
             }
         }
 
         let emit_start = out.len();
-        let set_a = self.corpus.token_set(a as usize);
         let min_l = self.config.min_likelihood;
         // Bound checks compare blend *numerators* against this floor
         // (avoiding a division per touched pair): a real numerator below
@@ -338,20 +433,29 @@ impl Generator<'_> {
         let wj = self.config.jaccard_weight;
         let extras_sum: f64 = self.config.extra_measures.iter().map(|em| em.weight).sum();
         let numer_floor = min_l * self.config.total_weight() - BOUND_SLACK;
+        let vec_a = self.index.vector(a);
         for &b in &s.touched {
             let bi = b as usize;
             let set_b = self.corpus.token_set(bi);
-            // Size + overlap filter: jac <= shared_ub / (|a|+|b|-shared_ub),
-            // where the true intersection is at most the counted indexed
-            // overlap plus b's unindexed tokens, and never more than the
-            // smaller set. Touched records share a token, so neither set is
-            // empty.
+            // Size + overlap + positional filter: jac <= shared_ub /
+            // (|a|+|b|-shared_ub), where the true intersection is at most
+            // the counted overlap plus the *positionally possible*
+            // uncounted remainder — min(both unwalked suffixes combined,
+            // probe tokens after the last counted match) — and never more
+            // than the smaller set. Touched records share a token, so
+            // neither set is empty. A length-filtered pair's counter is
+            // incomplete (its postings were skipped), so it falls back to
+            // the size-only bound; it can only qualify through cosine
+            // anyway.
             let min_len = set_a.len().min(set_b.len());
             let jac_cut = self.prefix.jac_cut[bi];
-            let shared_ub = if jac_cut == u32::MAX {
+            let len_cut = self.prefix.jac_positional
+                && length_filtered(self.prefix.t_len, set_a.len(), set_b.len());
+            let shared_ub = if jac_cut == u32::MAX || len_cut {
                 min_len
             } else {
-                ((s.cnt[bi] + jac_cut) as usize).min(min_len)
+                let remaining = jac_cut.min(set_a.len() as u32 - s.pos[bi]);
+                ((s.cnt[bi] + remaining) as usize).min(min_len)
             };
             let jac_ub = shared_ub as f64 / (set_a.len() + set_b.len() - shared_ub) as f64;
             let suffix = self.prefix.cos_suffix_bound[bi];
@@ -371,19 +475,47 @@ impl Generator<'_> {
             // accumulator received exactly the shared-token products in
             // ascending token-id order — the same f64 operations as the
             // merge in `TfIdfIndex::cosine` — so `acc` IS the merge cosine.
+            // When a tail remains, complete the dot product against b's few
+            // unindexed entries: if none is shared with `a`, the merge
+            // would add nothing (adding an exact ±0.0 product never changes
+            // the sum's bits) and `acc` is again the merge cosine verbatim;
+            // otherwise `acc + Σ shared-tail products` nails the true
+            // cosine to within summation-order rounding (≪ 1e-9), and the
+            // slacked bound prunes almost every pair the full merge would
+            // have rejected.
             let cos = if self.prefix.cos_active && suffix == 0.0 {
                 s.acc[bi].clamp(0.0, 1.0)
+            } else if self.prefix.cos_active {
+                let mut extra = 0.0f64;
+                let mut shared_tail = false;
+                for &(tok, wb) in self.prefix.cos_tail(b) {
+                    if let Ok(k) = vec_a.binary_search_by_key(&tok, |e| e.0) {
+                        shared_tail = true;
+                        extra += vec_a[k].1 as f64 * wb as f64;
+                    }
+                }
+                if !shared_tail {
+                    s.acc[bi].clamp(0.0, 1.0)
+                } else {
+                    let refined = (s.acc[bi] + extra + BOUND_SLACK).clamp(0.0, 1.0);
+                    if wc * refined + wj * jac_ub + extras_sum < numer_floor {
+                        continue;
+                    }
+                    self.index.cosine(a, b)
+                }
             } else {
                 self.index.cosine(a, b)
             };
             if wc * cos + wj * jac_ub + extras_sum < numer_floor {
                 continue;
             }
-            // Exact Jaccard. When b's whole token set is indexed, the
-            // overlap counter is the exact intersection size and the
-            // formula below is `similarity::jaccard` verbatim; otherwise
-            // fall back to the merge join.
-            let jac = if jac_cut == 0 {
+            // Exact Jaccard. When b's whole token set is indexed, a's whole
+            // token set is walked, and the length filter did not skip this
+            // pair's postings, the overlap counter is the exact
+            // intersection size and the formula below is
+            // `similarity::jaccard` verbatim; otherwise fall back to the
+            // merge join.
+            let jac = if jac_cut == 0 && !len_cut {
                 let shared = s.cnt[bi] as usize;
                 shared as f64 / (set_a.len() + set_b.len() - shared) as f64
             } else {
@@ -766,7 +898,58 @@ mod tests {
             field_weights: vec![1.0],
             extra_measures: Vec::new(),
             threads: 0,
+            strategy: MatcherStrategy::Exact,
         };
         let _ = generate_candidates(&ds, &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one band")]
+    fn degenerate_lsh_rejected() {
+        let ds = dataset(&["a"], None);
+        let cfg = MatcherConfig {
+            strategy: MatcherStrategy::Lsh { bands: 0, rows: 4 },
+            ..MatcherConfig::for_arity(1)
+        };
+        let _ = generate_candidates(&ds, &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "exact (lossless) path")]
+    fn prepared_path_rejects_lsh_strategy() {
+        let ds = dataset(&["a b", "a c"], None);
+        let cfg = MatcherConfig {
+            strategy: MatcherStrategy::Lsh { bands: 4, rows: 2 },
+            ..MatcherConfig::for_arity(1)
+        };
+        let corpus = TokenizedCorpus::build(&ds);
+        let index = TfIdfIndex::from_corpus(&corpus, &cfg.field_weights);
+        let _ = generate_candidates_prepared(&ds, &corpus, &index, &cfg);
+    }
+
+    #[test]
+    fn length_skewed_records_match_bruteforce() {
+        // Wide size spread stresses the PPJoin length window: the short
+        // records fall outside most long records' windows at 0.3, while
+        // borderline sizes sit exactly on the t·|a| boundary. Output must
+        // stay bit-identical to brute force at every floor.
+        let names: Vec<String> = (0..80)
+            .map(|i| {
+                let len = 1 + (i * 7) % 23;
+                (0..len).map(|j| format!("t{}", (i + j * 3) % 31)).collect::<Vec<_>>().join(" ")
+            })
+            .collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let ds = dataset(&refs, None);
+        for floor in [0.05, 0.25, 1.0 / 3.0, 0.5, 0.75] {
+            let cfg = MatcherConfig { min_likelihood: floor, ..MatcherConfig::for_arity(1) };
+            let fast = generate_candidates(&ds, &cfg);
+            let slow = generate_candidates_bruteforce(&ds, &cfg);
+            assert_eq!(fast.len(), slow.len(), "floor {floor}");
+            for (f, s) in fast.iter().zip(slow.iter()) {
+                assert_eq!((f.a, f.b), (s.a, s.b), "floor {floor}");
+                assert_eq!(f.likelihood.to_bits(), s.likelihood.to_bits(), "floor {floor}");
+            }
+        }
     }
 }

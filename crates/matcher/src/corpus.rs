@@ -42,6 +42,7 @@ impl TokenizedCorpus {
     pub fn build(dataset: &Dataset) -> Self {
         let mut span =
             crowdjoin_obs::obs_span!("matcher", "matcher.tokenize", crowdjoin_obs::NO_SHARD);
+        let clock = std::time::Instant::now();
         let arity = dataset.table.schema().arity();
         let n = dataset.len();
         let mut interner = Interner::new();
@@ -69,6 +70,10 @@ impl TokenizedCorpus {
         }
         span.set_field("records", n);
         span.set_field("vocabulary", interner.len());
+        // Stage wall time for the `--timings` breakdown: one counter add
+        // per corpus build, read back from the metrics registry.
+        crowdjoin_obs::counter("matcher.tokenize.us", crowdjoin_obs::NO_SHARD)
+            .add(clock.elapsed().as_micros() as u64);
         Self { interner, arity, flat, bounds, set_flat, set_bounds }
     }
 

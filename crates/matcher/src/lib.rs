@@ -13,7 +13,10 @@
 //! * [`tfidf`] — sparse tf-idf vectors + inverted index with cosine scoring;
 //! * [`candidates`] — the prefix-filtered, parallel similarity join
 //!   producing [`ScoredCandidate`]s (see [`prefix`] for the AllPairs-style
-//!   filter and its safety argument), plus the brute-force oracle.
+//!   filter with its positional/length tightening and safety argument),
+//!   plus the brute-force oracle;
+//! * [`lsh`] — the opt-in MinHash/LSH banding strategy for the low-floor
+//!   regime (approximate recall, exact likelihoods).
 //!
 //! ```
 //! use crowdjoin_matcher::{generate_candidates, MatcherConfig};
@@ -37,6 +40,7 @@
 pub mod candidates;
 pub mod corpus;
 pub mod fields;
+pub mod lsh;
 pub mod prefix;
 pub mod similarity;
 pub mod tfidf;
@@ -44,10 +48,11 @@ pub mod tokenize;
 
 pub use candidates::{
     generate_candidates, generate_candidates_bruteforce, generate_candidates_prepared,
-    MatcherConfig, ScoredCandidate,
+    MatcherConfig, MatcherStrategy, ScoredCandidate,
 };
 pub use corpus::TokenizedCorpus;
 pub use fields::{ExtraMeasure, FieldMeasure};
+pub use lsh::{generate_candidates_lsh, recall_of};
 pub use similarity::{
     dice, jaccard, jaro, jaro_winkler, levenshtein, levenshtein_similarity, overlap,
 };

@@ -1,0 +1,286 @@
+//! MinHash/LSH banding — the **approximate** candidate path for the
+//! low-floor regime.
+//!
+//! The exact prefix filter degenerates when the blended threshold `t`
+//! approaches 0: every record indexes (nearly) its whole token set and the
+//! join collapses back to the token-cross-product bound. MinHash banding
+//! sidesteps that wall by never enumerating token postings at all:
+//!
+//! 1. each record's token set is summarized by `k = bands × rows` MinHash
+//!    values — `sig_j(r) = min_{tok ∈ r} h_j(tok)` — where two sets agree
+//!    on any one hash with probability exactly their Jaccard similarity
+//!    `s`;
+//! 2. the signature is cut into `bands` groups of `rows` values; each group
+//!    is hashed to a bucket key, and records sharing a bucket in **any**
+//!    band become a candidate pair. The collision probability is the
+//!    classic S-curve `P(s) = 1 − (1 − s^rows)^bands`, with its knee near
+//!    `s ≈ (1/bands)^(1/rows)` — pick `bands`/`rows` so the knee sits at
+//!    the Jaccard level you still care about;
+//! 3. every colliding pair is then re-scored **exactly** (same cosine /
+//!    Jaccard / extra-measure blend as the exact path), so every emitted
+//!    likelihood is bit-exact and the floor applies exactly.
+//!
+//! What is approximate is therefore *recall only*: a qualifying pair whose
+//! sets collide in no band is silently missed. Recall is **measured, not
+//! guaranteed** — `tests/lsh_recall.rs` pins measured recall against the
+//! brute-force oracle on seeded workloads, and `BENCH_matcher.json`
+//! records the low-floor LSH arm next to the exact arms. Callers that need
+//! lossless output must use [`MatcherStrategy::Exact`]; the staged exact
+//! entry point ([`crate::generate_candidates_prepared`]) rejects an LSH
+//! config outright.
+//!
+//! Hashing is dependency-free and deterministic: per-hash seeds derive
+//! from [`LSH_SEED`] through the workspace's [`SplitMix64`]/`derive_seed`
+//! shim RNG, so a fixed `(dataset, bands, rows)` always yields the same
+//! candidate set on every platform and thread count.
+
+use crate::candidates::{MatcherConfig, MatcherStrategy, ScoredCandidate};
+use crate::corpus::TokenizedCorpus;
+use crate::similarity::jaccard;
+use crate::tfidf::TfIdfIndex;
+use crowdjoin_records::Dataset;
+use crowdjoin_util::{derive_seed, FxHashMap, SplitMix64};
+
+/// Root seed of the MinHash hash family (the workspace experiment seed;
+/// per-hash seeds are `derive_seed(LSH_SEED, j)`).
+pub const LSH_SEED: u64 = 20130622;
+
+/// One 64-bit mix of a pre-mixed token value against a hash seed
+/// (xor + the splitmix64 finalizer's multiply/shift avalanche).
+#[inline]
+fn mix(base: u64, seed: u64) -> u64 {
+    let mut h = base ^ seed;
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// MinHash/LSH candidate generation (see the module docs). Emits every
+/// *colliding* pair that shares ≥ 1 token and whose exactly-computed
+/// blended likelihood clears `config.min_likelihood`, sorted by `(a, b)` —
+/// a subset of what [`crate::generate_candidates`] with
+/// [`MatcherStrategy::Exact`] emits, with bit-identical likelihoods on the
+/// shared pairs.
+///
+/// # Panics
+///
+/// Panics if `config.strategy` is not [`MatcherStrategy::Lsh`], if the
+/// corpus or index do not match the dataset, or if `config.field_weights`
+/// does not match the schema arity.
+#[must_use]
+pub fn generate_candidates_lsh(
+    dataset: &Dataset,
+    corpus: &TokenizedCorpus,
+    index: &TfIdfIndex,
+    config: &MatcherConfig,
+) -> Vec<ScoredCandidate> {
+    config.validate(dataset.table.schema().arity());
+    let MatcherStrategy::Lsh { bands, rows } = config.strategy else {
+        panic!("generate_candidates_lsh requires MatcherStrategy::Lsh");
+    };
+    assert_eq!(corpus.num_records(), dataset.len(), "corpus built for a different dataset");
+    assert_eq!(index.num_records(), dataset.len(), "index built for a different dataset");
+    let stage_clock = std::time::Instant::now();
+    let mut span = crowdjoin_obs::obs_span!(
+        "matcher",
+        "matcher.lsh",
+        crowdjoin_obs::NO_SHARD,
+        records = dataset.len(),
+    );
+
+    let n = dataset.len();
+    let k = bands * rows;
+    let seeds: Vec<u64> = (0..k).map(|j| derive_seed(LSH_SEED, j as u64)).collect();
+
+    // Signatures, record-major. Empty records keep all-MAX signatures and
+    // are excluded from banding (they can never share a token anyway).
+    let mut sig: Vec<u64> = vec![u64::MAX; n * k];
+    for i in 0..n {
+        let set = corpus.token_set(i);
+        if set.is_empty() {
+            continue;
+        }
+        let row = &mut sig[i * k..(i + 1) * k];
+        for &tok in set {
+            // One SplitMix64 draw per token, then a cheap avalanche per
+            // hash function — k full generator constructions per token
+            // would dominate the build.
+            let base = SplitMix64::new(tok as u64).next_u64();
+            for (j, &seed) in seeds.iter().enumerate() {
+                let h = mix(base, seed);
+                if h < row[j] {
+                    row[j] = h;
+                }
+            }
+        }
+    }
+
+    // Banding: records agreeing on all `rows` values of a band land in the
+    // same bucket. Buckets are built in ascending record order, so pair
+    // enumeration below yields a < b without extra care.
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+    for g in 0..bands {
+        buckets.clear();
+        for i in 0..n {
+            let row = &sig[i * k..(i + 1) * k];
+            if row[0] == u64::MAX && corpus.token_set(i).is_empty() {
+                continue;
+            }
+            let mut key = derive_seed(LSH_SEED, g as u64);
+            for &v in &row[g * rows..(g + 1) * rows] {
+                key = mix(v, key);
+            }
+            buckets.entry(key).or_default().push(i as u32);
+        }
+        for members in buckets.values() {
+            for (x, &a) in members.iter().enumerate() {
+                for &b in &members[x + 1..] {
+                    if dataset.is_joinable(a as usize, b as usize) {
+                        pairs.push((a, b));
+                    }
+                }
+            }
+        }
+    }
+    // Cross-band dedup (a pair can collide in several bands); the sort also
+    // fixes the hash-map iteration order, making output deterministic.
+    pairs.sort_unstable();
+    pairs.dedup();
+
+    // Exact verification: identical scoring to the exact path, so shared
+    // pairs carry bit-identical likelihoods. Pairs sharing no token (a
+    // signature collision between disjoint sets) are dropped to preserve
+    // the exact path's "shares ≥ 1 token" contract.
+    let mut out = Vec::new();
+    for (a, b) in pairs {
+        let set_a = corpus.token_set(a as usize);
+        let set_b = corpus.token_set(b as usize);
+        let jac = jaccard(set_a, set_b);
+        if jac == 0.0 && !set_a.iter().any(|t| set_b.binary_search(t).is_ok()) {
+            continue;
+        }
+        let cosine = index.cosine(a, b);
+        let likelihood = config.blend(dataset, a, b, cosine, jac);
+        if likelihood >= config.min_likelihood {
+            out.push(ScoredCandidate { a, b, likelihood });
+        }
+    }
+    span.set_field("pairs", out.len());
+    crowdjoin_obs::counter("matcher.candidates.us", crowdjoin_obs::NO_SHARD)
+        .add(stage_clock.elapsed().as_micros() as u64);
+    out
+}
+
+/// Fraction of `exact`'s `(a, b)` pairs also present in `approx` (both
+/// sorted by `(a, b)`, as the generators emit them). 1.0 for an empty
+/// exact set.
+#[must_use]
+pub fn recall_of(approx: &[ScoredCandidate], exact: &[ScoredCandidate]) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let mut found = 0usize;
+    let mut i = 0usize;
+    for e in exact {
+        while i < approx.len() && (approx[i].a, approx[i].b) < (e.a, e.b) {
+            i += 1;
+        }
+        if i < approx.len() && (approx[i].a, approx[i].b) == (e.a, e.b) {
+            found += 1;
+        }
+    }
+    found as f64 / exact.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::generate_candidates;
+    use crowdjoin_records::{Dataset, Record, Schema, Table};
+
+    fn dataset(names: &[&str], split: Option<usize>) -> Dataset {
+        let mut table = Table::new(Schema::new(vec!["name"]));
+        for n in names {
+            table.push(Record::new(vec![*n]));
+        }
+        let n = table.len();
+        Dataset { table, entity_of: (0..n as u32).collect(), split, name: "t".into() }
+    }
+
+    fn lsh_config(bands: usize, rows: usize, floor: f64) -> MatcherConfig {
+        MatcherConfig {
+            min_likelihood: floor,
+            strategy: MatcherStrategy::Lsh { bands, rows },
+            ..MatcherConfig::for_arity(1)
+        }
+    }
+
+    #[test]
+    fn identical_records_always_collide() {
+        let ds = dataset(&["sony bravia tv", "sony bravia tv", "canon camera", "zzz qqq"], None);
+        let out = generate_candidates(&ds, &lsh_config(4, 4, 0.5));
+        assert!(out.iter().any(|c| (c.a, c.b) == (0, 1)), "identical sets share every bucket");
+    }
+
+    #[test]
+    fn output_is_sorted_and_deduplicated() {
+        let names: Vec<String> =
+            (0..60).map(|i| format!("tok{} tok{} shared", i % 7, i % 5)).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let ds = dataset(&refs, None);
+        let out = generate_candidates(&ds, &lsh_config(8, 2, 0.1));
+        assert!(!out.is_empty());
+        assert!(out.windows(2).all(|w| (w[0].a, w[0].b) < (w[1].a, w[1].b)));
+    }
+
+    #[test]
+    fn lsh_is_a_subset_of_exact_with_identical_bits() {
+        let names: Vec<String> =
+            (0..120).map(|i| format!("alpha{} beta{} gamma{}", i % 13, i % 9, i % 4)).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let ds = dataset(&refs, None);
+        let exact = generate_candidates(
+            &ds,
+            &MatcherConfig { min_likelihood: 0.2, ..MatcherConfig::for_arity(1) },
+        );
+        let approx = generate_candidates(&ds, &lsh_config(8, 2, 0.2));
+        let exact_of: std::collections::BTreeMap<(u32, u32), u64> =
+            exact.iter().map(|c| ((c.a, c.b), c.likelihood.to_bits())).collect();
+        for c in &approx {
+            assert_eq!(
+                exact_of.get(&(c.a, c.b)),
+                Some(&c.likelihood.to_bits()),
+                "LSH emitted ({}, {}) with drifted or missing exact counterpart",
+                c.a,
+                c.b
+            );
+        }
+    }
+
+    #[test]
+    fn cross_join_emits_only_cross_pairs() {
+        let ds =
+            dataset(&["sony tv black", "other thing", "sony tv black", "sony tv dark"], Some(2));
+        let out = generate_candidates(&ds, &lsh_config(4, 2, 0.1));
+        assert!(out.iter().all(|c| ds.is_joinable(c.a as usize, c.b as usize)));
+        assert!(out.iter().any(|c| (c.a, c.b) == (0, 2)));
+    }
+
+    #[test]
+    fn empty_records_never_pair() {
+        let ds = dataset(&["", "", "sony tv"], None);
+        let out = generate_candidates(&ds, &lsh_config(4, 2, 0.0));
+        assert!(out.iter().all(|c| c.a == 2 || c.b == 2 || (c.a != 0 && c.b != 1)));
+        assert!(!out.iter().any(|c| (c.a, c.b) == (0, 1)), "two empty sets share no token");
+    }
+
+    #[test]
+    fn recall_of_handles_edges() {
+        let c = |a, b| ScoredCandidate { a, b, likelihood: 0.5 };
+        assert_eq!(recall_of(&[], &[]), 1.0);
+        assert_eq!(recall_of(&[], &[c(0, 1)]), 0.0);
+        assert_eq!(recall_of(&[c(0, 1)], &[c(0, 1), c(1, 2)]), 0.5);
+        assert_eq!(recall_of(&[c(0, 1), c(1, 2), c(2, 3)], &[c(1, 2)]), 1.0);
+    }
+}

@@ -15,14 +15,24 @@ use crowdjoin_records::Dataset;
 use crowdjoin_util::FxHashMap;
 
 /// Sparse tf-idf index over a dataset's records.
+///
+/// Both the per-record vectors and the inverted index live in contiguous
+/// CSR arenas — one flat entry array plus an offset table each — so the
+/// similarity join streams cache-line-dense slices instead of chasing one
+/// heap allocation per record or token.
 #[derive(Debug, Clone)]
 pub struct TfIdfIndex {
-    /// Per record: sorted `(token_id, weight)` with L2 norm 1. Token ids are
-    /// the corpus interner's ids.
-    vectors: Vec<Vec<(u32, f32)>>,
-    /// Inverted index: token id → `(record, weight)` postings, ascending by
-    /// record id.
-    postings: Vec<Vec<(u32, f32)>>,
+    /// All records' sorted `(token_id, weight)` entries (L2 norm 1 per
+    /// record), record-major. Token ids are the corpus interner's ids.
+    vec_entries: Vec<(u32, f32)>,
+    /// `vec_entries` offsets: record `i` spans
+    /// `vec_bounds[i]..vec_bounds[i+1]`; `num_records + 1` long.
+    vec_bounds: Vec<u32>,
+    /// Inverted index entries `(record, weight)`, token-major, ascending by
+    /// record id within a token.
+    post_entries: Vec<(u32, f32)>,
+    /// `post_entries` offsets, `vocab + 1` long.
+    post_bounds: Vec<u32>,
 }
 
 impl TfIdfIndex {
@@ -55,6 +65,7 @@ impl TfIdfIndex {
             crowdjoin_obs::NO_SHARD,
             records = corpus.num_records(),
         );
+        let clock = std::time::Instant::now();
         let arity = corpus.arity();
         assert_eq!(field_weights.len(), arity, "one weight per schema field required");
         let n = corpus.num_records();
@@ -64,9 +75,12 @@ impl TfIdfIndex {
         // skipped entirely) and document frequencies over those counts.
         // Occurrences are sorted by token id and aggregated in one sweep —
         // O(k log k) per record with no hashing, regardless of how many
-        // distinct tokens a long text field carries.
+        // distinct tokens a long text field carries. Counts live in one
+        // flat arena (record `i` spans `count_bounds[i]..count_bounds[i+1]`).
         let mut doc_freq: Vec<u32> = vec![0; vocab];
-        let mut record_counts: Vec<Vec<(u32, f64)>> = Vec::with_capacity(n);
+        let mut count_entries: Vec<(u32, f64)> = Vec::new();
+        let mut count_bounds: Vec<u32> = Vec::with_capacity(n + 1);
+        count_bounds.push(0);
         let mut occurrences: Vec<(u32, f64)> = Vec::new();
         for i in 0..n {
             occurrences.clear();
@@ -77,71 +91,115 @@ impl TfIdfIndex {
                 occurrences.extend(corpus.field_tokens(i, f).iter().map(|&id| (id, w)));
             }
             occurrences.sort_unstable_by_key(|&(id, _)| id);
-            let mut counts: Vec<(u32, f64)> = Vec::new();
+            let start = count_entries.len();
             for &(id, w) in &occurrences {
-                match counts.last_mut() {
-                    Some((last, c)) if *last == id => *c += w,
-                    _ => counts.push((id, w)),
+                // Merge repeats within this record only — never across the
+                // arena boundary into the previous record's last entry.
+                if count_entries.len() > start {
+                    let last = count_entries.last_mut().expect("non-empty past start");
+                    if last.0 == id {
+                        last.1 += w;
+                        continue;
+                    }
                 }
+                count_entries.push((id, w));
             }
-            for &(id, _) in &counts {
+            for &(id, _) in &count_entries[start..] {
                 doc_freq[id as usize] += 1;
             }
-            record_counts.push(counts);
+            count_bounds.push(u32::try_from(count_entries.len()).expect("tf-idf arena overflow"));
         }
 
-        // Pass 2: tf-idf weights, L2 normalization, postings. (Tokens that
-        // only ever appear in zero-weight fields keep df 0 and an unused idf
-        // slot; their postings stay empty.)
+        // Pass 2: tf-idf weights, L2 normalization, record-major vector
+        // arena, plus per-token posting counts for the CSR fill below.
+        // (Tokens that only ever appear in zero-weight fields keep df 0 and
+        // an unused idf slot; their postings stay empty.)
         let idf: Vec<f64> = doc_freq
             .iter()
             .map(|&df| if df == 0 { 0.0 } else { (1.0 + n as f64 / df as f64).ln() })
             .collect();
-        let mut vectors: Vec<Vec<(u32, f32)>> = Vec::with_capacity(n);
-        let mut postings: Vec<Vec<(u32, f32)>> = vec![Vec::new(); vocab];
-        for (i, counts) in record_counts.into_iter().enumerate() {
-            let mut vec: Vec<(u32, f64)> = counts
-                .into_iter()
-                .map(|(id, tf)| (id, (1.0 + tf.ln()) * idf[id as usize]))
-                .collect();
-            let norm = vec.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
-            let mut out = Vec::with_capacity(vec.len());
+        let mut vec_entries: Vec<(u32, f32)> = Vec::new();
+        let mut vec_bounds: Vec<u32> = Vec::with_capacity(n + 1);
+        vec_bounds.push(0);
+        let mut post_count: Vec<u32> = vec![0; vocab];
+        let mut scratch: Vec<(u32, f64)> = Vec::new();
+        for i in 0..n {
+            let lo = count_bounds[i] as usize;
+            let hi = count_bounds[i + 1] as usize;
+            scratch.clear();
+            scratch.extend(
+                count_entries[lo..hi]
+                    .iter()
+                    .map(|&(id, tf)| (id, (1.0 + tf.ln()) * idf[id as usize])),
+            );
+            let norm = scratch.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
             if norm > 0.0 {
-                vec.sort_unstable_by_key(|&(id, _)| id);
-                for (id, w) in vec {
-                    let w = (w / norm) as f32;
-                    out.push((id, w));
-                    postings[id as usize].push((i as u32, w));
+                // Counts were aggregated in ascending id order, so the
+                // vector is already sorted.
+                for &(id, w) in &scratch {
+                    vec_entries.push((id, (w / norm) as f32));
+                    post_count[id as usize] += 1;
                 }
             }
-            vectors.push(out);
+            vec_bounds.push(u32::try_from(vec_entries.len()).expect("tf-idf arena overflow"));
         }
-        Self { vectors, postings }
+        drop(count_entries);
+
+        // CSR fill of the inverted index: offsets from the per-token
+        // counts, then one stable sweep over the record-major vectors —
+        // records are visited in ascending id order, so each token's
+        // postings ascend by record id.
+        let mut post_bounds: Vec<u32> = vec![0; vocab + 1];
+        for t in 0..vocab {
+            post_bounds[t + 1] = post_bounds[t] + post_count[t];
+        }
+        let mut cursor: Vec<u32> = post_bounds[..vocab].to_vec();
+        let mut post_entries: Vec<(u32, f32)> = vec![(0, 0.0); vec_entries.len()];
+        for i in 0..n {
+            let lo = vec_bounds[i] as usize;
+            let hi = vec_bounds[i + 1] as usize;
+            for &(id, w) in &vec_entries[lo..hi] {
+                let c = &mut cursor[id as usize];
+                post_entries[*c as usize] = (i as u32, w);
+                *c += 1;
+            }
+        }
+        crowdjoin_obs::counter("matcher.index.us", crowdjoin_obs::NO_SHARD)
+            .add(clock.elapsed().as_micros() as u64);
+        Self { vec_entries, vec_bounds, post_entries, post_bounds }
     }
 
     /// Number of indexed records.
     #[must_use]
     pub fn num_records(&self) -> usize {
-        self.vectors.len()
+        self.vec_bounds.len() - 1
     }
 
     /// Number of token-id slots (the corpus vocabulary size; tokens confined
     /// to zero-weight fields have empty postings).
     #[must_use]
     pub fn vocabulary_size(&self) -> usize {
-        self.postings.len()
+        self.post_bounds.len() - 1
     }
 
     /// Record `i`'s sparse unit vector: sorted `(token_id, weight)` entries.
     #[must_use]
     pub fn vector(&self, i: u32) -> &[(u32, f32)] {
-        &self.vectors[i as usize]
+        let i = i as usize;
+        &self.vec_entries[self.vec_bounds[i] as usize..self.vec_bounds[i + 1] as usize]
+    }
+
+    /// Token `t`'s inverted-index postings: `(record, weight)`, ascending
+    /// by record id.
+    fn postings(&self, t: u32) -> &[(u32, f32)] {
+        let t = t as usize;
+        &self.post_entries[self.post_bounds[t] as usize..self.post_bounds[t + 1] as usize]
     }
 
     /// Cosine similarity between two indexed records, in `[0, 1]`.
     #[must_use]
     pub fn cosine(&self, a: u32, b: u32) -> f64 {
-        let (va, vb) = (&self.vectors[a as usize], &self.vectors[b as usize]);
+        let (va, vb) = (self.vector(a), self.vector(b));
         let mut i = 0;
         let mut j = 0;
         let mut dot = 0.0f64;
@@ -168,8 +226,8 @@ impl TfIdfIndex {
     #[must_use]
     pub fn accumulate_cosines(&self, i: u32) -> Vec<(u32, f64)> {
         let mut acc: FxHashMap<u32, f64> = FxHashMap::default();
-        for &(token, w) in &self.vectors[i as usize] {
-            for &(j, wj) in &self.postings[token as usize] {
+        for &(token, w) in self.vector(i) {
+            for &(j, wj) in self.postings(token) {
                 if j != i {
                     *acc.entry(j).or_insert(0.0) += w as f64 * wj as f64;
                 }

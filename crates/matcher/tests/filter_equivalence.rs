@@ -12,7 +12,7 @@
 
 use crowdjoin_matcher::{
     generate_candidates, generate_candidates_bruteforce, ExtraMeasure, FieldMeasure, MatcherConfig,
-    ScoredCandidate, TokenizedCorpus,
+    MatcherStrategy, ScoredCandidate, TokenizedCorpus,
 };
 use crowdjoin_records::{
     generate_paper, generate_product, ClusterSpec, Dataset, PaperGenConfig, PerturbConfig,
@@ -127,6 +127,7 @@ proptest! {
             field_weights: (0..arity).map(|f| field_weight_of(fw_code >> (2 * f))).collect(),
             extra_measures: Vec::new(),
             threads,
+            strategy: MatcherStrategy::Exact,
         };
         // At least one field must carry token weight for the tf-idf build
         // to be meaningful; force field 0 on when the code zeroed them all.
@@ -177,6 +178,43 @@ proptest! {
         let dataset = dataset_for(kind, n, seed);
         let arity = dataset.table.schema().arity();
         let config = MatcherConfig { min_likelihood: floor, ..MatcherConfig::for_arity(arity) };
+        check_equivalence(&dataset, &config)?;
+    }
+
+    /// The positional and length filters fire hardest on skewed set sizes
+    /// at mid/high floors: synthesize records whose token counts span two
+    /// orders of magnitude (so `|b| < t·|a|` actually prunes postings and
+    /// the per-probe positional bound tightens below `jac_cut`), and pin
+    /// bit-identity against the oracle across floors and thread counts.
+    #[test]
+    fn skewed_lengths_stay_lossless(
+        n in 30usize..90,
+        seed in proptest::prelude::any::<u64>(),
+        floor_idx in 0usize..5,
+        threads in 1usize..4,
+    ) {
+        use crowdjoin_records::{Dataset, Record, Schema, Table};
+        let floor = [0.1, 0.25, 1.0 / 3.0, 0.5, 0.75][floor_idx];
+        let mut table = Table::new(Schema::new(vec!["name"]));
+        for i in 0..n {
+            // Length pattern 1..~40 tokens drawn from a small shared pool,
+            // keyed off the seed so proptest explores distinct overlaps.
+            let len = 1 + (i * 7 + (seed as usize) % 13) % 40;
+            let words: Vec<String> =
+                (0..len).map(|j| format!("w{}", (i * 3 + j * 5 + seed as usize) % 60)).collect();
+            table.push(Record::new(vec![words.join(" ")]));
+        }
+        let dataset = Dataset {
+            table,
+            entity_of: (0..n as u32).collect(),
+            split: if seed.is_multiple_of(2) { Some(n / 2) } else { None },
+            name: "skew".into(),
+        };
+        let config = MatcherConfig {
+            min_likelihood: floor,
+            threads,
+            ..MatcherConfig::for_arity(1)
+        };
         check_equivalence(&dataset, &config)?;
     }
 }

@@ -1,0 +1,133 @@
+//! Measured-recall pins for the MinHash/LSH banding strategy.
+//!
+//! LSH is the matcher's only *approximate* path: colliding pairs are
+//! re-scored exactly, so precision is 1.0 by construction, but a
+//! qualifying pair whose token sets collide in no band is missed. These
+//! tests measure that recall against the exact generator on seeded
+//! workloads and pin it above configured targets.
+//!
+//! Everything is deterministic — dataset seeds are fixed and the hash
+//! family derives from `LSH_SEED` — so the measured recall is a *constant*
+//! for a given code version; the margin between measured value and target
+//! exists to absorb intentional future retunes, not run-to-run noise.
+//!
+//! Banding math for the configurations pinned here (collision probability
+//! `P(s) = 1 − (1 − s^rows)^bands`, knee near `(1/bands)^(1/rows)`):
+//!
+//! * 16 bands × 4 rows — knee ≈ 0.50: a near-duplicate detector. Catches
+//!   the perturbed duplicates the generators plant (Jaccard well above
+//!   0.5) and little else.
+//! * 64 bands × 2 rows — knee ≈ 0.125: a wide net for the low-floor
+//!   regime, where qualifying pairs can blend in with modest Jaccard.
+
+use crowdjoin_matcher::{
+    generate_candidates, recall_of, MatcherConfig, MatcherStrategy, ScoredCandidate,
+};
+use crowdjoin_records::{
+    generate_paper, generate_product, ClusterSpec, Dataset, PaperGenConfig, PerturbConfig,
+    ProductGenConfig,
+};
+
+fn product_workload() -> Dataset {
+    generate_product(&ProductGenConfig::scaled(1_500))
+}
+
+fn paper_workload() -> Dataset {
+    generate_paper(&PaperGenConfig {
+        num_records: 3_000,
+        clusters: ClusterSpec::PowerLaw { alpha: 1.9, max_size: 40, force_max: false },
+        perturb: PerturbConfig::light(),
+        sibling_probability: 0.1,
+        seed: 20130622,
+    })
+}
+
+fn exact_config(dataset: &Dataset, floor: f64) -> MatcherConfig {
+    let arity = dataset.table.schema().arity();
+    MatcherConfig { min_likelihood: floor, ..MatcherConfig::for_arity(arity) }
+}
+
+fn measured_recall(
+    dataset: &Dataset,
+    floor: f64,
+    bands: usize,
+    rows: usize,
+) -> (f64, Vec<ScoredCandidate>, Vec<ScoredCandidate>) {
+    let exact_cfg = exact_config(dataset, floor);
+    let lsh_cfg =
+        MatcherConfig { strategy: MatcherStrategy::Lsh { bands, rows }, ..exact_cfg.clone() };
+    let exact = generate_candidates(dataset, &exact_cfg);
+    let approx = generate_candidates(dataset, &lsh_cfg);
+    (recall_of(&approx, &exact), approx, exact)
+}
+
+/// Shared subset/bit-identity check: LSH output must be a subset of exact
+/// output with bit-identical likelihoods (precision 1.0).
+fn assert_subset(approx: &[ScoredCandidate], exact: &[ScoredCandidate]) {
+    let exact_of: std::collections::HashMap<(u32, u32), u64> =
+        exact.iter().map(|c| ((c.a, c.b), c.likelihood.to_bits())).collect();
+    for c in approx {
+        assert_eq!(
+            exact_of.get(&(c.a, c.b)),
+            Some(&c.likelihood.to_bits()),
+            "LSH pair ({}, {}) missing from exact output or bits drifted",
+            c.a,
+            c.b
+        );
+    }
+}
+
+#[test]
+fn wide_banding_recalls_the_low_floor_product_join() {
+    const TARGET: f64 = 0.80;
+    let dataset = product_workload();
+    let (recall, approx, exact) = measured_recall(&dataset, 0.3, 64, 2);
+    assert!(!exact.is_empty(), "exact join found nothing — workload is degenerate");
+    assert_subset(&approx, &exact);
+    assert!(
+        recall >= TARGET,
+        "64x2 banding recall {recall:.4} fell below the {TARGET} target \
+         ({} of {} exact pairs recovered)",
+        approx.len(),
+        exact.len()
+    );
+}
+
+#[test]
+fn narrow_banding_recalls_planted_duplicates() {
+    // At a high floor the surviving pairs are the planted near-duplicates;
+    // the near-duplicate banding profile must recover almost all of them.
+    const TARGET: f64 = 0.90;
+    let dataset = product_workload();
+    let (recall, approx, exact) = measured_recall(&dataset, 0.7, 16, 4);
+    assert!(!exact.is_empty(), "no pairs above 0.7 — workload is degenerate");
+    assert_subset(&approx, &exact);
+    assert!(
+        recall >= TARGET,
+        "16x4 banding recall {recall:.4} fell below the {TARGET} target on duplicates"
+    );
+}
+
+#[test]
+fn wide_banding_recalls_the_paper_workload() {
+    const TARGET: f64 = 0.80;
+    let dataset = paper_workload();
+    let (recall, approx, exact) = measured_recall(&dataset, 0.3, 64, 2);
+    assert!(!exact.is_empty(), "exact join found nothing — workload is degenerate");
+    assert_subset(&approx, &exact);
+    assert!(
+        recall >= TARGET,
+        "64x2 banding recall {recall:.4} fell below the {TARGET} target on the paper workload"
+    );
+}
+
+#[test]
+fn more_bands_never_hurt_recall_on_the_same_workload() {
+    // Monotonicity smoke: for fixed rows, adding bands only adds buckets,
+    // so the candidate set can only grow.
+    let dataset = product_workload();
+    let (r8, a8, _) = measured_recall(&dataset, 0.4, 8, 2);
+    let (r32, a32, _) = measured_recall(&dataset, 0.4, 32, 2);
+    assert!(a32.len() >= a8.len(), "band growth shrank the candidate set");
+    assert!(r32 >= r8, "band growth reduced recall: {r8:.4} -> {r32:.4}");
+}
