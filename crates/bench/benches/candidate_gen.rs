@@ -7,8 +7,10 @@
 //! Alongside the criterion arms, running this bench writes
 //! `BENCH_matcher.json` (schema `crowdjoin-bench-matcher/2`) with the
 //! measured product workloads at 5k through 1M records — plus a MinHash/LSH
-//! arm with its measured recall — so the matcher's perf trajectory is
-//! tracked across PRs, the same contract as `BENCH_engine.json`. Each arm
+//! arm with its measured recall and an `incremental_ingest` arm pinning the
+//! streaming matcher's amortized per-record insert cost against a full
+//! batch re-join — so the matcher's perf trajectory is tracked across PRs,
+//! the same contract as `BENCH_engine.json`. Each arm
 //! records the core count it ran on, and `positional_filter_speedup` pins
 //! the 100k @ 0.3 arm against that arm's committed pre-positional-filter
 //! wall time.
@@ -18,7 +20,7 @@ use crowdjoin_bench::json::{js_f64, js_str, BenchJson};
 use crowdjoin_bench::measure;
 use crowdjoin_matcher::{
     generate_candidates, generate_candidates_bruteforce, jaccard, recall_of, tokenize_words,
-    MatcherConfig, MatcherStrategy, TfIdfIndex,
+    MatcherConfig, MatcherStrategy, StreamMatcher, TfIdfIndex,
 };
 use crowdjoin_records::{
     generate_paper, generate_product, ClusterSpec, Dataset, PaperGenConfig, PerturbConfig,
@@ -249,12 +251,58 @@ fn emit_machine_readable() {
         });
     }
 
+    // Streaming arm: the same 50k-record product workload inserted one
+    // record at a time through the incremental matcher, plus one exact
+    // snapshot at the end. The stream matcher is the self-join shape, so
+    // the re-join yardstick is the batch matcher over the identical
+    // records as a self join, and the snapshot must be bit-identical to
+    // it. The emitted `incremental_*` fields record the amortized
+    // per-record insert cost and how many arrivals one full batch re-join
+    // buys — the price a naive re-join-per-arrival service would pay.
+    let (incremental_per_record_us, incremental_arrivals_per_rejoin);
+    {
+        let ds = product_dataset(25_000);
+        let self_ds = Dataset {
+            table: ds.table.clone(),
+            entity_of: ds.entity_of.clone(),
+            split: None,
+            name: "product-selfjoin".into(),
+        };
+        let (rejoin_ms, batch) = measure(1, || generate_candidates(&self_ds, &cfg03));
+        let schema = self_ds.table.schema().clone();
+        let (ms, out) = measure(1, || {
+            let mut matcher = StreamMatcher::new(schema.clone(), cfg03.clone());
+            for i in 0..self_ds.len() {
+                matcher.insert(self_ds.table.record(i));
+            }
+            matcher.candidates()
+        });
+        assert_eq!(out.len(), batch.len(), "incremental snapshot diverged from the batch join");
+        for (s, b) in out.iter().zip(&batch) {
+            assert_eq!((s.a, s.b), (b.a, b.b), "incremental snapshot diverged");
+            assert_eq!(s.likelihood.to_bits(), b.likelihood.to_bits(), "likelihood bits diverged");
+        }
+        let n = self_ds.len() as f64;
+        incremental_per_record_us = ms * 1000.0 / n;
+        incremental_arrivals_per_rejoin = rejoin_ms / (ms / n);
+        arms.push(Arm {
+            name: "incremental_ingest",
+            records: self_ds.len(),
+            floor: 0.3,
+            wall_ms: ms,
+            candidates: out.len(),
+            recall: None,
+        });
+    }
+
     let mut json = BenchJson::new("crowdjoin-bench-matcher/2");
     json.field("cores", cores.to_string());
     json.field("workload", js_str("product (Abt-Buy-shaped cross join, name+price)"));
     json.field("speedup_filtered_vs_legacy_5k", js_f64(speedup, 2));
     json.field("positional_filter_speedup", js_f64(positional_speedup, 2));
     json.field("positional_baseline_100k_ms", js_f64(PRE_POSITIONAL_100K_MS, 3));
+    json.field("incremental_per_record_us", js_f64(incremental_per_record_us, 2));
+    json.field("incremental_arrivals_per_rejoin", js_f64(incremental_arrivals_per_rejoin, 1));
     for arm in &arms {
         let mut fields = vec![
             ("name", js_str(arm.name)),
@@ -278,6 +326,10 @@ fn emit_machine_readable() {
     println!(
         "positional+length filter on the 100k @ 0.3 arm: {positional_speedup:.2}x vs the \
          committed {PRE_POSITIONAL_100K_MS:.0} ms baseline"
+    );
+    println!(
+        "incremental ingest at 50k: {incremental_per_record_us:.1} us/record amortized — one \
+         full re-join buys {incremental_arrivals_per_rejoin:.0} streamed arrivals"
     );
 }
 

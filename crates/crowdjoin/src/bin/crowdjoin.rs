@@ -5,6 +5,7 @@
 //! crowdjoin dedup --input FILE  [--threshold T] [--crowd auto|interactive]
 //!                 [--auto-threshold X] [--output FILE] [--shards N]
 //! crowdjoin join  --left FILE --right FILE  [same options]
+//! crowdjoin join  --stream PATH  [--stream-chunk N] [same options]
 //! ```
 //!
 //! * `demo` runs the paper's running example plus a generated workload and
@@ -12,6 +13,13 @@
 //! * `dedup` finds duplicate records within one CSV file (self join).
 //! * `join` matches records across two CSV files with identical headers
 //!   (cross join).
+//! * `join --stream` is the streaming self-join: records arrive as JSONL
+//!   (one file chunked by `--stream-chunk`, or a spool-style directory of
+//!   `*.jsonl` chunk files processed in name order), candidates are
+//!   discovered incrementally per arrival, and the closed stream feeds the
+//!   ordinary labeling path — bit-identical to a batch run over the same
+//!   records. With `--journal FILE` every ingest is write-ahead logged to
+//!   `FILE.stream` so a killed stream resumes with `--resume FILE`.
 //!
 //! Crowd modes: `interactive` asks *you* to label each undeduced pair on
 //! stdin (a crowd of one); `auto` (default) labels a pair matching iff its
@@ -23,7 +31,9 @@
 //! indices are 0-based row numbers; for `join`, right-file indices continue
 //! after the left file's).
 
-use crowdjoin::records::{table_from_csv, write_csv, Dataset, Table};
+use crowdjoin::records::{
+    table_from_csv, table_from_jsonl, write_csv, Dataset, Record, Schema, Table,
+};
 use crowdjoin::report::{
     EngineBackend, JournalOutcome, MatcherTimings, ProgressLine, ReportFormat, Reporter,
 };
@@ -39,9 +49,23 @@ use std::process::ExitCode;
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 enum Command {
-    Demo { seed: u64 },
-    Dedup { input: String, opts: JoinOpts },
-    Join { left: String, right: String, opts: JoinOpts },
+    Demo {
+        seed: u64,
+    },
+    Dedup {
+        input: String,
+        opts: JoinOpts,
+    },
+    Join {
+        left: String,
+        right: String,
+        opts: JoinOpts,
+    },
+    /// `join --stream PATH`: the streaming self-join.
+    Stream {
+        input: String,
+        opts: JoinOpts,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -94,7 +118,14 @@ struct JoinOpts {
     /// Repaint a live stderr progress line while a spool-backed job waits
     /// on its external crowd.
     progress: bool,
+    /// `join --stream` only: records per ingest batch when the stream
+    /// input is a single JSONL file (`None` = the 512 default; a
+    /// directory input ingests one chunk per file regardless).
+    stream_chunk: Option<usize>,
 }
+
+/// Default ingest-batch size for a single-file `--stream` input.
+const DEFAULT_STREAM_CHUNK: usize = 512;
 
 impl Default for JoinOpts {
     fn default() -> Self {
@@ -121,6 +152,7 @@ impl Default for JoinOpts {
             trace: None,
             metrics: None,
             progress: false,
+            stream_chunk: None,
         }
     }
 }
@@ -155,8 +187,23 @@ const USAGE: &str = "usage:
   crowdjoin demo  [--seed N]
   crowdjoin dedup --input FILE  [options]
   crowdjoin join  --left FILE --right FILE  [options]
+  crowdjoin join  --stream PATH  [options]
 
 options:
+  --stream PATH         join only: streaming self-join. Arrivals come from
+                        PATH instead of --left/--right: a JSONL file (one
+                        object per line, ingested in --stream-chunk
+                        batches) or a spool-style directory of *.jsonl
+                        chunk files (processed in name order, one ingest
+                        batch per file). Candidates are discovered
+                        incrementally per arrival; the closed stream is
+                        bit-identical to a batch run over the same records.
+                        With --journal FILE each ingest is write-ahead
+                        logged to FILE.stream before it is applied, so a
+                        killed stream resumes with --resume FILE (re-pass
+                        the same input and flags)
+  --stream-chunk N      records per ingest batch for a single-file --stream
+                        input (default 512)
   --threshold T         machine-likelihood threshold for candidates (default 0.3)
   --crowd MODE          auto | interactive (default auto)
   --auto-threshold X    auto crowd answers matching iff likelihood >= X (default 0.8)
@@ -277,6 +324,13 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         opts.metrics = flags("metrics");
         if let Some(v) = flags("progress") {
             opts.progress = parse_bool("progress", v)?;
+        }
+        if let Some(c) = flags("stream-chunk") {
+            let n: usize = c.parse().map_err(|_| format!("--stream-chunk: not a number: {c:?}"))?;
+            if n == 0 {
+                return Err("--stream-chunk must be at least 1 record per batch".to_string());
+            }
+            opts.stream_chunk = Some(n);
         }
         if let Some(s) = flags("shards") {
             opts.shards = s.parse().map_err(|_| format!("--shards: not a number: {s:?}"))?;
@@ -401,14 +455,38 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             Command::Demo { seed }
         }
         "dedup" => {
+            if take("stream").is_some() {
+                return Err("--stream belongs to the join command (a streaming self-join): \
+                            crowdjoin join --stream PATH"
+                    .to_string());
+            }
             let input = take("input").ok_or("dedup requires --input FILE")?;
-            Command::Dedup { input, opts: parse_opts(&mut take)? }
+            let opts = parse_opts(&mut take)?;
+            if opts.stream_chunk.is_some() {
+                return Err("--stream-chunk requires --stream".to_string());
+            }
+            Command::Dedup { input, opts }
         }
-        "join" => {
-            let left = take("left").ok_or("join requires --left FILE")?;
-            let right = take("right").ok_or("join requires --right FILE")?;
-            Command::Join { left, right, opts: parse_opts(&mut take)? }
-        }
+        "join" => match take("stream") {
+            Some(input) => {
+                if take("left").is_some() || take("right").is_some() {
+                    return Err("--stream reads arrivals from its own file/directory (a \
+                                streaming self-join); drop --left/--right"
+                        .to_string());
+                }
+                Command::Stream { input, opts: parse_opts(&mut take)? }
+            }
+            None => {
+                let left = take("left")
+                    .ok_or("join requires --left FILE (or --stream PATH for streaming)")?;
+                let right = take("right").ok_or("join requires --right FILE")?;
+                let opts = parse_opts(&mut take)?;
+                if opts.stream_chunk.is_some() {
+                    return Err("--stream-chunk requires --stream".to_string());
+                }
+                Command::Join { left, right, opts }
+            }
+        },
         other => return Err(format!("unknown subcommand {other:?}\n{USAGE}")),
     };
     if let Some(stray) = flags.keys().next() {
@@ -590,10 +668,10 @@ fn simulate_on_platform(
     Ok(report.result)
 }
 
-fn run_join(dataset: &Dataset, opts: &JoinOpts) -> Result<(), String> {
-    // Observability first: sinks must be live before the matcher stages run
-    // so their spans land in the trace, and the metrics registry starts
-    // clean for this job.
+/// Installs the `--trace` sinks and resets the metrics registry. Must run
+/// before any matcher/stream stage so their spans land in the trace and
+/// the registry starts clean for this job.
+fn setup_observability(opts: &JoinOpts) -> Result<(), String> {
     if let Some(path) = &opts.trace {
         let jsonl = crowdjoin::obs::JsonlSink::create(std::path::Path::new(path))
             .map_err(|e| format!("--trace {path}: {e}"))?;
@@ -604,7 +682,12 @@ fn run_join(dataset: &Dataset, opts: &JoinOpts) -> Result<(), String> {
         crowdjoin::obs::install_sink(Box::new(chrome));
     }
     crowdjoin::obs::reset_metrics();
-    let mut reporter = Reporter::new(opts.report);
+    Ok(())
+}
+
+fn run_join(dataset: &Dataset, opts: &JoinOpts) -> Result<(), String> {
+    setup_observability(opts)?;
+    let reporter = Reporter::new(opts.report);
 
     let arity = dataset.table.schema().arity();
     // The matcher stage runs in explicit phases; each library stage
@@ -615,7 +698,22 @@ fn run_join(dataset: &Dataset, opts: &JoinOpts) -> Result<(), String> {
     let corpus = TokenizedCorpus::build(dataset);
     let tfidf = TfIdfIndex::from_corpus(&corpus, &matcher_cfg.field_weights);
     let candidates_raw = generate_candidates_prepared(dataset, &corpus, &tfidf, &matcher_cfg);
-    let candidates = to_candidate_set(dataset, &candidates_raw).above_threshold(opts.threshold);
+    finish_join(dataset, &candidates_raw, opts, reporter)
+}
+
+/// Everything downstream of candidate generation — thresholding, labeling
+/// (sequential / sharded / platform), constraint cleanup, CSV output, and
+/// report/trace/metrics flushing. Shared verbatim by the batch path
+/// ([`run_join`]) and the streaming path ([`run_stream`]), which is what
+/// makes a closed stream's labels/money/reports equal to batch by
+/// construction.
+fn finish_join(
+    dataset: &Dataset,
+    candidates_raw: &[crowdjoin_matcher::ScoredCandidate],
+    opts: &JoinOpts,
+    mut reporter: Reporter,
+) -> Result<(), String> {
+    let candidates = to_candidate_set(dataset, candidates_raw).above_threshold(opts.threshold);
     reporter.candidates(dataset.len(), candidates.len(), opts.threshold);
     let clock = std::time::Instant::now();
 
@@ -775,6 +873,145 @@ fn run_join(dataset: &Dataset, opts: &JoinOpts) -> Result<(), String> {
     Ok(())
 }
 
+/// Loads the `--stream` input as ingest batches plus the common schema.
+///
+/// * A file is one JSONL stream, split into `chunk`-record batches.
+/// * A directory is a spool: every `*.jsonl` file in it, in name order, is
+///   one batch — the shape an external producer drops chunks in. A resumed
+///   run re-reads the same spool (the journal replay skips the prefix
+///   already ingested), so later-sorting files dropped after a kill are
+///   picked up.
+fn load_stream_chunks(input: &str, chunk: usize) -> Result<(Schema, Vec<Vec<Record>>), String> {
+    let path = std::path::Path::new(input);
+    if path.is_dir() {
+        let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(path)
+            .map_err(|e| format!("--stream {input}: {e}"))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "jsonl"))
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            return Err(format!("--stream {input}: no *.jsonl chunk files in directory"));
+        }
+        let mut schema: Option<Schema> = None;
+        let mut chunks = Vec::with_capacity(files.len());
+        for file in &files {
+            let name = file.display();
+            let text = std::fs::read_to_string(file).map_err(|e| format!("{name}: {e}"))?;
+            let table = table_from_jsonl(&text).map_err(|e| format!("{name}: {e}"))?;
+            match &schema {
+                None => schema = Some(table.schema().clone()),
+                Some(s) if s != table.schema() => {
+                    return Err(format!(
+                        "schema mismatch: {name} has fields {:?}, earlier chunks have {:?}",
+                        table.schema().fields(),
+                        s.fields()
+                    ));
+                }
+                Some(_) => {}
+            }
+            chunks.push(table.records().to_vec());
+        }
+        Ok((schema.expect("at least one chunk file"), chunks))
+    } else {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {input:?}: {e}"))?;
+        let table = table_from_jsonl(&text).map_err(|e| format!("{input}: {e}"))?;
+        let schema = table.schema().clone();
+        let chunks = table.records().chunks(chunk).map(<[Record]>::to_vec).collect();
+        Ok((schema, chunks))
+    }
+}
+
+/// The engine journal at `path` gets a `.stream` sibling for ingest frames
+/// (two-file scheme: answers in `path`, arrivals in `path.stream`, each
+/// file byte-identical to what a pure batch/stream run would write).
+fn stream_journal_path(path: &str) -> std::path::PathBuf {
+    std::path::PathBuf::from(format!("{path}.stream"))
+}
+
+/// `join --stream PATH`: the streaming self-join. Ingests arrivals through
+/// the incremental matcher (journaling each batch first when `--journal`
+/// is set), closes the stream into the canonical batch-identical
+/// `(dataset, candidates)`, and hands off to the ordinary labeling tail.
+fn run_stream(input: &str, opts: &JoinOpts) -> Result<(), String> {
+    setup_observability(opts)?;
+    let reporter = Reporter::new(opts.report);
+
+    let chunk_size = opts.stream_chunk.unwrap_or(DEFAULT_STREAM_CHUNK);
+    let (schema, chunks) = load_stream_chunks(input, chunk_size)?;
+    let total: usize = chunks.iter().map(Vec::len).sum();
+    let matcher_cfg = MatcherConfig::for_arity(schema.arity());
+
+    // Resume may precede the engine run that creates the answer journal: a
+    // stream killed before close leaves only `FILE.stream` behind. The
+    // stream side still resumes; the engine side then *starts* a journal
+    // at FILE instead of resuming one.
+    let mut opts = opts.clone();
+    let (mut job, replayed) = match (&opts.journal, &opts.resume) {
+        (Some(path), None) => {
+            let spath = stream_journal_path(path);
+            let job = crowdjoin::StreamJob::with_journal(schema, matcher_cfg, opts.seed, &spath)
+                .map_err(|e| format!("--journal {}: {e}", spath.display()))?;
+            (job, 0)
+        }
+        (None, Some(path)) => {
+            let spath = stream_journal_path(path);
+            let (job, replayed) =
+                crowdjoin::StreamJob::resume(schema, matcher_cfg, opts.seed, &spath)
+                    .map_err(|e| format!("--resume {}: {e}", spath.display()))?;
+            if !std::path::Path::new(path).exists() {
+                opts.journal = opts.resume.take();
+            }
+            (job, replayed)
+        }
+        _ => (crowdjoin::StreamJob::new(schema, matcher_cfg, opts.seed), 0),
+    };
+    if replayed > total {
+        return Err(format!(
+            "--resume: the stream journal holds {replayed} records but {input} supplies only \
+             {total}; pass the same input as the original run"
+        ));
+    }
+    if job.is_sealed() && replayed < total {
+        return Err(format!(
+            "--resume: the stream journal is sealed after {replayed} records; it cannot ingest \
+             the {} further record(s) in {input}",
+            total - replayed
+        ));
+    }
+
+    let mut report = crowdjoin::StreamIngestReport::default();
+    let mut seen = 0usize;
+    for chunk in &chunks {
+        let batch: Vec<(u32, Record)> = chunk
+            .iter()
+            .enumerate()
+            .map(|(i, record)| ((seen + i) as u32, record.clone()))
+            .filter(|(external, _)| (*external as usize) >= replayed)
+            .collect();
+        seen += chunk.len();
+        if batch.is_empty() {
+            continue;
+        }
+        let r = job.ingest(&batch).map_err(|e| format!("--journal: {e}"))?;
+        report.inserted += r.inserted;
+        report.delta_pairs += r.delta_pairs;
+        report.components_joined += r.components_joined;
+        report.components_opened += r.components_opened;
+    }
+    reporter.note(&format!(
+        "stream: {total} record(s) in {} batch(es) ({replayed} replayed from the journal), \
+         {} delta pair(s), {} provisional component(s)",
+        chunks.len(),
+        report.delta_pairs,
+        job.num_components(),
+    ));
+
+    let (dataset, candidates_raw) = job.close().map_err(|e| format!("--journal: {e}"))?;
+    finish_join(&dataset, &candidates_raw, &opts, reporter)
+}
+
 fn run_demo(seed: u64) -> Result<(), String> {
     use crowdjoin::records::{generate_paper, ClusterSpec, PaperGenConfig, PerturbConfig};
     use crowdjoin::{build_task, GroundTruthOracle};
@@ -837,6 +1074,7 @@ fn run(cmd: Command) -> Result<(), String> {
             };
             run_join(&dataset, &opts)
         }
+        Command::Stream { input, opts } => run_stream(&input, &opts),
     }
 }
 
@@ -1119,6 +1357,53 @@ mod tests {
             parse_args(&args("dedup --input a.csv --platform amt --progress yes")).unwrap_err();
         assert!(err.contains("--backend spool"), "hint missing from {err:?}");
         assert!(parse_args(&args("dedup --input a.csv --progress sometimes")).is_err());
+    }
+
+    #[test]
+    fn parses_stream() {
+        match parse_args(&args("join --stream arrivals.jsonl")).unwrap() {
+            Command::Stream { input, opts } => {
+                assert_eq!(input, "arrivals.jsonl");
+                assert_eq!(opts.stream_chunk, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse_args(&args("join --stream spool/ --stream-chunk 100")).unwrap() {
+            Command::Stream { opts, .. } => assert_eq!(opts.stream_chunk, Some(100)),
+            other => panic!("wrong command {other:?}"),
+        }
+        // The streaming run carries the full option set — platform mode,
+        // journaling, backends.
+        match parse_args(&args(
+            "join --stream s.jsonl --platform perfect --journal j.wal --shards 4",
+        ))
+        .unwrap()
+        {
+            Command::Stream { opts, .. } => {
+                assert_eq!(opts.platform, Some(PlatformPreset::Perfect));
+                assert_eq!(opts.journal.as_deref(), Some("j.wal"));
+                assert_eq!(opts.shards, 4);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_flag_validation() {
+        // --stream replaces the positional inputs.
+        let err = parse_args(&args("join --stream s.jsonl --left a.csv --right b.csv"));
+        assert!(err.unwrap_err().contains("drop --left/--right"));
+        // --stream-chunk is meaningless without --stream…
+        let err = parse_args(&args("join --left a --right b --stream-chunk 64")).unwrap_err();
+        assert!(err.contains("requires --stream"), "{err:?}");
+        let err = parse_args(&args("dedup --input a.csv --stream-chunk 64")).unwrap_err();
+        assert!(err.contains("requires --stream"), "{err:?}");
+        // …and must be a positive count.
+        assert!(parse_args(&args("join --stream s --stream-chunk 0")).is_err());
+        assert!(parse_args(&args("join --stream s --stream-chunk many")).is_err());
+        // dedup points at the join command.
+        let err = parse_args(&args("dedup --input a.csv --stream s.jsonl")).unwrap_err();
+        assert!(err.contains("join --stream"), "{err:?}");
     }
 
     #[test]

@@ -52,6 +52,7 @@
 pub mod pipeline;
 pub mod report;
 pub mod runner;
+pub mod stream;
 
 /// The spool-directory external crowd backend (re-export of
 /// `crowdjoin-backend-spool`).
@@ -94,3 +95,4 @@ pub use runner::{
     run_parallel_on_platform, run_sharded_on_platform, run_sharded_on_platform_threaded,
     run_sharded_with_oracle, AvailabilitySample, CrowdRunReport,
 };
+pub use stream::{StreamIngestReport, StreamJob};

@@ -66,7 +66,7 @@ impl EngineConfig {
         Self { num_shards, ..Self::default() }
     }
 
-    fn effective_shards(&self) -> usize {
+    pub(crate) fn effective_shards(&self) -> usize {
         if self.num_shards == 0 {
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         } else {

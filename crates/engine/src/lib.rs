@@ -64,6 +64,7 @@ pub mod partition;
 mod persist;
 pub mod report;
 pub mod scheduler;
+pub mod stream;
 pub mod task;
 
 /// The on-disk answer-journal format (re-export of `crowdjoin-wal`).
@@ -88,4 +89,5 @@ pub use oracle::{SharedGroundTruth, SharedOracle, SyncOracle};
 pub use partition::{partition_candidates, Partition, Shard};
 pub use report::{EngineReport, RoundMetric, ShardMetrics, ShardReport};
 pub use scheduler::{effective_threads, run_sharded};
+pub use stream::{IngestReport, StreamEngine, StreamStepReport};
 pub use task::{pair_task_id, task_id_pair, ShardState, ShardTask};

@@ -127,7 +127,7 @@ impl MatcherConfig {
         }
     }
 
-    fn total_weight(&self) -> f64 {
+    pub(crate) fn total_weight(&self) -> f64 {
         self.cosine_weight
             + self.jaccard_weight
             + self.extra_measures.iter().map(|em| em.weight).sum::<f64>()
@@ -147,7 +147,7 @@ impl MatcherConfig {
     /// `crate::prefix`): every candidate clearing `min_likelihood` has
     /// `cosine >= t` or `jaccard >= t`. Non-positive when the blend cannot
     /// prune (extras alone can reach the floor, or the floor is 0).
-    fn prefilter_threshold(&self) -> f64 {
+    pub(crate) fn prefilter_threshold(&self) -> f64 {
         let token_weight = self.cosine_weight + self.jaccard_weight;
         if token_weight <= 0.0 {
             return 0.0;

@@ -16,7 +16,10 @@
 //!   filter with its positional/length tightening and safety argument),
 //!   plus the brute-force oracle;
 //! * [`lsh`] — the opt-in MinHash/LSH banding strategy for the low-floor
-//!   regime (approximate recall, exact likelihoods).
+//!   regime (approximate recall, exact likelihoods);
+//! * [`stream`] — incremental candidate generation for streaming
+//!   ingestion: per-record insert, delta pairs, exact snapshots
+//!   bit-identical to the batch join.
 //!
 //! ```
 //! use crowdjoin_matcher::{generate_candidates, MatcherConfig};
@@ -43,6 +46,7 @@ pub mod fields;
 pub mod lsh;
 pub mod prefix;
 pub mod similarity;
+pub mod stream;
 pub mod tfidf;
 pub mod tokenize;
 
@@ -56,5 +60,6 @@ pub use lsh::{generate_candidates_lsh, recall_of};
 pub use similarity::{
     dice, jaccard, jaro, jaro_winkler, levenshtein, levenshtein_similarity, overlap,
 };
+pub use stream::{DeltaPair, StreamDelta, StreamMatcher};
 pub use tfidf::TfIdfIndex;
 pub use tokenize::{qgrams, token_set, tokenize_words};

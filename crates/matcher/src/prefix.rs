@@ -390,10 +390,15 @@ impl PrefixIndex {
     }
 
     /// Cosine prefix postings of `token`: `(record, weight)`, ascending by
-    /// record id.
+    /// record id. Tokens the index has never seen — any probe against an
+    /// index built over an empty corpus, or a streaming probe whose
+    /// vocabulary outgrew the index — have no postings.
     #[inline]
     pub fn cos_postings(&self, token: u32) -> &[(u32, f32)] {
         let t = token as usize;
+        if t + 1 >= self.cos_bounds.len() {
+            return &[];
+        }
         &self.cos_entries[self.cos_bounds[t] as usize..self.cos_bounds[t + 1] as usize]
     }
 
@@ -408,10 +413,14 @@ impl PrefixIndex {
     }
 
     /// Jaccard prefix postings of `token`: `(record, token-set size)`,
-    /// ascending by record id.
+    /// ascending by record id. Unknown tokens (see [`Self::cos_postings`])
+    /// have no postings.
     #[inline]
     pub fn jac_postings(&self, token: u32) -> &[(u32, u32)] {
         let t = token as usize;
+        if t + 1 >= self.jac_bounds.len() {
+            return &[];
+        }
         &self.jac_entries[self.jac_bounds[t] as usize..self.jac_bounds[t + 1] as usize]
     }
 
@@ -570,6 +579,38 @@ mod tests {
                 "rank order (df, id): {probe:?}"
             );
         }
+    }
+
+    #[test]
+    fn empty_corpus_probe_does_not_panic() {
+        // Regression: the offset tables of an empty corpus are one entry
+        // long (`[0]`), so probing *any* token indexed `bounds[t + 1]` out
+        // of range — the degenerate `t ≤ 0` path hit it first because it
+        // indexes every token and the streaming layer probes before the
+        // first record is indexed. Unknown tokens must report no postings.
+        let ds = dataset(&[]);
+        let corpus = TokenizedCorpus::build(&ds);
+        let index = TfIdfIndex::from_corpus(&corpus, &[1.0]);
+        for threshold in [0.0, -0.5, 0.3] {
+            let pf = PrefixIndex::build(&corpus, &index, threshold, true, true, None);
+            assert!(pf.jac_postings(0).is_empty(), "threshold {threshold}");
+            assert!(pf.cos_postings(0).is_empty(), "threshold {threshold}");
+            assert!(pf.jac_postings(17).is_empty());
+            assert!(pf.cos_postings(17).is_empty());
+        }
+    }
+
+    #[test]
+    fn probe_with_tokens_beyond_the_indexed_vocabulary_sees_no_postings() {
+        // A streaming probe can carry tokens interned *after* the index was
+        // built; they must behave as "no postings", not panic.
+        let ds = dataset(&["sony tv", "sony camera"]);
+        let corpus = TokenizedCorpus::build(&ds);
+        let index = TfIdfIndex::from_corpus(&corpus, &[1.0]);
+        let pf = PrefixIndex::build(&corpus, &index, 0.3, true, true, None);
+        let beyond = corpus.vocabulary_size() as u32 + 5;
+        assert!(pf.jac_postings(beyond).is_empty());
+        assert!(pf.cos_postings(beyond).is_empty());
     }
 
     #[test]

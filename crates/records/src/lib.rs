@@ -23,6 +23,7 @@
 
 pub mod clusters;
 pub mod csv;
+pub mod jsonl;
 pub mod papergen;
 pub mod perturb;
 pub mod productgen;
@@ -31,6 +32,7 @@ pub mod vocab;
 
 pub use clusters::{assign_entities, sample_sizes, ClusterSpec};
 pub use csv::{parse_csv, table_from_csv, table_to_csv, write_csv, CsvError};
+pub use jsonl::{parse_jsonl_line, table_from_jsonl, table_to_jsonl, JsonlError};
 pub use papergen::{generate_paper, paper_schema, PaperGenConfig};
 pub use perturb::{PerturbConfig, Perturber};
 pub use productgen::{generate_product, product_schema, ProductGenConfig};

@@ -143,7 +143,7 @@ pub fn read_journal(path: &Path) -> Result<JournalContents, WalError> {
 /// else holds it" from real I/O failure. Advisory locks are per open file
 /// description and released when the file closes, i.e. when the
 /// [`Journal`] drops.
-fn lock_exclusive(file: &File, path: &Path) -> Result<(), WalError> {
+pub(crate) fn lock_exclusive(file: &File, path: &Path) -> Result<(), WalError> {
     match file.try_lock() {
         Ok(()) => Ok(()),
         Err(std::fs::TryLockError::WouldBlock) => Err(WalError::Locked(path.to_path_buf())),

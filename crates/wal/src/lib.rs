@@ -76,12 +76,22 @@
 //! [`CompleteRecord`] marks a finished job. [`partition_replay`] splits a
 //! decoded record list back into those per-shard queues for the engine's
 //! replay. See `docs/ARCHITECTURE.md` for the crash & resume walkthrough.
+//!
+//! ## The stream journal
+//!
+//! Streaming jobs additionally journal record *arrivals* to a sibling
+//! `FILE.stream` file (see [`StreamJournal`]) with the same frame format
+//! and truncation rule but a disjoint tag range, so the two journal kinds
+//! reject each other loudly. The answer journal stays byte-identical to a
+//! batch run's; the stream journal is what lets a killed stream rebuild
+//! its corpus before `Engine::resume` replays the answers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod journal;
 mod record;
+mod stream;
 
 pub use journal::{
     open_resume, partition_replay, read_journal, Journal, JournalContents, ReplayPlan,
@@ -89,6 +99,11 @@ pub use journal::{
 pub use record::{
     crc32, decode_stream, fnv1a64, AnswerRecord, BarrierRecord, CompleteRecord, GenerationRecord,
     JobHeader, Record, ShardEvent, StatsSnapshot, FORMAT_VERSION, MAX_RECORD_LEN,
+};
+pub use stream::{
+    decode_stream_journal, open_resume_stream, read_stream_journal, IngestFrame, SealRecord,
+    StreamContents, StreamEntry, StreamHeader, StreamJournal, StreamRecord, INGEST_FRAME_RECORDS,
+    MAX_STREAM_RECORD_LEN, STREAM_FORMAT_VERSION,
 };
 
 use std::fmt;

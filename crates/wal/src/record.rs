@@ -209,19 +209,19 @@ pub enum ShardEvent {
 // Encoding
 // ---------------------------------------------------------------------------
 
-struct Writer<'a>(&'a mut Vec<u8>);
+pub(crate) struct Writer<'a>(pub(crate) &'a mut Vec<u8>);
 
 impl Writer<'_> {
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.0.push(v);
     }
-    fn bool(&mut self, v: bool) {
+    pub(crate) fn bool(&mut self, v: bool) {
         self.0.push(u8::from(v));
     }
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
 }
@@ -308,13 +308,13 @@ impl StatsSnapshot {
 
 /// Cursor over one frame's payload; every read is bounds-checked and the
 /// caller asserts exhaustion at the end.
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+pub(crate) struct Reader<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
         if self.pos + n > self.bytes.len() {
             return Err(format!(
                 "payload too short: wanted {n} bytes at offset {}, have {}",
@@ -326,23 +326,23 @@ impl<'a> Reader<'a> {
         self.pos += n;
         Ok(s)
     }
-    fn u8(&mut self) -> Result<u8, String> {
+    pub(crate) fn u8(&mut self) -> Result<u8, String> {
         Ok(self.take(1)?[0])
     }
-    fn bool(&mut self) -> Result<bool, String> {
+    pub(crate) fn bool(&mut self) -> Result<bool, String> {
         match self.u8()? {
             0 => Ok(false),
             1 => Ok(true),
             v => Err(format!("invalid bool byte {v}")),
         }
     }
-    fn u32(&mut self) -> Result<u32, String> {
+    pub(crate) fn u32(&mut self) -> Result<u32, String> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
     }
-    fn u64(&mut self) -> Result<u64, String> {
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
-    fn done(&self) -> Result<(), String> {
+    pub(crate) fn done(&self) -> Result<(), String> {
         if self.pos == self.bytes.len() {
             Ok(())
         } else {

@@ -1,0 +1,613 @@
+//! The streaming ingestion journal — the `Ingest` half of a streaming
+//! job's WAL.
+//!
+//! A streaming job journals to **two** files: `FILE.stream` (this module)
+//! records *which records arrived*, and `FILE` (the ordinary answer
+//! journal, created once the stream is closed and the labeling order is
+//! final) records *which questions were paid for*. Splitting keeps the
+//! batch journal format byte-identical — the answer journal's
+//! [`JobHeader`](crate::JobHeader) fingerprints a finalized labeling
+//! order, which a stream does not have until close — while still letting a
+//! killed stream resume bit-identically: replay the `Ingest` frames to
+//! rebuild the arrived corpus, continue ingesting, then let
+//! `Engine::resume` replay the answers.
+//!
+//! The on-disk discipline is exactly the crate-level one (`[len][crc]
+//! [payload]` frames, torn-tail truncation, exclusive advisory lock);
+//! only the record vocabulary differs. Stream tags live in a disjoint
+//! range (16+) so feeding either journal to the other reader fails with
+//! [`WalError::NotAJournal`] instead of mis-decoding.
+//!
+//! Frame stream: one [`StreamHeader`] (always first), then [`IngestFrame`]s
+//! carrying batches of arrived records (each with its caller-assigned
+//! external id and raw field values — enough to re-tokenize on resume),
+//! optionally ending with a [`SealRecord`] fingerprinting the final
+//! candidate order once the stream closed. Ingest frames carry a running
+//! `seq` (records arrived before the frame), so replay detects missing or
+//! reordered frames as corruption.
+
+use crate::journal::lock_exclusive;
+use crate::record::{crc32, Reader, Writer};
+use crate::WalError;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write as _};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Stream-journal format version this build writes and reads.
+pub const STREAM_FORMAT_VERSION: u32 = 1;
+
+/// Upper bound on a stream frame payload. Larger than the answer
+/// journal's (ingest frames carry raw record text), still small enough
+/// that an absurd length is recognized as corruption.
+pub const MAX_STREAM_RECORD_LEN: u32 = 1 << 24;
+
+/// Records per ingest frame cap: [`StreamJournal::append_ingest`] splits
+/// larger batches so no frame approaches [`MAX_STREAM_RECORD_LEN`].
+pub const INGEST_FRAME_RECORDS: usize = 1024;
+
+/// Frame tag values — disjoint from the answer journal's (1..=5) so the
+/// two formats reject each other loudly.
+mod tag {
+    pub const STREAM_HEADER: u8 = 16;
+    pub const INGEST: u8 = 17;
+    pub const SEAL: u8 = 18;
+}
+
+/// The first frame of every stream journal: format version plus the
+/// stream's identity (schema arity, a fingerprint of the matcher/engine
+/// configuration, and the job seed). Resume checks these before replaying
+/// a single record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamHeader {
+    /// Format version ([`STREAM_FORMAT_VERSION`] when written by this
+    /// build).
+    pub version: u32,
+    /// Schema arity of the streamed records.
+    pub arity: u32,
+    /// [`fnv1a64`](crate::fnv1a64) fingerprint of the job configuration
+    /// (matcher floor and weights, engine threshold, …) — resuming with a
+    /// different configuration would silently change the candidate set.
+    pub config_hash: u64,
+    /// The job's master seed.
+    pub seed: u64,
+}
+
+/// One arrived record inside an [`IngestFrame`]: its caller-assigned
+/// external id plus the raw field values (everything needed to
+/// re-tokenize it on resume).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamEntry {
+    /// Caller-assigned external id (the record's identity across arrival
+    /// orders — the close path sorts by it).
+    pub external: u32,
+    /// Raw field values, schema order.
+    pub fields: Vec<String>,
+}
+
+/// A durable batch of arrived records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestFrame {
+    /// Number of records ingested before this frame (replay validates the
+    /// running count, so a missing frame is corruption, not silence).
+    pub seq: u64,
+    /// The records, arrival order.
+    pub entries: Vec<StreamEntry>,
+}
+
+/// The stream was closed: records the final corpus size and a fingerprint
+/// of the canonical candidate order handed to the engine. A resume after
+/// close verifies it reproduces the same order bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SealRecord {
+    /// Records ingested in total.
+    pub num_records: u64,
+    /// Candidate pairs in the canonical labeling order.
+    pub order_len: u64,
+    /// [`fnv1a64`](crate::fnv1a64) over the ordered pairs and likelihood
+    /// bits (same recipe as the answer journal's `order_hash`).
+    pub order_hash: u64,
+}
+
+/// Any stream-journal record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamRecord {
+    /// Stream identity; always the first frame.
+    Header(StreamHeader),
+    /// A batch of arrived records.
+    Ingest(IngestFrame),
+    /// Close marker with the canonical-order fingerprint.
+    Seal(SealRecord),
+}
+
+impl StreamRecord {
+    /// Appends this record's complete frame (`len` + `crc` + payload) to
+    /// `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let mut payload = Vec::with_capacity(128);
+        let mut w = Writer(&mut payload);
+        match self {
+            StreamRecord::Header(h) => {
+                w.u8(tag::STREAM_HEADER);
+                w.u32(h.version);
+                w.u32(h.arity);
+                w.u64(h.config_hash);
+                w.u64(h.seed);
+            }
+            StreamRecord::Ingest(i) => {
+                w.u8(tag::INGEST);
+                w.u64(i.seq);
+                w.u32(u32::try_from(i.entries.len()).expect("ingest frame too large"));
+                for e in &i.entries {
+                    w.u32(e.external);
+                    w.u32(u32::try_from(e.fields.len()).expect("record arity overflow"));
+                    for f in &e.fields {
+                        w.u32(u32::try_from(f.len()).expect("field too large"));
+                        w.0.extend_from_slice(f.as_bytes());
+                    }
+                }
+            }
+            StreamRecord::Seal(s) => {
+                w.u8(tag::SEAL);
+                w.u64(s.num_records);
+                w.u64(s.order_len);
+                w.u64(s.order_hash);
+            }
+        }
+        assert!(
+            payload.len() <= MAX_STREAM_RECORD_LEN as usize,
+            "stream frame payload exceeds MAX_STREAM_RECORD_LEN"
+        );
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+    }
+}
+
+fn decode_payload(payload: &[u8]) -> Result<StreamRecord, String> {
+    let mut r = Reader { bytes: payload, pos: 0 };
+    let record = match r.u8()? {
+        tag::STREAM_HEADER => StreamRecord::Header(StreamHeader {
+            version: r.u32()?,
+            arity: r.u32()?,
+            config_hash: r.u64()?,
+            seed: r.u64()?,
+        }),
+        tag::INGEST => {
+            let seq = r.u64()?;
+            let count = r.u32()? as usize;
+            let mut entries = Vec::with_capacity(count.min(INGEST_FRAME_RECORDS));
+            for _ in 0..count {
+                let external = r.u32()?;
+                let arity = r.u32()? as usize;
+                let mut fields = Vec::with_capacity(arity.min(64));
+                for _ in 0..arity {
+                    let len = r.u32()? as usize;
+                    let bytes = r.take(len)?;
+                    fields.push(
+                        String::from_utf8(bytes.to_vec())
+                            .map_err(|_| "field value is not UTF-8".to_string())?,
+                    );
+                }
+                entries.push(StreamEntry { external, fields });
+            }
+            StreamRecord::Ingest(IngestFrame { seq, entries })
+        }
+        tag::SEAL => StreamRecord::Seal(SealRecord {
+            num_records: r.u64()?,
+            order_len: r.u64()?,
+            order_hash: r.u64()?,
+        }),
+        t => return Err(format!("unknown stream record tag {t}")),
+    };
+    r.done()?;
+    Ok(record)
+}
+
+/// Decodes a stream-journal byte image, applying the crate-level
+/// truncation rule (same classification as
+/// [`decode_stream`](crate::decode_stream), documented there).
+///
+/// Returns `(header, records, valid_len)`; records exclude the header
+/// frame.
+///
+/// # Errors
+///
+/// [`WalError::NotAJournal`] if the file does not start with a valid
+/// stream header frame (in particular for an *answer* journal — the tag
+/// ranges are disjoint), [`WalError::VersionMismatch`] for an unknown
+/// version, [`WalError::Corrupt`] for mid-file damage.
+pub fn decode_stream_journal(
+    bytes: &[u8],
+) -> Result<(StreamHeader, Vec<StreamRecord>, u64), WalError> {
+    let mut records = Vec::new();
+    let mut header: Option<StreamHeader> = None;
+    let mut pos: usize = 0;
+    loop {
+        let remaining = bytes.len() - pos;
+        if remaining == 0 {
+            break;
+        }
+        if remaining < 8 {
+            break; // torn: frame prelude incomplete
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if len == 0 || len > MAX_STREAM_RECORD_LEN as usize {
+            if header.is_none() {
+                return Err(WalError::NotAJournal(format!(
+                    "first frame has implausible length {len}"
+                )));
+            }
+            break;
+        }
+        if pos + 8 + len > bytes.len() {
+            break; // torn: payload extends past end-of-file
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        let is_final = pos + 8 + len == bytes.len();
+        if crc32(payload) != crc {
+            if header.is_none() {
+                return Err(WalError::NotAJournal("header frame fails its CRC".to_string()));
+            }
+            if is_final {
+                break;
+            }
+            return Err(WalError::Corrupt {
+                offset: pos as u64,
+                reason: "frame payload fails its CRC".to_string(),
+            });
+        }
+        let record = match decode_payload(payload) {
+            Ok(r) => r,
+            Err(reason) => {
+                if header.is_none() {
+                    return Err(WalError::NotAJournal(format!("header frame invalid: {reason}")));
+                }
+                return Err(WalError::Corrupt { offset: pos as u64, reason });
+            }
+        };
+        match (&header, record) {
+            (None, StreamRecord::Header(h)) => {
+                if h.version != STREAM_FORMAT_VERSION {
+                    return Err(WalError::VersionMismatch { found: h.version });
+                }
+                header = Some(h);
+            }
+            (None, _) => {
+                return Err(WalError::NotAJournal("first frame is not a stream header".to_string()))
+            }
+            (Some(_), StreamRecord::Header(_)) => {
+                return Err(WalError::Corrupt {
+                    offset: pos as u64,
+                    reason: "second stream header frame".to_string(),
+                });
+            }
+            (Some(_), r) => records.push(r),
+        }
+        pos += 8 + len;
+    }
+    let Some(header) = header else {
+        return Err(WalError::NotAJournal("no complete stream header frame".to_string()));
+    };
+    Ok((header, records, pos as u64))
+}
+
+/// A decoded stream journal.
+#[derive(Debug, Clone)]
+pub struct StreamContents {
+    /// The stream-identity header.
+    pub header: StreamHeader,
+    /// Every valid record after the header, in append order.
+    pub records: Vec<StreamRecord>,
+    /// Byte length of the valid frame prefix.
+    pub valid_len: u64,
+    /// Bytes dropped as a torn tail (0 for a clean file).
+    pub torn_bytes: u64,
+}
+
+impl StreamContents {
+    /// Flattens the ingest frames into one arrival-ordered entry list,
+    /// validating frame sequencing, and returns the seal if the stream
+    /// was closed.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Corrupt`] if frame `seq`s do not form a running record
+    /// count, if an ingest follows the seal, or if the seal's record count
+    /// disagrees with the replayed entries.
+    pub fn replay(&self) -> Result<(Vec<StreamEntry>, Option<SealRecord>), WalError> {
+        let mut entries: Vec<StreamEntry> = Vec::new();
+        let mut seal: Option<SealRecord> = None;
+        for r in &self.records {
+            match r {
+                StreamRecord::Header(_) => unreachable!("decoder strips the header frame"),
+                StreamRecord::Ingest(i) => {
+                    if seal.is_some() {
+                        return Err(WalError::Corrupt {
+                            offset: self.valid_len,
+                            reason: "ingest frame after the seal".to_string(),
+                        });
+                    }
+                    if i.seq != entries.len() as u64 {
+                        return Err(WalError::Corrupt {
+                            offset: self.valid_len,
+                            reason: format!(
+                                "ingest frame seq {} but {} records replayed",
+                                i.seq,
+                                entries.len()
+                            ),
+                        });
+                    }
+                    entries.extend(i.entries.iter().cloned());
+                }
+                StreamRecord::Seal(s) => {
+                    if s.num_records != entries.len() as u64 {
+                        return Err(WalError::Corrupt {
+                            offset: self.valid_len,
+                            reason: format!(
+                                "seal records {} but {} records replayed",
+                                s.num_records,
+                                entries.len()
+                            ),
+                        });
+                    }
+                    seal = Some(*s);
+                }
+            }
+        }
+        Ok((entries, seal))
+    }
+}
+
+/// A stream journal open for appending — same locking and durability
+/// discipline as [`Journal`](crate::Journal).
+#[derive(Debug)]
+pub struct StreamJournal {
+    inner: Mutex<BufWriter<File>>,
+}
+
+impl StreamJournal {
+    /// Creates a fresh stream journal at `path` (exclusive lock, durable
+    /// header frame).
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::AlreadyExists`] for a non-empty file,
+    /// [`WalError::Locked`] if another process holds it, [`WalError::Io`]
+    /// on I/O failure.
+    pub fn create(path: &Path, header: &StreamHeader) -> Result<Self, WalError> {
+        let file = OpenOptions::new().create(true).write(true).truncate(false).open(path)?;
+        lock_exclusive(&file, path)?;
+        if file.metadata()?.len() > 0 {
+            return Err(WalError::AlreadyExists(path.to_path_buf()));
+        }
+        let journal = StreamJournal { inner: Mutex::new(BufWriter::new(file)) };
+        journal.append(&StreamRecord::Header(*header))?;
+        Ok(journal)
+    }
+
+    /// Appends one record and `fsync`s it — every stream frame is durable
+    /// (ingests are chunky and infrequent, so the sync cost is per batch,
+    /// not per record).
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] on write or sync failure (fatal for the job).
+    pub fn append(&self, record: &StreamRecord) -> Result<(), WalError> {
+        let mut frame = Vec::with_capacity(256);
+        record.encode(&mut frame);
+        let mut w = self.inner.lock().expect("stream journal mutex poisoned");
+        w.write_all(&frame)?;
+        w.flush()?;
+        w.get_ref().sync_data()?;
+        Ok(())
+    }
+
+    /// Journals a batch of arrived records, splitting into frames of at
+    /// most [`INGEST_FRAME_RECORDS`] entries. `seq` is the number of
+    /// records ingested before this batch.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] on write or sync failure.
+    pub fn append_ingest(&self, mut seq: u64, entries: &[StreamEntry]) -> Result<(), WalError> {
+        for chunk in entries.chunks(INGEST_FRAME_RECORDS) {
+            self.append(&StreamRecord::Ingest(IngestFrame { seq, entries: chunk.to_vec() }))?;
+            seq += chunk.len() as u64;
+        }
+        Ok(())
+    }
+
+    /// Journals the close marker.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] on write or sync failure.
+    pub fn append_seal(&self, seal: &SealRecord) -> Result<(), WalError> {
+        self.append(&StreamRecord::Seal(*seal))
+    }
+}
+
+/// Reads a stream journal without modifying it.
+///
+/// # Errors
+///
+/// Everything [`decode_stream_journal`] raises, plus [`WalError::Io`].
+pub fn read_stream_journal(path: &Path) -> Result<StreamContents, WalError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let (header, records, valid_len) = decode_stream_journal(&bytes)?;
+    Ok(StreamContents { header, records, valid_len, torn_bytes: bytes.len() as u64 - valid_len })
+}
+
+/// Opens a stream journal for resuming: exclusive lock, read, truncate
+/// any torn tail on disk, return the contents plus a journal positioned
+/// to append after the last valid frame.
+///
+/// # Errors
+///
+/// Everything [`read_stream_journal`] raises, plus [`WalError::Locked`]
+/// and [`WalError::Io`] on the truncate/seek.
+pub fn open_resume_stream(path: &Path) -> Result<(StreamContents, StreamJournal), WalError> {
+    let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+    lock_exclusive(&file, path)?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    let (header, records, valid_len) = decode_stream_journal(&bytes)?;
+    let contents =
+        StreamContents { header, records, valid_len, torn_bytes: bytes.len() as u64 - valid_len };
+    file.set_len(contents.valid_len)?;
+    file.sync_data()?;
+    file.seek(SeekFrom::Start(contents.valid_len))?;
+    let journal = StreamJournal { inner: Mutex::new(BufWriter::new(file)) };
+    Ok((contents, journal))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> StreamHeader {
+        StreamHeader { version: STREAM_FORMAT_VERSION, arity: 2, config_hash: 77, seed: 42 }
+    }
+
+    fn entry(external: u32, name: &str) -> StreamEntry {
+        StreamEntry { external, fields: vec![name.to_string(), "9.99".to_string()] }
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("crowdjoin-walstream-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_ingest_and_seal() {
+        let path = temp_path("roundtrip.stream");
+        let _ = std::fs::remove_file(&path);
+        let journal = StreamJournal::create(&path, &header()).expect("create");
+        journal.append_ingest(0, &[entry(3, "sony tv"), entry(1, "canon cam")]).expect("ingest");
+        journal.append_ingest(2, &[entry(0, "sony tv 40")]).expect("ingest");
+        journal
+            .append_seal(&SealRecord { num_records: 3, order_len: 2, order_hash: 0xbeef })
+            .expect("seal");
+        drop(journal);
+
+        let contents = read_stream_journal(&path).expect("read");
+        assert_eq!(contents.header, header());
+        assert_eq!(contents.torn_bytes, 0);
+        let (entries, seal) = contents.replay().expect("replay");
+        assert_eq!(
+            entries,
+            vec![entry(3, "sony tv"), entry(1, "canon cam"), entry(0, "sony tv 40")]
+        );
+        assert_eq!(seal, Some(SealRecord { num_records: 3, order_len: 2, order_hash: 0xbeef }));
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn large_batches_split_into_frames_with_running_seq() {
+        let path = temp_path("split.stream");
+        let _ = std::fs::remove_file(&path);
+        let journal = StreamJournal::create(&path, &header()).expect("create");
+        let batch: Vec<StreamEntry> =
+            (0..INGEST_FRAME_RECORDS as u32 + 10).map(|i| entry(i, "x")).collect();
+        journal.append_ingest(0, &batch).expect("ingest");
+        drop(journal);
+        let contents = read_stream_journal(&path).expect("read");
+        assert_eq!(contents.records.len(), 2, "split into two frames");
+        let (entries, seal) = contents.replay().expect("replay");
+        assert_eq!(entries.len(), batch.len());
+        assert!(seal.is_none());
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn torn_tail_recovers_prefix_and_resume_appends() {
+        let path = temp_path("torn.stream");
+        let _ = std::fs::remove_file(&path);
+        let journal = StreamJournal::create(&path, &header()).expect("create");
+        journal.append_ingest(0, &[entry(0, "a")]).expect("ingest");
+        journal.append_ingest(1, &[entry(1, "b")]).expect("ingest");
+        drop(journal);
+        let full = std::fs::read(&path).expect("read bytes");
+        std::fs::write(&path, &full[..full.len() - 5]).expect("tear");
+
+        let (contents, journal) = open_resume_stream(&path).expect("resume");
+        assert!(contents.torn_bytes > 0);
+        let (entries, _) = contents.replay().expect("replay");
+        assert_eq!(entries, vec![entry(0, "a")]);
+        // Continue the stream from the replayed count.
+        journal.append_ingest(entries.len() as u64, &[entry(1, "b")]).expect("re-ingest");
+        drop(journal);
+        let (entries, _) = read_stream_journal(&path).expect("read").replay().expect("replay");
+        assert_eq!(entries, vec![entry(0, "a"), entry(1, "b")]);
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn seq_gap_is_corruption() {
+        let contents = StreamContents {
+            header: header(),
+            records: vec![StreamRecord::Ingest(IngestFrame {
+                seq: 5,
+                entries: vec![entry(0, "a")],
+            })],
+            valid_len: 0,
+            torn_bytes: 0,
+        };
+        assert!(matches!(contents.replay(), Err(WalError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn answer_journal_and_stream_journal_reject_each_other() {
+        use crate::record::{JobHeader, Record, FORMAT_VERSION};
+        // An answer journal fed to the stream reader.
+        let mut answer_bytes = Vec::new();
+        Record::Header(JobHeader {
+            version: FORMAT_VERSION,
+            num_objects: 3,
+            order_len: 1,
+            order_hash: 1,
+            truth_hash: 2,
+            platform_hash: 3,
+            engine_seed: 4,
+            num_shards: 1,
+            instant_decision: true,
+            reshard: false,
+        })
+        .encode(&mut answer_bytes);
+        assert!(matches!(decode_stream_journal(&answer_bytes), Err(WalError::NotAJournal(_))));
+        // A stream journal fed to the answer-journal reader.
+        let mut stream_bytes = Vec::new();
+        StreamRecord::Header(header()).encode(&mut stream_bytes);
+        assert!(matches!(
+            crate::record::decode_stream(&stream_bytes),
+            Err(WalError::NotAJournal(_))
+        ));
+    }
+
+    #[test]
+    fn future_stream_version_rejected() {
+        let mut h = header();
+        h.version = STREAM_FORMAT_VERSION + 1;
+        let mut bytes = Vec::new();
+        StreamRecord::Header(h).encode(&mut bytes);
+        assert!(matches!(
+            decode_stream_journal(&bytes),
+            Err(WalError::VersionMismatch { found }) if found == STREAM_FORMAT_VERSION + 1
+        ));
+    }
+
+    #[test]
+    fn exclusive_lock_refuses_second_writer() {
+        let path = temp_path("lock.stream");
+        let _ = std::fs::remove_file(&path);
+        let journal = StreamJournal::create(&path, &header()).expect("create");
+        assert!(matches!(open_resume_stream(&path), Err(WalError::Locked(_))));
+        assert!(matches!(StreamJournal::create(&path, &header()), Err(WalError::Locked(_))));
+        drop(journal);
+        let (_, resumed) = open_resume_stream(&path).expect("lock released");
+        drop(resumed);
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+}

@@ -324,6 +324,181 @@ fn resume_rejects_a_different_job() {
     std::fs::remove_file(&path).expect("cleanup");
 }
 
+// ===== Streaming: the two-file scheme (`FILE.stream` ingest frames + =====
+// ===== `FILE` answer records), killed at both phases.                =====
+
+use crowdjoin::matcher::{generate_candidates, MatcherConfig, ScoredCandidate};
+use crowdjoin::records::{generate_paper, ClusterSpec, Dataset, PaperGenConfig, PerturbConfig};
+use crowdjoin::{sort_pairs, to_candidate_set, SortStrategy, StreamJob};
+
+fn stream_dataset() -> Dataset {
+    generate_paper(&PaperGenConfig {
+        num_records: 60,
+        clusters: ClusterSpec::Explicit(vec![(4, 5), (3, 6), (2, 6)]),
+        perturb: PerturbConfig::light(),
+        sibling_probability: 0.1,
+        seed: 31,
+    })
+}
+
+fn stream_matcher_config() -> MatcherConfig {
+    MatcherConfig { min_likelihood: 0.2, ..MatcherConfig::for_arity(5) }
+}
+
+/// Ingest-batch size for the streaming tests: one journal frame per batch.
+const STREAM_BATCH: usize = 5;
+
+/// Ingests records `from..to` of `ds` (external id = record index) in
+/// [`STREAM_BATCH`]-record batches.
+fn ingest_range(job: &mut StreamJob, ds: &Dataset, from: usize, to: usize) {
+    let mut i = from;
+    while i < to {
+        let hi = (i + STREAM_BATCH).min(to);
+        let batch: Vec<(u32, crowdjoin::records::Record)> =
+            (i..hi).map(|r| (r as u32, ds.table.record(r).clone())).collect();
+        job.ingest(&batch).expect("journaled ingest");
+        i = hi;
+    }
+}
+
+fn stream_order(ds: &Dataset, candidates: &[ScoredCandidate]) -> Vec<ScoredPair> {
+    let set = to_candidate_set(ds, candidates).above_threshold(0.3);
+    sort_pairs(&set, SortStrategy::ExpectedLikelihood)
+}
+
+fn assert_candidates_identical(streamed: &[ScoredCandidate], batch: &[ScoredCandidate], ctx: &str) {
+    assert_eq!(streamed.len(), batch.len(), "{ctx}: candidate count");
+    for (s, b) in streamed.iter().zip(batch) {
+        assert_eq!((s.a, s.b), (b.a, b.b), "{ctx}");
+        assert_eq!(
+            s.likelihood.to_bits(),
+            b.likelihood.to_bits(),
+            "{ctx}: likelihood bits on ({}, {})",
+            s.a,
+            s.b
+        );
+    }
+}
+
+/// The streaming acceptance test: kill the job **twice** — first after N
+/// ingest frames (only `FILE.stream` exists), then after M crowd answers
+/// (cutting `FILE`) — and resume each time. The stream resume replays the
+/// Ingest frames and re-derives the identical candidate order; the engine
+/// resume replays the Answer records; the final report is bit-identical to
+/// an uninterrupted run and no journaled question is ever re-asked.
+#[test]
+fn stream_killed_mid_ingest_and_mid_answers_resumes_bit_identically() {
+    let ds = stream_dataset();
+    let truth = GroundTruth::new(ds.entity_of.clone());
+    let platform = platform_config();
+    let batch = generate_candidates(&ds, &stream_matcher_config());
+    let order = stream_order(&ds, &batch);
+    assert!(order.len() >= 20, "workload must have enough pairs to matter");
+
+    // Uninterrupted journaled reference run.
+    let full_path = temp_path("stream-full.wal");
+    let _ = std::fs::remove_file(&full_path);
+    let config = EngineConfig { journal: Some(full_path.clone()), ..engine_config(false) };
+    let full =
+        Engine::new(ds.len(), &order, &truth, &platform, config).run().expect("reference run");
+
+    for kill_after in [1usize, 6, 11] {
+        let survived = (kill_after * STREAM_BATCH).min(ds.len());
+
+        // Kill N°1: mid-stream, after `kill_after` durable ingest frames.
+        let spath = temp_path(&format!("stream-{kill_after}.wal.stream"));
+        let _ = std::fs::remove_file(&spath);
+        let schema = ds.table.schema().clone();
+        let mut job = StreamJob::with_journal(schema.clone(), stream_matcher_config(), 11, &spath)
+            .expect("stream journal");
+        ingest_range(&mut job, &ds, 0, survived);
+        drop(job);
+
+        // Resume the stream: Ingest frames replay, the rest re-ingests,
+        // and the close is bit-identical to batch candidates.
+        let (mut job, replayed) =
+            StreamJob::resume(schema, stream_matcher_config(), 11, &spath).expect("stream resume");
+        assert_eq!(replayed, survived, "every durable ingest frame must replay");
+        assert!(!job.is_sealed());
+        ingest_range(&mut job, &ds, replayed, ds.len());
+        let (_, streamed) = job.close().expect("close");
+        assert_candidates_identical(&streamed, &batch, &format!("stream kill {kill_after}"));
+
+        // The engine phase over the streamed order, journaled.
+        let sorder = stream_order(&ds, &streamed);
+        let jpath = temp_path(&format!("stream-{kill_after}.wal"));
+        let _ = std::fs::remove_file(&jpath);
+        let config = EngineConfig { journal: Some(jpath.clone()), ..engine_config(false) };
+        let run =
+            Engine::new(ds.len(), &sorder, &truth, &platform, config).run().expect("engine run");
+        assert_reports_identical(&full, &run, &order, &format!("stream kill {kill_after}"));
+
+        // Kill N°2: after M answers — cut the answer journal at record
+        // boundaries and resume; bit-identical, never re-asking.
+        let contents = wal::read_journal(&jpath).expect("answer journal");
+        let bytes = std::fs::read(&jpath).expect("journal bytes");
+        let cut_path = temp_path(&format!("stream-{kill_after}-cut.wal"));
+        for frac in [0.25, 0.6, 0.9] {
+            let idx = ((contents.offsets.len() - 1) as f64 * frac) as usize;
+            std::fs::write(&cut_path, &bytes[..contents.offsets[idx] as usize]).expect("cut");
+            let paid_before = wal::partition_replay(&contents.records[..idx]).num_answers();
+            let resumed = resume_sharded_on_platform(
+                ds.len(),
+                &sorder,
+                &truth,
+                &platform,
+                &engine_config(false),
+                &cut_path,
+            )
+            .unwrap_or_else(|e| panic!("resume after {paid_before} answers failed: {e}"));
+            let ctx = format!("stream kill {kill_after}, answer cut {idx}");
+            assert_reports_identical(&full, &resumed, &order, &ctx);
+            assert_eq!(resumed.num_replayed_answers(), paid_before, "{ctx}: replay count");
+            assert_eq!(
+                paid_before + resumed.num_new_answers(),
+                full.num_crowd_answers(),
+                "{ctx}: crashed + resumed answers must equal the uninterrupted run's"
+            );
+        }
+        std::fs::remove_file(&spath).expect("cleanup");
+        std::fs::remove_file(&jpath).expect("cleanup");
+        let _ = std::fs::remove_file(&cut_path);
+    }
+    std::fs::remove_file(&full_path).expect("cleanup");
+}
+
+/// Crashes do not respect ingest-frame boundaries either: a stream journal
+/// truncated at arbitrary byte offsets loses only the torn frame — the
+/// resume replays the durable prefix, the lost records re-ingest, and the
+/// close stays bit-identical to batch.
+#[test]
+fn torn_stream_tail_resumes_to_identical_close() {
+    let ds = stream_dataset();
+    let batch = generate_candidates(&ds, &stream_matcher_config());
+    let schema = ds.table.schema().clone();
+    let spath = temp_path("stream-torn.wal.stream");
+    let _ = std::fs::remove_file(&spath);
+    let mut job = StreamJob::with_journal(schema.clone(), stream_matcher_config(), 11, &spath)
+        .expect("stream journal");
+    ingest_range(&mut job, &ds, 0, ds.len());
+    drop(job);
+    let bytes = std::fs::read(&spath).expect("stream journal bytes");
+
+    for frac in [0.31, 0.55, 0.78, 0.97] {
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        std::fs::write(&spath, &bytes[..cut]).expect("write torn journal");
+        let (mut job, replayed) =
+            StreamJob::resume(schema.clone(), stream_matcher_config(), 11, &spath)
+                .unwrap_or_else(|e| panic!("torn resume at byte {cut} failed: {e}"));
+        assert!(replayed <= ds.len());
+        assert!(replayed.is_multiple_of(STREAM_BATCH), "only whole frames replay");
+        ingest_range(&mut job, &ds, replayed, ds.len());
+        let (_, streamed) = job.close().expect("close");
+        assert_candidates_identical(&streamed, &batch, &format!("torn byte cut {cut}"));
+    }
+    std::fs::remove_file(&spath).expect("cleanup");
+}
+
 /// Starting a *new* journal over an existing non-empty file is refused —
 /// it may hold paid-for answers.
 #[test]
