@@ -196,7 +196,8 @@ pub(crate) fn run_event_loop<F: BackendFactory>(
             report_index: index,
         };
         let backend = factory.create(&cfg, &shard_ctx);
-        let mut task = ShardTask::new(shard, backend, engine_cfg.instant_decision, index);
+        let mut task =
+            ShardTask::new(shard, backend, engine_cfg.instant_decision, index, engine_cfg.order);
         if sink.is_some() {
             let replay = state.replay_shards.remove(&(index as u32)).unwrap_or_default();
             if deterministic {
@@ -474,9 +475,13 @@ fn reshard<F: BackendFactory>(st: &mut LoopState<F::Backend>, ctx: &LoopCtx<'_, 
     // Merge shards as the working set shrinks: aim for at least a full
     // HIT's worth of pairs per shard (otherwise every merged shard still
     // flushes a tiny partial HIT each round), and never exceed the initial
-    // pairs-per-shard balance.
+    // pairs-per-shard balance. Shard count is sized to the *predicted
+    // next-round publishable count* under the active ordering policy, not
+    // the raw open-pair count — most open pairs are held as deducible, so
+    // raw count over-provisions shards that then flush partial HITs.
+    let publishable = predict_publishable(ctx, &open_pairs, &known);
     let min_load = ctx.total_pairs.div_ceil(ctx.initial_shards).max(ctx.platform_cfg.batch_size);
-    let target = open_pairs.len().div_ceil(min_load.max(1)).clamp(1, ctx.initial_shards);
+    let target = publishable.div_ceil(min_load.max(1)).clamp(1, ctx.initial_shards);
     let partition = partition_candidates(ctx.num_objects, &open_pairs, target);
     let active_shards = partition.shards.len().max(1);
 
@@ -486,6 +491,7 @@ fn reshard<F: BackendFactory>(st: &mut LoopState<F::Backend>, ctx: &LoopCtx<'_, 
             .field("generation", st.generations)
             .field("shards", active_shards)
             .field("open_pairs", open_pairs.len())
+            .field("publishable", publishable)
             .field("rounds", barrier_rounds)
             .emit();
     }
@@ -533,7 +539,11 @@ fn reshard<F: BackendFactory>(st: &mut LoopState<F::Backend>, ctx: &LoopCtx<'_, 
         };
         let mut platform = ctx.factory.create(&cfg, &shard_ctx);
         platform.warp_to(barrier);
-        let mut labeler = ShardLabeler::new(shard.num_objects(), shard.pairs.clone());
+        let mut labeler = ShardLabeler::with_ordering(
+            shard.num_objects(),
+            shard.pairs.clone(),
+            ctx.engine_cfg.order,
+        );
         for sp in &shard.pairs {
             if let Some(&label) = known.get(&shard.to_global(sp.pair)) {
                 labeler.seed_known(sp.pair, label);
@@ -558,4 +568,25 @@ fn reshard<F: BackendFactory>(st: &mut LoopState<F::Backend>, ctx: &LoopCtx<'_, 
         }
         enqueue(st, task);
     }
+}
+
+/// Predicts how many of the merged generation's open pairs the active
+/// ordering policy would publish in its first round: a throwaway labeler
+/// over the global open-pair order, seeded with every already-paid-for
+/// answer, asked for one batch. Deterministic (pure function of the barrier
+/// state and the engine config), so journal replay re-derives the same
+/// shard target.
+fn predict_publishable<F: BackendFactory>(
+    ctx: &LoopCtx<'_, F>,
+    open_pairs: &[ScoredPair],
+    known: &FxHashMap<Pair, Label>,
+) -> usize {
+    let mut probe =
+        ShardLabeler::with_ordering(ctx.num_objects, open_pairs.to_vec(), ctx.engine_cfg.order);
+    for sp in open_pairs {
+        if let Some(&label) = known.get(&sp.pair) {
+            probe.seed_known(sp.pair, label);
+        }
+    }
+    probe.next_batch().len()
 }

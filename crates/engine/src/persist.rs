@@ -102,13 +102,14 @@ pub(crate) fn job_header(
         num_shards: num_shards as u32,
         instant_decision: config.instant_decision,
         reshard: config.reshard,
+        ordering: config.order.wire_byte(),
     }
 }
 
 /// Checks field-by-field that the journal belongs to the job being
 /// resumed, reporting the first disagreeing field.
 pub(crate) fn verify_header(journal: &JobHeader, job: &JobHeader) -> Result<(), WalError> {
-    let fields: [(&'static str, u64, u64); 9] = [
+    let fields: [(&'static str, u64, u64); 10] = [
         ("num_objects", journal.num_objects, job.num_objects),
         ("order_len", journal.order_len, job.order_len),
         ("order_hash", journal.order_hash, job.order_hash),
@@ -118,6 +119,11 @@ pub(crate) fn verify_header(journal: &JobHeader, job: &JobHeader) -> Result<(), 
         ("num_shards", u64::from(journal.num_shards), u64::from(job.num_shards)),
         ("instant_decision", u64::from(journal.instant_decision), u64::from(job.instant_decision)),
         ("reshard", u64::from(journal.reshard), u64::from(job.reshard)),
+        (
+            "ordering (question-ordering policy, --order)",
+            u64::from(journal.ordering),
+            u64::from(job.ordering),
+        ),
     ];
     for (field, j, r) in fields {
         if j != r {
@@ -173,5 +179,16 @@ mod tests {
         let other_cfg = EngineConfig { seed: 1, ..EngineConfig::default() };
         let h5 = job_header(3, &order, &truth, &platform, &other_cfg, 2);
         assert!(verify_header(&h, &h5).is_err(), "engine seed change detected");
+
+        let other_order = EngineConfig {
+            order: crate::ordering::OrderingMode::Online,
+            ..EngineConfig::default()
+        };
+        let h6 = job_header(3, &order, &truth, &platform, &other_order, 2);
+        let err = verify_header(&h, &h6).expect_err("ordering change detected");
+        assert!(
+            err.to_string().contains("ordering"),
+            "mismatch must name the ordering field: {err}"
+        );
     }
 }

@@ -240,6 +240,7 @@ mod tests {
             num_shards: 2,
             instant_decision: true,
             reshard: false,
+            ordering: 0,
         }
     }
 

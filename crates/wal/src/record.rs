@@ -8,7 +8,12 @@
 use crate::WalError;
 
 /// Journal format version this build writes and reads.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// History: v1 had no `ordering` header field (and re-sharding barriers
+/// sized generations by raw open-pair count); v2 journals the question-
+/// ordering policy and predicts publishable counts at barriers, so v1
+/// journals are refused rather than replayed under different semantics.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Upper bound on a frame payload; anything larger is corruption (real
 /// records are under 100 bytes).
@@ -87,6 +92,11 @@ pub struct JobHeader {
     pub instant_decision: bool,
     /// Whether dynamic re-sharding was on.
     pub reshard: bool,
+    /// Question-ordering policy wire byte (`OrderingMode::wire_byte` in the
+    /// engine: 0 = likelihood, 1 = exact, 2 = online). The policy decides
+    /// which pairs are crowdsourced, so replaying under a different one
+    /// would diverge immediately; resume refuses a mismatch.
+    pub ordering: u8,
 }
 
 /// One paid crowd answer: the journal's bread-and-butter record, appended
@@ -245,6 +255,7 @@ impl Record {
                 w.u32(h.num_shards);
                 w.bool(h.instant_decision);
                 w.bool(h.reshard);
+                w.u8(h.ordering);
             }
             Record::Answer(a) => {
                 w.u8(tag::ANSWER);
@@ -365,6 +376,7 @@ fn decode_payload(payload: &[u8]) -> Result<Record, String> {
             num_shards: r.u32()?,
             instant_decision: r.bool()?,
             reshard: r.bool()?,
+            ordering: r.u8()?,
         }),
         tag::ANSWER => Record::Answer(AnswerRecord {
             shard: r.u32()?,
@@ -561,6 +573,7 @@ mod tests {
             num_shards: 8,
             instant_decision: true,
             reshard: false,
+            ordering: 2,
         }
     }
 

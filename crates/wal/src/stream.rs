@@ -574,6 +574,7 @@ mod tests {
             num_shards: 1,
             instant_decision: true,
             reshard: false,
+            ordering: 0,
         })
         .encode(&mut answer_bytes);
         assert!(matches!(decode_stream_journal(&answer_bytes), Err(WalError::NotAJournal(_))));

@@ -22,6 +22,7 @@ fn header(seed: u64) -> JobHeader {
         num_shards: 8,
         instant_decision: seed.is_multiple_of(2),
         reshard: seed.is_multiple_of(3),
+        ordering: (seed % 3) as u8,
     }
 }
 

@@ -10,7 +10,7 @@ use crowdjoin::sim::PlatformConfig;
 use crowdjoin::wal::{self, Record, WalError};
 use crowdjoin::{
     resume_sharded_on_platform, run_sharded_on_platform, Engine, EngineConfig, EngineReport,
-    GroundTruth, Pair, ScoredPair,
+    GroundTruth, OrderingMode, Pair, ScoredPair,
 };
 use std::path::{Path, PathBuf};
 
@@ -319,6 +319,21 @@ fn resume_rejects_a_different_job() {
             Err(WalError::HeaderMismatch { .. }) => {}
             Ok(_) => panic!("resume with different {what} must be rejected"),
             Err(other) => panic!("resume with different {what}: wrong error {other}"),
+        }
+    }
+
+    // The question-ordering policy decides which pairs get crowdsourced,
+    // so a resume under a different `--order` is a different job; the
+    // refusal must say so by name, because the fix (re-pass the original
+    // --order) is otherwise invisible to the operator.
+    for mode in [OrderingMode::Exact, OrderingMode::Online] {
+        match resume(&order, &truth, &platform, &EngineConfig { order: mode, ..base.clone() }) {
+            Err(e @ WalError::HeaderMismatch { .. }) => assert!(
+                e.to_string().contains("ordering"),
+                "the {mode} mismatch must name the ordering field: {e}"
+            ),
+            Ok(_) => panic!("resume with --order {mode} over a likelihood journal must be refused"),
+            Err(other) => panic!("resume with --order {mode}: wrong error {other}"),
         }
     }
     std::fs::remove_file(&path).expect("cleanup");
