@@ -257,8 +257,9 @@ options:
   --price CENTS         platform mode: cents per completed assignment
                         (default 2)
   --timings yes         print a per-phase wall-clock breakdown (tokenize /
-                        tf-idf index / candidate generation / join) to
-                        stderr — see where time goes on large inputs
+                        tf-idf index / prefix index / candidate generation /
+                        join) plus the probe-block filter-cascade decisions
+                        to stderr — see where time goes on large inputs
   --report FORMAT       human (progressive stderr lines, default) | json
                         (one machine-readable report document on stdout at
                         the end; the labels CSV then only appears with
@@ -745,8 +746,9 @@ fn run_join(dataset: &Dataset, opts: &JoinOpts) -> Result<(), String> {
     // (`matcher.*.us` counters), which `--timings` reads back at the end —
     // no CLI-side stopwatches for the matcher phases.
     let matcher_cfg = MatcherConfig::for_arity(arity);
-    let corpus = TokenizedCorpus::build(dataset);
-    let tfidf = TfIdfIndex::from_corpus(&corpus, &matcher_cfg.field_weights);
+    let corpus = TokenizedCorpus::build_threaded(dataset, matcher_cfg.threads);
+    let tfidf =
+        TfIdfIndex::from_corpus_threaded(&corpus, &matcher_cfg.field_weights, matcher_cfg.threads);
     let candidates_raw = generate_candidates_prepared(dataset, &corpus, &tfidf, &matcher_cfg);
     finish_join(dataset, &candidates_raw, opts, reporter)
 }

@@ -58,27 +58,38 @@ pub enum JournalOutcome<'a> {
     Resumed(&'a str),
 }
 
-/// Wall-clock phase breakdown of the matcher + labeling pipeline.
+/// Wall-clock phase breakdown of the matcher + labeling pipeline, plus the
+/// prefix index's per-block filter-cascade decisions.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MatcherTimings {
     /// One-pass tokenization of the dataset.
     pub tokenize: Duration,
     /// Tf-idf index construction.
     pub index: Duration,
-    /// Candidate generation (prefix filter + verify).
+    /// Prefix-index build (prefix cuts + filter-cascade planning).
+    pub prefix: Duration,
+    /// Candidate generation (blocked probe + verify).
     pub candidates: Duration,
     /// The labeling run itself (sequential, engine, or platform).
     pub join: Duration,
+    /// Probe blocks the index was tiled into.
+    pub blocks: u64,
+    /// Blocks where the cascade enabled the length filter.
+    pub blocks_len_on: u64,
+    /// Blocks where the cascade enabled the positional filter.
+    pub blocks_pos_on: u64,
 }
 
 impl MatcherTimings {
     /// Reads the phase breakdown back from the always-on metrics registry.
     ///
     /// The matcher library publishes its own stage timers as µs counters
-    /// (`matcher.tokenize.us`, `matcher.index.us`, `matcher.candidates.us`)
+    /// (`matcher.tokenize.us`, `matcher.index.us`, `matcher.prefix.us`,
+    /// `matcher.candidates.us`) plus the block cascade's decision counters
+    /// (`matcher.blocks`, `matcher.blocks.len_on`, `matcher.blocks.pos_on`),
     /// and the CLI publishes `join.label.us` around the labeling run, so
     /// `--timings` no longer needs its own `Instant` bookkeeping — one
-    /// registry read after the job replaces four ad-hoc stopwatch sites.
+    /// registry read after the job replaces the ad-hoc stopwatch sites.
     /// Counters accumulate, so callers should `reset_metrics()` at job
     /// start (the CLI already does).
     #[must_use]
@@ -88,13 +99,17 @@ impl MatcherTimings {
             if snap.shard != NO_SHARD {
                 continue;
             }
-            let MetricValue::Counter(us) = snap.value else { continue };
-            let d = Duration::from_micros(us);
+            let MetricValue::Counter(v) = snap.value else { continue };
+            let d = Duration::from_micros(v);
             match snap.name {
                 "matcher.tokenize.us" => t.tokenize = d,
                 "matcher.index.us" => t.index = d,
+                "matcher.prefix.us" => t.prefix = d,
                 "matcher.candidates.us" => t.candidates = d,
                 "join.label.us" => t.join = d,
+                "matcher.blocks" => t.blocks = v,
+                "matcher.blocks.len_on" => t.blocks_len_on = v,
+                "matcher.blocks.pos_on" => t.blocks_pos_on = v,
                 _ => {}
             }
         }
@@ -262,17 +277,29 @@ impl Reporter {
             let mut obj = JsonObject::new();
             obj.field("tokenize", js_f64(ms(t.tokenize), 3));
             obj.field("index", js_f64(ms(t.index), 3));
+            obj.field("prefix", js_f64(ms(t.prefix), 3));
             obj.field("candidates", js_f64(ms(t.candidates), 3));
             obj.field("join", js_f64(ms(t.join), 3));
             self.fields.push(("timings_ms", obj.render()));
+            let mut blocks = JsonObject::new();
+            blocks.field("total", t.blocks.to_string());
+            blocks.field("len_filter_on", t.blocks_len_on.to_string());
+            blocks.field("pos_filter_on", t.blocks_pos_on.to_string());
+            self.fields.push(("probe_blocks", blocks.render()));
         } else {
             eprintln!(
-                "timings: tokenize {:.1} ms | tf-idf index {:.1} ms | candidates {:.1} ms | \
-                 join {:.1} ms",
+                "timings: tokenize {:.1} ms | tf-idf index {:.1} ms | prefix {:.1} ms | \
+                 candidates {:.1} ms | join {:.1} ms",
                 ms(t.tokenize),
                 ms(t.index),
+                ms(t.prefix),
                 ms(t.candidates),
                 ms(t.join)
+            );
+            eprintln!(
+                "blocks:  {} probe block(s) — length filter on in {}, positional filter on \
+                 in {}",
+                t.blocks, t.blocks_len_on, t.blocks_pos_on
             );
         }
     }
@@ -488,13 +515,19 @@ mod tests {
         crowdjoin_obs::reset_metrics();
         crowdjoin_obs::counter("matcher.tokenize.us", NO_SHARD).add(1_500);
         crowdjoin_obs::counter("matcher.index.us", NO_SHARD).add(2_500);
+        crowdjoin_obs::counter("matcher.prefix.us", NO_SHARD).add(700);
         crowdjoin_obs::counter("matcher.candidates.us", NO_SHARD).add(10_000);
         crowdjoin_obs::counter("join.label.us", NO_SHARD).add(42);
+        crowdjoin_obs::counter("matcher.blocks", NO_SHARD).add(7);
+        crowdjoin_obs::counter("matcher.blocks.len_on", NO_SHARD).add(5);
+        crowdjoin_obs::counter("matcher.blocks.pos_on", NO_SHARD).add(2);
         let t = MatcherTimings::from_metrics();
         assert_eq!(t.tokenize, Duration::from_micros(1_500));
         assert_eq!(t.index, Duration::from_micros(2_500));
+        assert_eq!(t.prefix, Duration::from_micros(700));
         assert_eq!(t.candidates, Duration::from_micros(10_000));
         assert_eq!(t.join, Duration::from_micros(42));
+        assert_eq!((t.blocks, t.blocks_len_on, t.blocks_pos_on), (7, 5, 2));
         crowdjoin_obs::reset_metrics();
     }
 

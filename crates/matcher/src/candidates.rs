@@ -9,17 +9,20 @@
 //!
 //! Two implementations are provided:
 //!
-//! * [`generate_candidates`] — the prefix/positional/length-filtered
-//!   similarity join: the dataset is tokenized **once** into interned `u32`
-//!   tokens (shared by the tf-idf and Jaccard paths), each record probes
-//!   arena-backed CSR posting lists (see [`crate::prefix`] for the
-//!   filter-safety argument covering all three filters), touched pairs
-//!   accumulate into a dense scratch array (touched-list reset, no
-//!   per-record hashing), and probing parallelizes across record ranges.
-//!   Output is exactly every pair that shares ≥ 1 token and clears
+//! * [`generate_candidates`] — the blocked, prefix-filtered similarity
+//!   join: the dataset is tokenized **once** into interned `u32` tokens
+//!   (shared by the tf-idf and Jaccard paths — every build stage scales
+//!   with [`MatcherConfig::threads`], bit-identically to serial), each
+//!   record probes arena-backed CSR posting lists one cache-sized index
+//!   *block* at a time (see [`crate::prefix`] for the filter-safety
+//!   argument, `crate::block` for the blocking and the adaptive
+//!   positional/length filter cascade), touched pairs accumulate into a
+//!   block-local dense scratch array (touched-list reset, no per-record
+//!   hashing), and probing parallelizes across record ranges. Output is
+//!   exactly every pair that shares ≥ 1 token and clears
 //!   `min_likelihood`, deterministically sorted by `(a, b)` regardless of
-//!   thread count. With [`MatcherStrategy::Lsh`] the same entry point
-//!   instead runs the approximate MinHash/LSH banding join
+//!   thread count and block size. With [`MatcherStrategy::Lsh`] the same
+//!   entry point instead runs the approximate MinHash/LSH banding join
 //!   ([`crate::lsh`]);
 //! * [`generate_candidates_bruteforce`] — full pairwise scan, the
 //!   correctness oracle: the filtered path returns the bit-identical
@@ -28,7 +31,7 @@
 
 use crate::corpus::TokenizedCorpus;
 use crate::fields::ExtraMeasure;
-use crate::prefix::{length_filtered, PrefixIndex, BOUND_SLACK};
+use crate::prefix::{length_filtered, PrefixIndex, PrefixParams, BOUND_SLACK};
 use crate::similarity::jaccard;
 use crate::tfidf::TfIdfIndex;
 use crowdjoin_records::Dataset;
@@ -86,9 +89,16 @@ pub struct MatcherConfig {
     /// the extra measures refine the likelihood, they don't create
     /// candidates.
     pub extra_measures: Vec<ExtraMeasure>,
-    /// Worker threads for candidate generation: 0 = one per available core,
-    /// 1 = sequential, N = at most N. Output is identical for every value.
+    /// Worker threads for candidate generation — probing *and* every build
+    /// stage (tokenization, tf-idf, prefix index): 0 = one per available
+    /// core, 1 = sequential, N = at most N. Output is identical for every
+    /// value.
     pub threads: usize,
+    /// Index-side records per probe block (see `crate::block`): 0 = auto
+    /// (unblocked up to 16k index records, cache-sized 8k blocks beyond).
+    /// Any value yields the identical candidate set — the knob trades cache
+    /// locality only.
+    pub block_records: usize,
     /// Candidate discovery strategy (exact prefix-filtered join by
     /// default; opt-in MinHash/LSH for the low-floor regime).
     pub strategy: MatcherStrategy,
@@ -107,6 +117,7 @@ impl MatcherConfig {
             field_weights: vec![1.0; arity],
             extra_measures: Vec::new(),
             threads: 0,
+            block_records: 0,
             strategy: MatcherStrategy::Exact,
         }
     }
@@ -172,8 +183,8 @@ impl MatcherConfig {
 #[must_use]
 pub fn generate_candidates(dataset: &Dataset, config: &MatcherConfig) -> Vec<ScoredCandidate> {
     config.validate(dataset.table.schema().arity());
-    let corpus = TokenizedCorpus::build(dataset);
-    let index = TfIdfIndex::from_corpus(&corpus, &config.field_weights);
+    let corpus = TokenizedCorpus::build_threaded(dataset, config.threads);
+    let index = TfIdfIndex::from_corpus_threaded(&corpus, &config.field_weights, config.threads);
     match config.strategy {
         MatcherStrategy::Exact => generate_candidates_prepared(dataset, &corpus, &index, config),
         MatcherStrategy::Lsh { .. } => {
@@ -227,10 +238,14 @@ pub fn generate_candidates_prepared(
         let prefix = PrefixIndex::build(
             corpus,
             index,
-            config.prefilter_threshold(),
-            config.cosine_weight > 0.0,
-            config.jaccard_weight > 0.0,
-            dataset.split,
+            PrefixParams {
+                threshold: config.prefilter_threshold(),
+                cos_weight_positive: config.cosine_weight > 0.0,
+                jac_weight_positive: config.jaccard_weight > 0.0,
+                split: dataset.split,
+                threads: config.threads,
+                block_records: config.block_records,
+            },
         );
         crowdjoin_obs::counter("matcher.prefix.us", crowdjoin_obs::NO_SHARD)
             .add(clock.elapsed().as_micros() as u64);
@@ -253,12 +268,23 @@ struct Generator<'a> {
     prefix: PrefixIndex,
 }
 
-/// Dense per-worker scratch: `stamp[b] == epoch` marks `b` as touched by the
-/// current probe, `acc[b]` accumulates its partial cosine, `cnt[b]` its
-/// token-overlap count, and `pos[b]` the number of probe tokens consumed
+/// Dense per-worker scratch, sized to one index-side *block* (see
+/// `crate::block`): for a block-local slot `li = b − block_lo`,
+/// `stamp[li] == epoch` marks `b` as touched by the current (probe, block)
+/// visit, `acc[li]` accumulates its partial cosine, `cnt[li]` its
+/// token-overlap count, and `pos[li]` the number of probe tokens consumed
 /// through the last counted Jaccard match (the positional filter's
-/// cursor). Reset is O(1) per probe (bump the epoch); only touched entries
-/// are ever visited.
+/// cursor). Reset is O(1) per visit (bump the epoch); only touched entries
+/// are ever visited. Keeping the arrays block-sized — instead of
+/// index-side-sized — is the whole point of blocking: at 1M records the
+/// unblocked scratch alone is ~20 MB and every posting touch is a cache
+/// miss; a block's scratch lives in L2.
+///
+/// `cos_cur` / `jac_cur` are the probe's per-token-list cursors `(next,
+/// end)` into the posting arenas, aligned with the probe's vector/token
+/// list; each block visit consumes every list's entries belonging to that
+/// block, so a posting entry is scanned exactly once per probe, in the
+/// same per-pair order as an unblocked scan.
 struct Scratch {
     stamp: Vec<u32>,
     acc: Vec<f64>,
@@ -266,30 +292,33 @@ struct Scratch {
     pos: Vec<u32>,
     touched: Vec<u32>,
     epoch: u32,
+    cos_cur: Vec<(u32, u32)>,
+    jac_cur: Vec<(u32, u32)>,
 }
 
 impl Scratch {
-    fn new(n: usize) -> Self {
+    fn new(block_len: usize) -> Self {
         Self {
-            stamp: vec![0; n],
-            acc: vec![0.0; n],
-            cnt: vec![0; n],
-            pos: vec![0; n],
+            stamp: vec![0; block_len],
+            acc: vec![0.0; block_len],
+            cnt: vec![0; block_len],
+            pos: vec![0; block_len],
             touched: Vec::new(),
             epoch: 0,
+            cos_cur: Vec::new(),
+            jac_cur: Vec::new(),
         }
     }
 
-    /// First touch of record `b` in this probe's epoch: zero its
-    /// accumulators and put it on the touched list.
+    /// First touch of record `b` (block-local slot `li`) in this visit's
+    /// epoch: zero its accumulators and put it on the touched list.
     #[inline]
-    fn touch(&mut self, b: u32, epoch: u32) {
-        let bi = b as usize;
-        if self.stamp[bi] != epoch {
-            self.stamp[bi] = epoch;
-            self.acc[bi] = 0.0;
-            self.cnt[bi] = 0;
-            self.pos[bi] = 0;
+    fn touch(&mut self, li: usize, b: u32, epoch: u32) {
+        if self.stamp[li] != epoch {
+            self.stamp[li] = epoch;
+            self.acc[li] = 0.0;
+            self.cnt[li] = 0;
+            self.pos[li] = 0;
             self.touched.push(b);
         }
     }
@@ -303,14 +332,14 @@ impl Generator<'_> {
         // over several chunks (and tests exercise the multi-worker merge),
         // large enough that queue traffic stays negligible at 100k records.
         const CHUNK: usize = 512;
-        let n = self.dataset.len();
+        let scratch_len = self.prefix.blocks.scratch_len();
         let chunks = probe_count.div_ceil(CHUNK);
         let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         let workers = (if threads == 0 { hw } else { threads }).min(chunks.max(1));
         if workers <= 1 {
             let mut span =
                 crowdjoin_obs::obs_span!("matcher", "matcher.probe", crowdjoin_obs::NO_SHARD);
-            let mut scratch = Scratch::new(n);
+            let mut scratch = Scratch::new(scratch_len);
             let mut out = Vec::new();
             for a in 0..probe_count as u32 {
                 self.probe(a, &mut scratch, &mut out);
@@ -338,7 +367,7 @@ impl Generator<'_> {
                     );
                     let mut claimed = 0usize;
                     let mut found = 0usize;
-                    let mut scratch = Scratch::new(n);
+                    let mut scratch = Scratch::new(scratch_len);
                     loop {
                         let chunk = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if chunk >= chunks {
@@ -368,63 +397,61 @@ impl Generator<'_> {
         merged
     }
 
-    /// Probes record `a` against the prefix postings and emits every
-    /// qualifying pair `(a, b)` with `b > a`, ascending in `b`.
+    /// Probes record `a` against the prefix postings, block by block, and
+    /// emits every qualifying pair `(a, b)` with `b > a`, ascending in `b`.
+    ///
+    /// The probe first cuts each of its token lists to the entries it may
+    /// scan (ids `> a` for a self join; everything for a cross join, whose
+    /// postings hold only B-side records, all above every probe id), then
+    /// consumes the lists one index-side *block* at a time: the next block
+    /// is the one owning the smallest record id any cursor still points at
+    /// (so runs of empty blocks are skipped in O(lists)), and a visit
+    /// drains every list's entries belonging to that block into the
+    /// block-local scratch before verifying the touched records. A pair's
+    /// postings all live in the single block owning `b` and the lists are
+    /// walked in the same order within the visit, so per pair the f64
+    /// accumulation order — and hence every emitted likelihood bit — is
+    /// identical to the unblocked scan; blocks are visited in ascending id
+    /// order, so sorting each visit's emit range by `b` keeps the overall
+    /// per-probe output ascending with no global sort.
     fn probe(&self, a: u32, s: &mut Scratch, out: &mut Vec<ScoredCandidate>) {
-        s.epoch += 1;
-        s.touched.clear();
-        let epoch = s.epoch;
-        // Cross-join postings hold only B-side records, all of which sit
-        // above every probe id — the "entries after a" cut is a no-op there.
         let cross = self.dataset.split.is_some();
-
-        if self.prefix.cos_active {
-            for &(token, wa) in self.index.vector(a) {
-                let postings = self.prefix.cos_postings(token);
-                let lo = if cross { 0 } else { postings.partition_point(|&(id, _)| id <= a) };
-                for &(b, wb) in &postings[lo..] {
-                    s.touch(b, epoch);
-                    s.acc[b as usize] += wa as f64 * wb as f64;
-                }
-            }
-        }
+        let cos_arena = self.prefix.cos_arena();
+        let jac_arena = self.prefix.jac_arena();
+        let vec_a = self.index.vector(a);
         let set_a = self.corpus.token_set(a as usize);
-        if self.prefix.jac_positional {
-            // Positional scan: the probe walks its full token set in global
-            // rank order against the prefix-only postings. `pos[b]` after
-            // the scan points just past the highest-ranked counted match —
-            // everything uncounted must sit after it. The length filter
-            // skips entries before they ever touch scratch; its predicate
-            // depends only on the two set sizes, so the verifier can
-            // re-derive exactly which pairs were skipped.
-            let la = set_a.len();
-            let t_len = self.prefix.t_len;
-            let probe = self.prefix.probe_tokens(a);
-            for (i, &token) in probe.iter().enumerate() {
-                let postings = self.prefix.jac_postings(token);
-                let lo = if cross { 0 } else { postings.partition_point(|&(id, _)| id <= a) };
-                for &(b, lb) in &postings[lo..] {
-                    if length_filtered(t_len, la, lb as usize) {
-                        continue;
-                    }
-                    s.touch(b, epoch);
-                    let bi = b as usize;
-                    s.cnt[bi] += 1;
-                    s.pos[bi] = (i + 1) as u32;
-                }
-            }
-        } else {
-            for &token in set_a {
-                let postings = self.prefix.jac_postings(token);
-                let lo = if cross { 0 } else { postings.partition_point(|&(id, _)| id <= a) };
-                for &(b, _) in &postings[lo..] {
-                    s.touch(b, epoch);
-                    s.cnt[b as usize] += 1;
-                }
+        let la = set_a.len();
+
+        s.cos_cur.clear();
+        if self.prefix.cos_active {
+            for &(token, _) in vec_a {
+                let (lo, hi) = self.prefix.cos_range(token);
+                let start = if cross {
+                    lo
+                } else {
+                    lo + cos_arena[lo as usize..hi as usize].partition_point(|&(id, _)| id <= a)
+                        as u32
+                };
+                s.cos_cur.push((start, hi));
             }
         }
+        // The Jaccard walk order: global rank when any block tracks the
+        // positional cursor (both sides must agree on one order for the
+        // positional argument), plain set order otherwise. The overlap
+        // counter is order-independent either way.
+        s.jac_cur.clear();
+        let probe_jac: &[u32] =
+            if self.prefix.plan.any_pos { self.prefix.probe_tokens(a) } else { set_a };
+        for &token in probe_jac {
+            let (lo, hi) = self.prefix.jac_range(token);
+            let start = if cross {
+                lo
+            } else {
+                lo + jac_arena[lo as usize..hi as usize].partition_point(|&(id, _)| id <= a) as u32
+            };
+            s.jac_cur.push((start, hi));
+        }
 
-        let emit_start = out.len();
         let min_l = self.config.min_likelihood;
         // Bound checks compare blend *numerators* against this floor
         // (avoiding a division per touched pair): a real numerator below
@@ -433,107 +460,189 @@ impl Generator<'_> {
         let wj = self.config.jaccard_weight;
         let extras_sum: f64 = self.config.extra_measures.iter().map(|em| em.weight).sum();
         let numer_floor = min_l * self.config.total_weight() - BOUND_SLACK;
-        let vec_a = self.index.vector(a);
-        for &b in &s.touched {
-            let bi = b as usize;
-            let set_b = self.corpus.token_set(bi);
-            // Size + overlap + positional filter: jac <= shared_ub /
-            // (|a|+|b|-shared_ub), where the true intersection is at most
-            // the counted overlap plus the *positionally possible*
-            // uncounted remainder — min(both unwalked suffixes combined,
-            // probe tokens after the last counted match) — and never more
-            // than the smaller set. Touched records share a token, so
-            // neither set is empty. A length-filtered pair's counter is
-            // incomplete (its postings were skipped), so it falls back to
-            // the size-only bound; it can only qualify through cosine
-            // anyway.
-            let min_len = set_a.len().min(set_b.len());
-            let jac_cut = self.prefix.jac_cut[bi];
-            let len_cut = self.prefix.jac_positional
-                && length_filtered(self.prefix.t_len, set_a.len(), set_b.len());
-            let shared_ub = if jac_cut == u32::MAX || len_cut {
-                min_len
-            } else {
-                let remaining = jac_cut.min(set_a.len() as u32 - s.pos[bi]);
-                ((s.cnt[bi] + remaining) as usize).min(min_len)
-            };
-            let jac_ub = shared_ub as f64 / (set_a.len() + set_b.len() - shared_ub) as f64;
-            let suffix = self.prefix.cos_suffix_bound[bi];
-            // Clamp below at 0: sublinear tf damping gives fractional field
-            // weights *negative* vector components, so the accumulated dot
-            // product can be negative while the true cosine clamps to 0 —
-            // an unclamped bound would underestimate the blend numerator.
-            let cos_ub = if self.prefix.cos_active {
-                (s.acc[bi] + suffix + BOUND_SLACK).clamp(0.0, 1.0)
-            } else {
-                1.0
-            };
-            if wc * cos_ub + wj * jac_ub + extras_sum < numer_floor {
-                continue;
-            }
-            // Exact cosine. When b's vector is fully indexed, the dense
-            // accumulator received exactly the shared-token products in
-            // ascending token-id order — the same f64 operations as the
-            // merge in `TfIdfIndex::cosine` — so `acc` IS the merge cosine.
-            // When a tail remains, complete the dot product against b's few
-            // unindexed entries: if none is shared with `a`, the merge
-            // would add nothing (adding an exact ±0.0 product never changes
-            // the sum's bits) and `acc` is again the merge cosine verbatim;
-            // otherwise `acc + Σ shared-tail products` nails the true
-            // cosine to within summation-order rounding (≪ 1e-9), and the
-            // slacked bound prunes almost every pair the full merge would
-            // have rejected.
-            let cos = if self.prefix.cos_active && suffix == 0.0 {
-                s.acc[bi].clamp(0.0, 1.0)
-            } else if self.prefix.cos_active {
-                let mut extra = 0.0f64;
-                let mut shared_tail = false;
-                for &(tok, wb) in self.prefix.cos_tail(b) {
-                    if let Ok(k) = vec_a.binary_search_by_key(&tok, |e| e.0) {
-                        shared_tail = true;
-                        extra += vec_a[k].1 as f64 * wb as f64;
-                    }
+        let t_len = self.prefix.t_len;
+
+        loop {
+            // The next non-empty block: the one owning the smallest record
+            // id any cursor still points at.
+            let mut next = u32::MAX;
+            for &(cur, end) in &s.cos_cur {
+                if cur < end {
+                    next = next.min(cos_arena[cur as usize].0);
                 }
-                if !shared_tail {
-                    s.acc[bi].clamp(0.0, 1.0)
-                } else {
-                    let refined = (s.acc[bi] + extra + BOUND_SLACK).clamp(0.0, 1.0);
-                    if wc * refined + wj * jac_ub + extras_sum < numer_floor {
+            }
+            for &(cur, end) in &s.jac_cur {
+                if cur < end {
+                    next = next.min(jac_arena[cur as usize].0);
+                }
+            }
+            if next == u32::MAX {
+                break;
+            }
+            let k = self.prefix.blocks.block_of(next);
+            let (blo, bhi) = self.prefix.blocks.range(k);
+            if s.epoch == u32::MAX {
+                s.stamp.fill(0);
+                s.epoch = 0;
+            }
+            s.epoch += 1;
+            let epoch = s.epoch;
+            s.touched.clear();
+
+            // Index loop, not zip: `s.touch` needs `&mut *s` inside, which
+            // an iterator over `s.cos_cur` would hold hostage.
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..s.cos_cur.len() {
+                let (mut cur, end) = s.cos_cur[i];
+                let wa = vec_a[i].1;
+                while cur < end {
+                    let (b, wb) = cos_arena[cur as usize];
+                    if b >= bhi {
+                        break;
+                    }
+                    cur += 1;
+                    let li = (b - blo) as usize;
+                    s.touch(li, b, epoch);
+                    s.acc[li] += wa as f64 * wb as f64;
+                }
+                s.cos_cur[i] = (cur, end);
+            }
+            // This block's cascade decisions (see `crate::block`): the
+            // length filter skips entries before they ever touch scratch —
+            // its predicate depends only on the two set sizes, so the
+            // verifier re-derives exactly which pairs were skipped. The
+            // positional cursor `pos` points just past the highest-ranked
+            // counted match; everything uncounted must sit after it.
+            let len_on = self.prefix.jac_filtered && self.prefix.plan.len_on[k];
+            let pos_on = self.prefix.jac_filtered && self.prefix.plan.pos_on[k];
+            for i in 0..s.jac_cur.len() {
+                let (mut cur, end) = s.jac_cur[i];
+                while cur < end {
+                    let (b, lb) = jac_arena[cur as usize];
+                    if b >= bhi {
+                        break;
+                    }
+                    cur += 1;
+                    if len_on && length_filtered(t_len, la, lb as usize) {
                         continue;
                     }
-                    self.index.cosine(a, b)
+                    let li = (b - blo) as usize;
+                    s.touch(li, b, epoch);
+                    s.cnt[li] += 1;
+                    if pos_on {
+                        s.pos[li] = (i + 1) as u32;
+                    }
                 }
-            } else {
-                self.index.cosine(a, b)
-            };
-            if wc * cos + wj * jac_ub + extras_sum < numer_floor {
-                continue;
+                s.jac_cur[i] = (cur, end);
             }
-            // Exact Jaccard. When b's whole token set is indexed, a's whole
-            // token set is walked, and the length filter did not skip this
-            // pair's postings, the overlap counter is the exact
-            // intersection size and the formula below is
-            // `similarity::jaccard` verbatim; otherwise fall back to the
-            // merge join.
-            let jac = if jac_cut == 0 && !len_cut {
-                let shared = s.cnt[bi] as usize;
-                shared as f64 / (set_a.len() + set_b.len() - shared) as f64
-            } else {
-                jaccard(set_a, set_b)
-            };
-            // With exact cosine and Jaccard in hand, this bound only prunes
-            // when extra measures exist (it skips their evaluation).
-            if wc * cos + wj * jac + extras_sum < numer_floor {
-                continue;
+
+            let emit_start = out.len();
+            for &b in &s.touched {
+                let li = (b - blo) as usize;
+                let set_b = self.corpus.token_set(b as usize);
+                // Size + overlap + positional filter: jac <= shared_ub /
+                // (|a|+|b|-shared_ub), where the true intersection is at
+                // most the counted overlap plus the *positionally possible*
+                // uncounted remainder — min(b's unindexed suffix, probe
+                // tokens after the last counted match) — and never more
+                // than the smaller set. Touched records share a token, so
+                // neither set is empty. A length-filtered pair's counter is
+                // incomplete (its postings were skipped), so it falls back
+                // to the size-only bound; it can only qualify through
+                // cosine anyway. In a pos-off block `pos` stays 0 and the
+                // remainder degrades to `min(jac_cut, |a|)` — the plain
+                // prefix bound.
+                let min_len = la.min(set_b.len());
+                let jac_cut = self.prefix.jac_cut[b as usize];
+                let len_cut = len_on && length_filtered(t_len, la, set_b.len());
+                let shared_ub = if jac_cut == u32::MAX || len_cut {
+                    min_len
+                } else {
+                    let remaining = jac_cut.min(la as u32 - s.pos[li]);
+                    ((s.cnt[li] + remaining) as usize).min(min_len)
+                };
+                let jac_ub = shared_ub as f64 / (la + set_b.len() - shared_ub) as f64;
+                let suffix = self.prefix.cos_suffix_bound[b as usize];
+                // Clamp below at 0: sublinear tf damping gives fractional
+                // field weights *negative* vector components, so the
+                // accumulated dot product can be negative while the true
+                // cosine clamps to 0 — an unclamped bound would
+                // underestimate the blend numerator.
+                let cos_ub = if self.prefix.cos_active {
+                    (s.acc[li] + suffix + BOUND_SLACK).clamp(0.0, 1.0)
+                } else {
+                    1.0
+                };
+                if wc * cos_ub + wj * jac_ub + extras_sum < numer_floor {
+                    continue;
+                }
+                // Exact cosine. When b's vector is fully indexed, the dense
+                // accumulator received exactly the shared-token products in
+                // ascending token-id order — the same f64 operations as the
+                // merge in `TfIdfIndex::cosine` — so `acc` IS the merge
+                // cosine. When a tail remains, complete the dot product
+                // against b's few unindexed entries: if none is shared with
+                // `a`, the merge would add nothing (adding an exact ±0.0
+                // product never changes the sum's bits) and `acc` is again
+                // the merge cosine verbatim; otherwise `acc + Σ shared-tail
+                // products` nails the true cosine to within
+                // summation-order rounding (≪ 1e-9), and the slacked bound
+                // prunes almost every pair the full merge would have
+                // rejected.
+                let cos = if self.prefix.cos_active && suffix == 0.0 {
+                    s.acc[li].clamp(0.0, 1.0)
+                } else if self.prefix.cos_active {
+                    let mut extra = 0.0f64;
+                    let mut shared_tail = false;
+                    for &(tok, wb) in self.prefix.cos_tail(b) {
+                        if let Ok(j) = vec_a.binary_search_by_key(&tok, |e| e.0) {
+                            shared_tail = true;
+                            extra += vec_a[j].1 as f64 * wb as f64;
+                        }
+                    }
+                    if !shared_tail {
+                        s.acc[li].clamp(0.0, 1.0)
+                    } else {
+                        let refined = (s.acc[li] + extra + BOUND_SLACK).clamp(0.0, 1.0);
+                        if wc * refined + wj * jac_ub + extras_sum < numer_floor {
+                            continue;
+                        }
+                        self.index.cosine(a, b)
+                    }
+                } else {
+                    self.index.cosine(a, b)
+                };
+                if wc * cos + wj * jac_ub + extras_sum < numer_floor {
+                    continue;
+                }
+                // Exact Jaccard. When b's whole token set is indexed, a's
+                // whole token set is walked, and the length filter did not
+                // skip this pair's postings, the overlap counter is the
+                // exact intersection size and the formula below is
+                // `similarity::jaccard` verbatim; otherwise fall back to
+                // the merge join.
+                let jac = if jac_cut == 0 && !len_cut {
+                    let shared = s.cnt[li] as usize;
+                    shared as f64 / (la + set_b.len() - shared) as f64
+                } else {
+                    jaccard(set_a, set_b)
+                };
+                // With exact cosine and Jaccard in hand, this bound only
+                // prunes when extra measures exist (it skips their
+                // evaluation).
+                if wc * cos + wj * jac + extras_sum < numer_floor {
+                    continue;
+                }
+                let likelihood = self.config.blend(self.dataset, a, b, cos, jac);
+                if likelihood >= min_l {
+                    out.push(ScoredCandidate { a, b, likelihood });
+                }
             }
-            let likelihood = self.config.blend(self.dataset, a, b, cos, jac);
-            if likelihood >= min_l {
-                out.push(ScoredCandidate { a, b, likelihood });
-            }
+            // Emit in ascending b (touched order is posting-scan order);
+            // blocks are visited ascending, so the merged output needs no
+            // global sort.
+            out[emit_start..].sort_unstable_by_key(|c| c.b);
         }
-        // Emit in ascending b (touched order is posting-scan order) so the
-        // merged output needs no global sort.
-        out[emit_start..].sort_unstable_by_key(|c| c.b);
     }
 }
 
@@ -898,6 +1007,7 @@ mod tests {
             field_weights: vec![1.0],
             extra_measures: Vec::new(),
             threads: 0,
+            block_records: 0,
             strategy: MatcherStrategy::Exact,
         };
         let _ = generate_candidates(&ds, &cfg);

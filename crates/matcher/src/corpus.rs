@@ -36,10 +36,34 @@ pub struct TokenizedCorpus {
     set_bounds: Vec<u32>,
 }
 
+/// One worker's tokenization of a contiguous record chunk: token ids are
+/// *chunk-local* (dense first-encounter within the chunk); `field_lens`
+/// holds one entry per record-field, in order, so the merge can rebuild the
+/// bounds tables without re-tokenizing.
+struct ChunkTokens {
+    interner: Interner,
+    flat: Vec<u32>,
+    field_lens: Vec<u32>,
+}
+
 impl TokenizedCorpus {
-    /// Tokenizes every field of every record exactly once.
+    /// Tokenizes every field of every record exactly once, sequentially.
+    /// Equivalent to [`Self::build_threaded`] with one thread.
     #[must_use]
     pub fn build(dataset: &Dataset) -> Self {
+        Self::build_threaded(dataset, 1)
+    }
+
+    /// Tokenizes every field of every record exactly once, on up to
+    /// `threads` workers (0 = one per available core).
+    ///
+    /// Workers tokenize disjoint record chunks into *chunk-local*
+    /// dictionaries; the merge absorbs those dictionaries in chunk order
+    /// ([`Interner::absorb`]), which reassigns every token the id a
+    /// sequential pass would have given it. The result is bit-identical to
+    /// [`Self::build`] for every thread count.
+    #[must_use]
+    pub fn build_threaded(dataset: &Dataset, threads: usize) -> Self {
         let mut span =
             crowdjoin_obs::obs_span!("matcher", "matcher.tokenize", crowdjoin_obs::NO_SHARD);
         let clock = std::time::Instant::now();
@@ -53,20 +77,70 @@ impl TokenizedCorpus {
         let mut scratch: Vec<u32> = Vec::new();
         bounds.push(0);
         set_bounds.push(0);
-        for i in 0..n {
-            let record_start = flat.len();
-            for f in 0..arity {
-                for token in tokenize_words(dataset.table.record(i).field(f)) {
-                    flat.push(interner.intern(&token));
+        // Records per work unit: large enough that chunk-local dictionaries
+        // amortize their hashing, small enough that mid-size workloads still
+        // spread over several workers.
+        const CHUNK: usize = 2048;
+        if crate::par::resolve_workers(threads, n.div_ceil(CHUNK)) <= 1 {
+            // Sequential fast path: intern straight into the global
+            // dictionary, no remap pass.
+            for i in 0..n {
+                let record_start = flat.len();
+                for f in 0..arity {
+                    for token in tokenize_words(dataset.table.record(i).field(f)) {
+                        flat.push(interner.intern(&token));
+                    }
+                    bounds.push(u32::try_from(flat.len()).expect("corpus overflow"));
                 }
-                bounds.push(u32::try_from(flat.len()).expect("corpus overflow"));
+                scratch.clear();
+                scratch.extend_from_slice(&flat[record_start..]);
+                scratch.sort_unstable();
+                scratch.dedup();
+                set_flat.extend_from_slice(&scratch);
+                set_bounds.push(u32::try_from(set_flat.len()).expect("corpus overflow"));
             }
-            scratch.clear();
-            scratch.extend_from_slice(&flat[record_start..]);
-            scratch.sort_unstable();
-            scratch.dedup();
-            set_flat.extend_from_slice(&scratch);
-            set_bounds.push(u32::try_from(set_flat.len()).expect("corpus overflow"));
+        } else {
+            let chunks = crate::par::map_chunks(n, CHUNK, threads, |range| {
+                let mut local = ChunkTokens {
+                    interner: Interner::new(),
+                    flat: Vec::new(),
+                    field_lens: Vec::with_capacity(range.len() * arity),
+                };
+                for i in range {
+                    for f in 0..arity {
+                        let before = local.flat.len();
+                        for token in tokenize_words(dataset.table.record(i).field(f)) {
+                            local.flat.push(local.interner.intern(&token));
+                        }
+                        local.field_lens.push(
+                            u32::try_from(local.flat.len() - before).expect("field overflow"),
+                        );
+                    }
+                }
+                local
+            });
+            for chunk in &chunks {
+                let remap = interner.absorb(&chunk.interner);
+                let mut cursor = 0usize;
+                for record_fields in chunk.field_lens.chunks(arity) {
+                    let record_start = flat.len();
+                    for &len in record_fields {
+                        flat.extend(
+                            chunk.flat[cursor..cursor + len as usize]
+                                .iter()
+                                .map(|&local| remap[local as usize]),
+                        );
+                        cursor += len as usize;
+                        bounds.push(u32::try_from(flat.len()).expect("corpus overflow"));
+                    }
+                    scratch.clear();
+                    scratch.extend_from_slice(&flat[record_start..]);
+                    scratch.sort_unstable();
+                    scratch.dedup();
+                    set_flat.extend_from_slice(&scratch);
+                    set_bounds.push(u32::try_from(set_flat.len()).expect("corpus overflow"));
+                }
+            }
         }
         span.set_field("records", n);
         span.set_field("vocabulary", interner.len());
@@ -264,6 +338,29 @@ mod tests {
             assert_eq!(inc.token_set(i), batch.token_set(i), "record {i}");
         }
         assert_eq!(inc.set_doc_freq(), batch.set_doc_freq());
+    }
+
+    #[test]
+    fn threaded_build_is_bit_identical_to_serial() {
+        // > 2048 records so the threaded path genuinely crosses chunk
+        // boundaries (and token first-encounters span multiple chunks).
+        let rows: Vec<(String, String)> = (0..4500)
+            .map(|i| (format!("tok{} shared{} x{}", i % 311, i % 97, i % 13), format!("{i}")))
+            .collect();
+        let refs: Vec<(&str, &str)> = rows.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        let ds = dataset(&refs);
+        let serial = TokenizedCorpus::build(&ds);
+        for threads in [2, 4] {
+            let par = TokenizedCorpus::build_threaded(&ds, threads);
+            assert_eq!(par.vocabulary_size(), serial.vocabulary_size(), "threads {threads}");
+            assert_eq!(par.flat, serial.flat, "threads {threads}");
+            assert_eq!(par.bounds, serial.bounds, "threads {threads}");
+            assert_eq!(par.set_flat, serial.set_flat, "threads {threads}");
+            assert_eq!(par.set_bounds, serial.set_bounds, "threads {threads}");
+            for id in 0..serial.vocabulary_size() as u32 {
+                assert_eq!(par.interner().resolve(id), serial.interner().resolve(id));
+            }
+        }
     }
 
     #[test]

@@ -11,10 +11,11 @@
 //!   paths, so nothing is ever tokenized twice);
 //! * [`similarity`] — Jaccard, Dice, overlap, Levenshtein, Jaro(-Winkler);
 //! * [`tfidf`] — sparse tf-idf vectors + inverted index with cosine scoring;
-//! * [`candidates`] — the prefix-filtered, parallel similarity join
-//!   producing [`ScoredCandidate`]s (see [`prefix`] for the AllPairs-style
-//!   filter with its positional/length tightening and safety argument),
-//!   plus the brute-force oracle;
+//! * [`candidates`] — the prefix-filtered, blocked, parallel similarity
+//!   join producing [`ScoredCandidate`]s (see [`prefix`] for the
+//!   AllPairs-style filter and its safety argument; the crate-internal
+//!   `block` module holds the cache-sized probe blocking and the adaptive
+//!   positional/length filter cascade), plus the brute-force oracle;
 //! * [`lsh`] — the opt-in MinHash/LSH banding strategy for the low-floor
 //!   regime (approximate recall, exact likelihoods);
 //! * [`stream`] — incremental candidate generation for streaming
@@ -40,10 +41,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub(crate) mod block;
 pub mod candidates;
 pub mod corpus;
 pub mod fields;
 pub mod lsh;
+pub(crate) mod par;
 pub mod prefix;
 pub mod similarity;
 pub mod stream;

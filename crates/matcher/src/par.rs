@@ -1,0 +1,72 @@
+//! Deterministic chunked parallelism for the matcher's build stages.
+//!
+//! Every parallel stage in this crate follows the same engine-scheduler
+//! pattern already used by the probe loop in [`crate::candidates`]: the
+//! input range `0..n` is cut into fixed-size chunks, workers pull the next
+//! unclaimed chunk off an atomic counter, and the per-chunk outputs are
+//! reassembled **in chunk order** before anything downstream consumes them.
+//! Because chunk boundaries depend only on `n` (never on the worker count),
+//! the reassembled output is bit-identical for every `threads` value — the
+//! property the equivalence suite pins.
+
+/// Resolves a `threads` config value (0 = one per available core) against
+/// the number of independent work units.
+pub(crate) fn resolve_workers(threads: usize, units: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    (if threads == 0 { hw } else { threads }).min(units.max(1))
+}
+
+/// Maps `work` over the chunks of `0..n` (each `chunk_size` long, the last
+/// one partial) on up to `threads` workers, returning the per-chunk outputs
+/// in chunk order. With one worker (or one chunk) the map runs inline on
+/// the calling thread; either way the result is identical.
+pub(crate) fn map_chunks<T, F>(n: usize, chunk_size: usize, threads: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>) -> T + Sync,
+{
+    assert!(chunk_size > 0, "chunk size must be positive");
+    let chunks = n.div_ceil(chunk_size);
+    let bounds = |c: usize| c * chunk_size..((c + 1) * chunk_size).min(n);
+    let workers = resolve_workers(threads, chunks);
+    if workers <= 1 {
+        return (0..chunks).map(|c| work(bounds(c))).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: std::sync::Mutex<Vec<(usize, T)>> =
+        std::sync::Mutex::new(Vec::with_capacity(chunks));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let c = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if c >= chunks {
+                    return;
+                }
+                let out = work(bounds(c));
+                results.lock().expect("results mutex poisoned").push((c, out));
+            });
+        }
+    });
+    let mut results = results.into_inner().expect("results mutex poisoned");
+    results.sort_unstable_by_key(|&(c, _)| c);
+    results.into_iter().map(|(_, out)| out).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_order_is_preserved_for_every_worker_count() {
+        for threads in [1, 2, 3, 8] {
+            let out = map_chunks(10, 3, threads, |r| r.collect::<Vec<usize>>());
+            assert_eq!(out, vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8], vec![9]]);
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_no_chunks() {
+        let out = map_chunks(0, 4, 4, |r| r.len());
+        assert!(out.is_empty());
+    }
+}

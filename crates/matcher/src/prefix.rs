@@ -137,6 +137,7 @@
 //! token of every record with no length or positional filtering, which
 //! rediscovers exactly the classic "shares ≥ 1 token" join.
 
+use crate::block::{BlockMap, CascadePlan};
 use crate::corpus::TokenizedCorpus;
 use crate::tfidf::TfIdfIndex;
 
@@ -171,13 +172,20 @@ pub(crate) fn length_filtered(t_len: f64, la: usize, lb: usize) -> bool {
 pub(crate) struct PrefixIndex {
     /// Whether the cosine join runs (`wc > 0` and `t > 0`).
     pub cos_active: bool,
-    /// Whether the Jaccard join runs with positional + length filtering
-    /// (`t > 0` and `wj > 0`); false for the lossless `t ≤ 0` fallback
-    /// (full postings, no filters) and for `wj = 0` (no Jaccard join).
-    pub jac_positional: bool,
+    /// Whether the Jaccard join runs *prefix-filtered* (`t > 0` and
+    /// `wj > 0`); false for the lossless `t ≤ 0` fallback (full postings,
+    /// no filters) and for `wj = 0` (no Jaccard join). The length and
+    /// positional filters on top of the prefix are decided **per block** by
+    /// [`Self::plan`].
+    pub jac_filtered: bool,
     /// The slacked length-window threshold `t − 1e-7` (only meaningful when
-    /// `jac_positional`).
+    /// `jac_filtered`).
     pub t_len: f64,
+    /// Id-range tiling of the index side (see [`crate::block`]).
+    pub blocks: BlockMap,
+    /// Per-block length/positional filter decisions (all off when
+    /// `jac_filtered` is false).
+    pub plan: CascadePlan,
     /// Per record: L2 norm of its *unindexed* vector tail (0 when the whole
     /// vector is indexed, in particular whenever the filter is inactive).
     pub cos_suffix_bound: Vec<f64>,
@@ -211,11 +219,32 @@ pub(crate) struct PrefixIndex {
     jac_bounds: Vec<u32>,
     /// Probe-side token sets re-ordered by global rank (df ascending, ties
     /// by id) — the order the positional filter's `pos` counts over. Built
-    /// only when `jac_positional`; record `a` spans
+    /// only when some block enables the positional filter
+    /// (`plan.any_pos`); record `a` spans
     /// `probe_bounds[a]..probe_bounds[a+1]`.
     probe_flat: Vec<u32>,
     /// `probe_flat` offsets, `probe_count + 1` long when built.
     probe_bounds: Vec<u32>,
+}
+
+/// Build-time knobs for [`PrefixIndex::build`] beyond the corpus and index
+/// themselves.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PrefixParams {
+    /// The blended prefilter threshold `t` (see the module docs); `t ≤ 0`
+    /// is the lossless unfiltered fallback.
+    pub threshold: f64,
+    /// Whether the cosine similarity carries blend weight.
+    pub cos_weight_positive: bool,
+    /// Whether the Jaccard similarity carries blend weight.
+    pub jac_weight_positive: bool,
+    /// Cross-join split: `Some(s)` indexes only ids `s..n`.
+    pub split: Option<usize>,
+    /// Worker threads for the build (0 = one per core); output is identical
+    /// for every value.
+    pub threads: usize,
+    /// Records per index-side block (0 = auto, see [`crate::block`]).
+    pub block_records: usize,
 }
 
 /// Counting-sort record-major staged `(token, entry)` pairs into a
@@ -240,32 +269,34 @@ fn csr_from_staged<E: Copy + Default>(vocab: usize, staged: &[(u32, E)]) -> (Vec
 }
 
 impl PrefixIndex {
-    /// Builds prefix-filtered postings for `threshold = t` over the
-    /// index-side records.
+    /// Builds prefix-filtered postings for `params.threshold = t` over the
+    /// index-side records, on up to `params.threads` workers.
     ///
     /// `jac_weight_positive` / `cos_weight_positive` say which similarity
     /// actually carries blend weight; a zero-weight side cannot make a pair
     /// qualify on its own, so its join is skipped (unless `t ≤ 0`, where the
     /// full Jaccard join is kept as the lossless fallback).
-    // The record id `b` indexes per-record arrays *and* drives corpus/index
-    // lookups; an enumerate-skip chain would obscure that.
-    #[allow(clippy::needless_range_loop)]
-    pub fn build(
-        corpus: &TokenizedCorpus,
-        index: &TfIdfIndex,
-        threshold: f64,
-        cos_weight_positive: bool,
-        jac_weight_positive: bool,
-        split: Option<usize>,
-    ) -> Self {
+    ///
+    /// Per-record prefix cuts are computed in parallel chunks whose staged
+    /// entries are concatenated in chunk order — the exact sequence a
+    /// sequential pass stages — and the counting sort into token-major
+    /// arenas is order-preserving, so the built index is bit-identical for
+    /// every thread count.
+    pub fn build(corpus: &TokenizedCorpus, index: &TfIdfIndex, params: PrefixParams) -> Self {
         let n = corpus.num_records();
         let vocab = corpus.vocabulary_size();
-        let index_start = split.unwrap_or(0);
+        let threshold = params.threshold;
+        let threads = params.threads;
+        let index_start = params.split.unwrap_or(0);
         let filtered = threshold > 0.0;
-        let cos_active = filtered && cos_weight_positive;
-        let jac_active = !filtered || jac_weight_positive;
-        let jac_positional = filtered && jac_active;
+        let cos_active = filtered && params.cos_weight_positive;
+        let jac_active = !filtered || params.jac_weight_positive;
+        let jac_filtered = filtered && jac_active;
         let t_len = threshold - FILTER_SLACK;
+        let blocks = BlockMap::new(index_start, n, params.block_records);
+        // Index-side records per parallel work unit.
+        const CHUNK: usize = 1024;
+        let index_len = n - index_start;
 
         // Entries are staged record-major (the natural build order) and
         // counting-sorted into the token-major arena afterwards.
@@ -275,42 +306,61 @@ impl PrefixIndex {
         let mut cos_tail_bounds: Vec<u32> = vec![0; n + 1];
         if cos_active {
             let t_eff = threshold - FILTER_SLACK;
-            let mut order: Vec<(u32, f32)> = Vec::new();
-            let mut tails: Vec<f64> = Vec::new();
-            for b in index_start..n {
-                order.clear();
-                order.extend_from_slice(index.vector(b as u32));
-                // Heaviest tokens first (by magnitude — sublinear tf damping
-                // can make fractionally-weighted components negative); ties
-                // broken by id for determinism.
-                order.sort_unstable_by(|x, y| {
-                    y.1.abs().partial_cmp(&x.1.abs()).expect("finite weights").then(x.0.cmp(&y.0))
-                });
-                tails.clear();
-                tails.resize(order.len() + 1, 0.0);
-                for i in (0..order.len()).rev() {
-                    tails[i] = tails[i + 1] + order[i].1 as f64 * order[i].1 as f64;
+            let chunks = crate::par::map_chunks(index_len, CHUNK, threads, |range| {
+                let mut suffix: Vec<f64> = Vec::with_capacity(range.len());
+                let mut staged: Vec<(u32, (u32, f32))> = Vec::new();
+                let mut tails_flat: Vec<(u32, f32)> = Vec::new();
+                let mut tail_lens: Vec<u32> = Vec::with_capacity(range.len());
+                let mut order: Vec<(u32, f32)> = Vec::new();
+                let mut tails: Vec<f64> = Vec::new();
+                for b in range.start + index_start..range.end + index_start {
+                    order.clear();
+                    order.extend_from_slice(index.vector(b as u32));
+                    // Heaviest tokens first (by magnitude — sublinear tf
+                    // damping can make fractionally-weighted components
+                    // negative); ties broken by id for determinism.
+                    order.sort_unstable_by(|x, y| {
+                        y.1.abs()
+                            .partial_cmp(&x.1.abs())
+                            .expect("finite weights")
+                            .then(x.0.cmp(&y.0))
+                    });
+                    tails.clear();
+                    tails.resize(order.len() + 1, 0.0);
+                    for i in (0..order.len()).rev() {
+                        tails[i] = tails[i + 1] + order[i].1 as f64 * order[i].1 as f64;
+                    }
+                    let prefix =
+                        (0..=order.len()).find(|&p| tails[p].sqrt() < t_eff).unwrap_or(order.len());
+                    suffix.push(tails[prefix].sqrt());
+                    for &(token, w) in &order[..prefix] {
+                        staged.push((token, (b as u32, w)));
+                    }
+                    // Stash the unindexed tail sorted by token id
+                    // (probe-side lookups are binary searches over the
+                    // probe's id-sorted vector).
+                    let tail_start = tails_flat.len();
+                    tails_flat.extend_from_slice(&order[prefix..]);
+                    tails_flat[tail_start..].sort_unstable_by_key(|e| e.0);
+                    tail_lens.push(
+                        u32::try_from(tails_flat.len() - tail_start).expect("cos tail overflow"),
+                    );
                 }
-                let prefix =
-                    (0..=order.len()).find(|&p| tails[p].sqrt() < t_eff).unwrap_or(order.len());
-                cos_suffix_bound[b] = tails[prefix].sqrt();
-                for &(token, w) in &order[..prefix] {
-                    cos_staged.push((token, (b as u32, w)));
+                (suffix, staged, tails_flat, tail_lens)
+            });
+            let mut b = index_start;
+            for (suffix, staged, tails_flat, tail_lens) in chunks {
+                for (s, len) in suffix.into_iter().zip(tail_lens) {
+                    cos_suffix_bound[b] = s;
+                    cos_tail_bounds[b + 1] =
+                        cos_tail_bounds[b].checked_add(len).expect("cos tail arena overflow");
+                    b += 1;
                 }
-                // Stash the unindexed tail sorted by token id (probe-side
-                // lookups are binary searches over the probe's id-sorted
-                // vector).
-                let tail_start = cos_tail_entries.len();
-                cos_tail_entries.extend_from_slice(&order[prefix..]);
-                cos_tail_entries[tail_start..].sort_unstable_by_key(|e| e.0);
-                cos_tail_bounds[b + 1] =
-                    u32::try_from(cos_tail_entries.len()).expect("cos tail arena overflow");
+                cos_staged.extend_from_slice(&staged);
+                cos_tail_entries.extend_from_slice(&tails_flat);
             }
             // Records before `index_start` (cross-join A side) keep empty
-            // tails; make the offsets monotone for them too.
-            for b in 0..index_start {
-                cos_tail_bounds[b + 1] = cos_tail_bounds[b];
-            }
+            // tails; the zero-initialized offsets are already monotone.
         }
         let (cos_bounds, cos_entries) = csr_from_staged(vocab, &cos_staged);
         drop(cos_staged);
@@ -321,61 +371,113 @@ impl PrefixIndex {
         let mut jac_staged: Vec<(u32, (u32, u32))> = Vec::new();
         let df = if jac_active { corpus.set_doc_freq() } else { Vec::new() };
         if jac_active {
-            let mut order: Vec<u32> = Vec::new();
-            for b in index_start..n {
-                let set = corpus.token_set(b);
-                if set.is_empty() {
-                    continue;
-                }
-                let prefix = if filtered {
-                    let required = ((threshold - BOUND_SLACK) * set.len() as f64).ceil() as usize;
-                    if required < 1 {
-                        set.len()
-                    } else {
-                        set.len() - required + 1
+            let chunks = crate::par::map_chunks(index_len, CHUNK, threads, |range| {
+                let mut cuts: Vec<u32> = Vec::with_capacity(range.len());
+                let mut staged: Vec<(u32, (u32, u32))> = Vec::new();
+                let mut order: Vec<u32> = Vec::new();
+                for b in range.start + index_start..range.end + index_start {
+                    let set = corpus.token_set(b);
+                    if set.is_empty() {
+                        cuts.push(u32::MAX);
+                        continue;
                     }
-                } else {
-                    set.len()
-                };
-                jac_cut[b] = (set.len() - prefix) as u32;
-                order.clear();
-                order.extend_from_slice(set);
-                // Global rank order: rarest first, ties by id. The prefix
-                // *size* alone carries the prefix-filter argument; the
-                // *order* is what the positional filter reasons over (the
-                // probe walks its tokens in the same rank order).
-                order.sort_unstable_by_key(|&t| (df[t as usize], t));
-                let len = set.len() as u32;
-                for &token in &order[..prefix] {
-                    jac_staged.push((token, (b as u32, len)));
+                    let prefix = if filtered {
+                        let required =
+                            ((threshold - BOUND_SLACK) * set.len() as f64).ceil() as usize;
+                        if required < 1 {
+                            set.len()
+                        } else {
+                            set.len() - required + 1
+                        }
+                    } else {
+                        set.len()
+                    };
+                    cuts.push((set.len() - prefix) as u32);
+                    order.clear();
+                    order.extend_from_slice(set);
+                    // Global rank order: rarest first, ties by id. The
+                    // prefix *size* alone carries the prefix-filter
+                    // argument; the *order* is what the positional filter
+                    // reasons over (the probe walks its tokens in the same
+                    // rank order).
+                    order.sort_unstable_by_key(|&t| (df[t as usize], t));
+                    let len = set.len() as u32;
+                    for &token in &order[..prefix] {
+                        staged.push((token, (b as u32, len)));
+                    }
                 }
+                (cuts, staged)
+            });
+            let mut b = index_start;
+            for (cuts, staged) in chunks {
+                for cut in cuts {
+                    jac_cut[b] = cut;
+                    b += 1;
+                }
+                jac_staged.extend_from_slice(&staged);
             }
         }
         let (jac_bounds, jac_entries) = csr_from_staged(vocab, &jac_staged);
         drop(jac_staged);
 
-        // Probe-side rank-ordered token lists (positional filter only; the
-        // t ≤ 0 fallback and cosine-only blends scan sets in id order).
-        let probe_count = split.unwrap_or(n);
+        // The adaptive cascade: per-block length/positional decisions from
+        // df/size statistics (see `crate::block` for the cost model). All
+        // off in the t ≤ 0 fallback — its postings are unfiltered.
+        let probe_count = params.split.unwrap_or(n);
+        let plan = if jac_filtered {
+            CascadePlan::compute(&blocks, corpus, &jac_cut, probe_count, t_len)
+        } else {
+            CascadePlan::all_off(blocks.num_blocks())
+        };
+        let len_blocks = plan.len_on.iter().filter(|&&x| x).count();
+        let pos_blocks = plan.pos_on.iter().filter(|&&x| x).count();
+        crowdjoin_obs::counter("matcher.blocks", crowdjoin_obs::NO_SHARD)
+            .add(blocks.num_blocks() as u64);
+        crowdjoin_obs::counter("matcher.blocks.len_on", crowdjoin_obs::NO_SHARD)
+            .add(len_blocks as u64);
+        crowdjoin_obs::counter("matcher.blocks.pos_on", crowdjoin_obs::NO_SHARD)
+            .add(pos_blocks as u64);
+
+        // Probe-side rank-ordered token lists — needed only when some block
+        // tracks the positional cursor (the t ≤ 0 fallback, cosine-only
+        // blends, and pos-off cascades scan sets in id order).
         let mut probe_flat: Vec<u32> = Vec::new();
         let mut probe_bounds: Vec<u32> = Vec::new();
-        if jac_positional {
+        if plan.any_pos {
+            let chunks = crate::par::map_chunks(probe_count, CHUNK, threads, |range| {
+                let mut flat: Vec<u32> = Vec::new();
+                let mut lens: Vec<u32> = Vec::with_capacity(range.len());
+                let mut order: Vec<u32> = Vec::new();
+                for a in range {
+                    order.clear();
+                    order.extend_from_slice(corpus.token_set(a));
+                    order.sort_unstable_by_key(|&t| (df[t as usize], t));
+                    flat.extend_from_slice(&order);
+                    lens.push(u32::try_from(order.len()).expect("probe arena overflow"));
+                }
+                (flat, lens)
+            });
             probe_bounds.reserve(probe_count + 1);
             probe_bounds.push(0);
-            let mut order: Vec<u32> = Vec::new();
-            for a in 0..probe_count {
-                order.clear();
-                order.extend_from_slice(corpus.token_set(a));
-                order.sort_unstable_by_key(|&t| (df[t as usize], t));
-                probe_flat.extend_from_slice(&order);
-                probe_bounds.push(u32::try_from(probe_flat.len()).expect("probe arena overflow"));
+            for (flat, lens) in chunks {
+                probe_flat.extend_from_slice(&flat);
+                for len in lens {
+                    let end = probe_bounds
+                        .last()
+                        .expect("non-empty bounds")
+                        .checked_add(len)
+                        .expect("probe arena overflow");
+                    probe_bounds.push(end);
+                }
             }
         }
 
         Self {
             cos_active,
-            jac_positional,
+            jac_filtered,
             t_len,
+            blocks,
+            plan,
             cos_suffix_bound,
             jac_cut,
             cos_entries,
@@ -389,19 +491,6 @@ impl PrefixIndex {
         }
     }
 
-    /// Cosine prefix postings of `token`: `(record, weight)`, ascending by
-    /// record id. Tokens the index has never seen — any probe against an
-    /// index built over an empty corpus, or a streaming probe whose
-    /// vocabulary outgrew the index — have no postings.
-    #[inline]
-    pub fn cos_postings(&self, token: u32) -> &[(u32, f32)] {
-        let t = token as usize;
-        if t + 1 >= self.cos_bounds.len() {
-            return &[];
-        }
-        &self.cos_entries[self.cos_bounds[t] as usize..self.cos_bounds[t + 1] as usize]
-    }
-
     /// Record `b`'s unindexed cosine tail entries `(token, weight)`,
     /// sorted by token id. Empty when `b`'s whole vector is indexed (and
     /// for all records when the cosine join is inactive).
@@ -412,24 +501,49 @@ impl PrefixIndex {
             [self.cos_tail_bounds[b] as usize..self.cos_tail_bounds[b + 1] as usize]
     }
 
-    /// Jaccard prefix postings of `token`: `(record, token-set size)`,
-    /// ascending by record id. Unknown tokens (see [`Self::cos_postings`])
-    /// have no postings.
-    #[inline]
-    pub fn jac_postings(&self, token: u32) -> &[(u32, u32)] {
-        let t = token as usize;
-        if t + 1 >= self.jac_bounds.len() {
-            return &[];
-        }
-        &self.jac_entries[self.jac_bounds[t] as usize..self.jac_bounds[t + 1] as usize]
-    }
-
     /// Probe record `a`'s token set in global rank order (only built when
-    /// [`Self::jac_positional`]).
+    /// some block enables the positional filter, `plan.any_pos`).
     #[inline]
     pub fn probe_tokens(&self, a: u32) -> &[u32] {
         let a = a as usize;
         &self.probe_flat[self.probe_bounds[a] as usize..self.probe_bounds[a + 1] as usize]
+    }
+
+    /// Arena index range `[lo, hi)` of `token`'s cosine postings — the
+    /// blocked kernel keeps raw cursors into the arena so a token's list
+    /// can be consumed block by block. `(0, 0)` for unknown tokens.
+    #[inline]
+    pub fn cos_range(&self, token: u32) -> (u32, u32) {
+        let t = token as usize;
+        if t + 1 >= self.cos_bounds.len() {
+            return (0, 0);
+        }
+        (self.cos_bounds[t], self.cos_bounds[t + 1])
+    }
+
+    /// Arena index range `[lo, hi)` of `token`'s Jaccard postings; `(0, 0)`
+    /// for unknown tokens.
+    #[inline]
+    pub fn jac_range(&self, token: u32) -> (u32, u32) {
+        let t = token as usize;
+        if t + 1 >= self.jac_bounds.len() {
+            return (0, 0);
+        }
+        (self.jac_bounds[t], self.jac_bounds[t + 1])
+    }
+
+    /// The full cosine posting arena (indexed by [`Self::cos_range`]
+    /// cursors).
+    #[inline]
+    pub fn cos_arena(&self) -> &[(u32, f32)] {
+        &self.cos_entries
+    }
+
+    /// The full Jaccard posting arena (indexed by [`Self::jac_range`]
+    /// cursors).
+    #[inline]
+    pub fn jac_arena(&self) -> &[(u32, u32)] {
+        &self.jac_entries
     }
 }
 
@@ -447,12 +561,42 @@ mod tests {
         Dataset { table, entity_of: (0..n as u32).collect(), split: None, name: "t".into() }
     }
 
+    fn build(
+        corpus: &TokenizedCorpus,
+        index: &TfIdfIndex,
+        threshold: f64,
+        split: Option<usize>,
+    ) -> PrefixIndex {
+        PrefixIndex::build(
+            corpus,
+            index,
+            PrefixParams {
+                threshold,
+                cos_weight_positive: true,
+                jac_weight_positive: true,
+                split,
+                threads: 1,
+                block_records: 0,
+            },
+        )
+    }
+
+    fn cos_postings(pf: &PrefixIndex, token: u32) -> &[(u32, f32)] {
+        let (lo, hi) = pf.cos_range(token);
+        &pf.cos_arena()[lo as usize..hi as usize]
+    }
+
+    fn jac_postings(pf: &PrefixIndex, token: u32) -> &[(u32, u32)] {
+        let (lo, hi) = pf.jac_range(token);
+        &pf.jac_arena()[lo as usize..hi as usize]
+    }
+
     fn jac_total(pf: &PrefixIndex, vocab: usize) -> usize {
-        (0..vocab as u32).map(|t| pf.jac_postings(t).len()).sum()
+        (0..vocab as u32).map(|t| jac_postings(pf, t).len()).sum()
     }
 
     fn cos_total(pf: &PrefixIndex, vocab: usize) -> usize {
-        (0..vocab as u32).map(|t| pf.cos_postings(t).len()).sum()
+        (0..vocab as u32).map(|t| cos_postings(pf, t).len()).sum()
     }
 
     #[test]
@@ -460,9 +604,9 @@ mod tests {
         let ds = dataset(&["sony tv", "sony camera"]);
         let corpus = TokenizedCorpus::build(&ds);
         let index = TfIdfIndex::from_corpus(&corpus, &[1.0]);
-        let pf = PrefixIndex::build(&corpus, &index, 0.0, true, true, None);
+        let pf = build(&corpus, &index, 0.0, None);
         assert!(!pf.cos_active);
-        assert!(!pf.jac_positional, "t = 0 is the unfiltered fallback");
+        assert!(!pf.jac_filtered, "t = 0 is the unfiltered fallback");
         assert_eq!(jac_total(&pf, corpus.vocabulary_size()), 4, "every token indexed");
     }
 
@@ -478,8 +622,8 @@ mod tests {
         let corpus = TokenizedCorpus::build(&ds);
         let index = TfIdfIndex::from_corpus(&corpus, &[1.0]);
         let vocab = corpus.vocabulary_size();
-        let loose = PrefixIndex::build(&corpus, &index, 0.05, true, true, None);
-        let tight = PrefixIndex::build(&corpus, &index, 0.9, true, true, None);
+        let loose = build(&corpus, &index, 0.05, None);
+        let tight = build(&corpus, &index, 0.9, None);
         assert!(jac_total(&tight, vocab) < jac_total(&loose, vocab));
         assert!(cos_total(&tight, vocab) < cos_total(&loose, vocab));
         // The tight index leaves a positive tail bound on at least one record.
@@ -497,7 +641,7 @@ mod tests {
         ]);
         let corpus = TokenizedCorpus::build(&ds);
         let index = TfIdfIndex::from_corpus(&corpus, &[1.0]);
-        let pf = PrefixIndex::build(&corpus, &index, 0.9, true, true, None);
+        let pf = build(&corpus, &index, 0.9, None);
         let mut any_tail = false;
         for b in 0..corpus.num_records() as u32 {
             let tail = pf.cos_tail(b);
@@ -506,7 +650,7 @@ mod tests {
             // Indexed prefix entries ∪ tail entries = the full vector.
             let mut rebuilt: Vec<(u32, f32)> = tail.to_vec();
             for t in 0..corpus.vocabulary_size() as u32 {
-                for &(r, w) in pf.cos_postings(t) {
+                for &(r, w) in cos_postings(&pf, t) {
                     if r == b {
                         rebuilt.push((t, w));
                     }
@@ -527,10 +671,10 @@ mod tests {
         let ds = Dataset { table, entity_of: vec![0, 1, 2, 3], split: Some(2), name: "t".into() };
         let corpus = TokenizedCorpus::build(&ds);
         let index = TfIdfIndex::from_corpus(&corpus, &[1.0]);
-        let pf = PrefixIndex::build(&corpus, &index, 0.05, true, true, Some(2));
+        let pf = build(&corpus, &index, 0.05, Some(2));
         for t in 0..corpus.vocabulary_size() as u32 {
-            assert!(pf.jac_postings(t).iter().all(|&(r, _)| r >= 2), "A-side record indexed");
-            assert!(pf.cos_postings(t).iter().all(|&(r, _)| r >= 2));
+            assert!(jac_postings(&pf, t).iter().all(|&(r, _)| r >= 2), "A-side record indexed");
+            assert!(cos_postings(&pf, t).iter().all(|&(r, _)| r >= 2));
         }
     }
 
@@ -539,11 +683,11 @@ mod tests {
         let ds = dataset(&["a b c", "a b d", "a c d", "b c d", "a b c d"]);
         let corpus = TokenizedCorpus::build(&ds);
         let index = TfIdfIndex::from_corpus(&corpus, &[1.0]);
-        let pf = PrefixIndex::build(&corpus, &index, 0.3, true, true, None);
+        let pf = build(&corpus, &index, 0.3, None);
         for t in 0..corpus.vocabulary_size() as u32 {
-            let jac = pf.jac_postings(t);
+            let jac = jac_postings(&pf, t);
             assert!(jac.windows(2).all(|w| w[0].0 < w[1].0), "{jac:?}");
-            let cos = pf.cos_postings(t);
+            let cos = cos_postings(&pf, t);
             assert!(cos.windows(2).all(|w| w[0].0 < w[1].0));
         }
     }
@@ -553,9 +697,9 @@ mod tests {
         let ds = dataset(&["a b c", "a b", "a"]);
         let corpus = TokenizedCorpus::build(&ds);
         let index = TfIdfIndex::from_corpus(&corpus, &[1.0]);
-        let pf = PrefixIndex::build(&corpus, &index, 0.3, true, true, None);
+        let pf = build(&corpus, &index, 0.3, None);
         for t in 0..corpus.vocabulary_size() as u32 {
-            for &(b, len) in pf.jac_postings(t) {
+            for &(b, len) in jac_postings(&pf, t) {
                 assert_eq!(len as usize, corpus.token_set(b as usize).len());
             }
         }
@@ -563,11 +707,21 @@ mod tests {
 
     #[test]
     fn probe_order_is_a_rank_sorted_permutation() {
-        let ds = dataset(&["a b c common", "a common", "b common", "c common", "common only"]);
+        // Long records so the cascade's cost model genuinely enables the
+        // positional filter (mean merge length ≥ POS_MIN_MERGE_LEN) — the
+        // rank-ordered probe lists are only built when some block does.
+        let names: Vec<String> = (0..12)
+            .map(|i| {
+                (0..18).map(|j| format!("t{}", (i * 5 + j) % 40)).collect::<Vec<_>>().join(" ")
+            })
+            .collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let ds = dataset(&refs);
         let corpus = TokenizedCorpus::build(&ds);
         let index = TfIdfIndex::from_corpus(&corpus, &[1.0]);
-        let pf = PrefixIndex::build(&corpus, &index, 0.3, true, true, None);
-        assert!(pf.jac_positional);
+        let pf = build(&corpus, &index, 0.3, None);
+        assert!(pf.jac_filtered);
+        assert!(pf.plan.any_pos, "long sets must enable the positional filter");
         let df = corpus.set_doc_freq();
         for a in 0..corpus.num_records() {
             let probe = pf.probe_tokens(a as u32);
@@ -592,11 +746,11 @@ mod tests {
         let corpus = TokenizedCorpus::build(&ds);
         let index = TfIdfIndex::from_corpus(&corpus, &[1.0]);
         for threshold in [0.0, -0.5, 0.3] {
-            let pf = PrefixIndex::build(&corpus, &index, threshold, true, true, None);
-            assert!(pf.jac_postings(0).is_empty(), "threshold {threshold}");
-            assert!(pf.cos_postings(0).is_empty(), "threshold {threshold}");
-            assert!(pf.jac_postings(17).is_empty());
-            assert!(pf.cos_postings(17).is_empty());
+            let pf = build(&corpus, &index, threshold, None);
+            assert!(jac_postings(&pf, 0).is_empty(), "threshold {threshold}");
+            assert!(cos_postings(&pf, 0).is_empty(), "threshold {threshold}");
+            assert!(jac_postings(&pf, 17).is_empty());
+            assert!(cos_postings(&pf, 17).is_empty());
         }
     }
 
@@ -607,10 +761,57 @@ mod tests {
         let ds = dataset(&["sony tv", "sony camera"]);
         let corpus = TokenizedCorpus::build(&ds);
         let index = TfIdfIndex::from_corpus(&corpus, &[1.0]);
-        let pf = PrefixIndex::build(&corpus, &index, 0.3, true, true, None);
+        let pf = build(&corpus, &index, 0.3, None);
         let beyond = corpus.vocabulary_size() as u32 + 5;
-        assert!(pf.jac_postings(beyond).is_empty());
-        assert!(pf.cos_postings(beyond).is_empty());
+        assert!(jac_postings(&pf, beyond).is_empty());
+        assert!(cos_postings(&pf, beyond).is_empty());
+    }
+
+    #[test]
+    fn threaded_build_is_bit_identical_to_serial() {
+        // > 1024 index records so build chunks are genuinely crossed; mixed
+        // record lengths exercise prefix cuts, tails, and the cascade.
+        let names: Vec<String> = (0..2600)
+            .map(|i| {
+                let len = 1 + (i * 7) % 29;
+                (0..len).map(|j| format!("t{}", (i + j * 3) % 211)).collect::<Vec<_>>().join(" ")
+            })
+            .collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let ds = dataset(&refs);
+        let corpus = TokenizedCorpus::build(&ds);
+        let index = TfIdfIndex::from_corpus(&corpus, &[1.0]);
+        let params = PrefixParams {
+            threshold: 0.35,
+            cos_weight_positive: true,
+            jac_weight_positive: true,
+            split: None,
+            threads: 1,
+            block_records: 0,
+        };
+        let serial = PrefixIndex::build(&corpus, &index, params);
+        for threads in [2, 4] {
+            let par = PrefixIndex::build(&corpus, &index, PrefixParams { threads, ..params });
+            assert_eq!(par.cos_bounds, serial.cos_bounds, "threads {threads}");
+            assert_eq!(par.cos_tail_bounds, serial.cos_tail_bounds);
+            assert_eq!(par.jac_bounds, serial.jac_bounds);
+            assert_eq!(par.jac_cut, serial.jac_cut);
+            assert_eq!(par.probe_bounds, serial.probe_bounds);
+            assert_eq!(par.probe_flat, serial.probe_flat);
+            assert_eq!(par.plan.len_on, serial.plan.len_on);
+            assert_eq!(par.plan.pos_on, serial.plan.pos_on);
+            assert_eq!(par.cos_entries.len(), serial.cos_entries.len());
+            for (p, s) in par.cos_entries.iter().zip(serial.cos_entries.iter()) {
+                assert_eq!((p.0, p.1.to_bits()), (s.0, s.1.to_bits()));
+            }
+            for (p, s) in par.cos_tail_entries.iter().zip(serial.cos_tail_entries.iter()) {
+                assert_eq!((p.0, p.1.to_bits()), (s.0, s.1.to_bits()));
+            }
+            assert_eq!(par.jac_entries, serial.jac_entries);
+            for (p, s) in par.cos_suffix_bound.iter().zip(serial.cos_suffix_bound.iter()) {
+                assert_eq!(p.to_bits(), s.to_bits());
+            }
+        }
     }
 
     #[test]

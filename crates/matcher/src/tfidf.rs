@@ -52,13 +52,38 @@ impl TfIdfIndex {
     }
 
     /// Builds the index from an already-tokenized corpus — no re-tokenization,
-    /// and the vectors share the corpus's interned token ids.
+    /// and the vectors share the corpus's interned token ids. Equivalent to
+    /// [`TfIdfIndex::from_corpus_threaded`] with one thread.
     ///
     /// # Panics
     ///
     /// Panics if `field_weights.len()` differs from the corpus arity.
     #[must_use]
     pub fn from_corpus(corpus: &TokenizedCorpus, field_weights: &[f64]) -> Self {
+        Self::from_corpus_threaded(corpus, field_weights, 1)
+    }
+
+    /// [`TfIdfIndex::from_corpus`] on up to `threads` workers (0 = one per
+    /// available core).
+    ///
+    /// Both passes are embarrassingly parallel over records: workers emit
+    /// per-chunk arenas that are concatenated in chunk order, so the
+    /// record-major layout is byte-identical to the sequential build.
+    /// Document frequencies are integer sums over the concatenated count
+    /// arena and the posting CSR fill walks records in ascending id order —
+    /// neither depends on the worker count, so the whole index is
+    /// bit-identical to [`TfIdfIndex::from_corpus`] for every `threads`
+    /// value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `field_weights.len()` differs from the corpus arity.
+    #[must_use]
+    pub fn from_corpus_threaded(
+        corpus: &TokenizedCorpus,
+        field_weights: &[f64],
+        threads: usize,
+    ) -> Self {
         let _span = crowdjoin_obs::obs_span!(
             "matcher",
             "matcher.index",
@@ -70,44 +95,62 @@ impl TfIdfIndex {
         assert_eq!(field_weights.len(), arity, "one weight per schema field required");
         let n = corpus.num_records();
         let vocab = corpus.vocabulary_size();
+        // Records per work unit (both passes are cheap per record, so
+        // chunks are bigger than the probe loop's).
+        const CHUNK: usize = 4096;
 
         // Pass 1: per-record weighted term counts (zero-weight fields are
         // skipped entirely) and document frequencies over those counts.
         // Occurrences are sorted by token id and aggregated in one sweep —
         // O(k log k) per record with no hashing, regardless of how many
         // distinct tokens a long text field carries. Counts live in one
-        // flat arena (record `i` spans `count_bounds[i]..count_bounds[i+1]`).
+        // flat arena (record `i` spans `count_bounds[i]..count_bounds[i+1]`);
+        // workers fill disjoint chunks of it, concatenated in chunk order.
+        let counted = crate::par::map_chunks(n, CHUNK, threads, |range| {
+            let mut entries: Vec<(u32, f64)> = Vec::new();
+            let mut lens: Vec<u32> = Vec::with_capacity(range.len());
+            let mut occurrences: Vec<(u32, f64)> = Vec::new();
+            for i in range {
+                occurrences.clear();
+                for (f, &w) in field_weights.iter().enumerate() {
+                    if w == 0.0 {
+                        continue;
+                    }
+                    occurrences.extend(corpus.field_tokens(i, f).iter().map(|&id| (id, w)));
+                }
+                occurrences.sort_unstable_by_key(|&(id, _)| id);
+                let start = entries.len();
+                for &(id, w) in &occurrences {
+                    // Merge repeats within this record only — never across
+                    // the arena boundary into the previous record's last
+                    // entry.
+                    if entries.len() > start {
+                        let last = entries.last_mut().expect("non-empty past start");
+                        if last.0 == id {
+                            last.1 += w;
+                            continue;
+                        }
+                    }
+                    entries.push((id, w));
+                }
+                lens.push(u32::try_from(entries.len() - start).expect("tf-idf arena overflow"));
+            }
+            (entries, lens)
+        });
         let mut doc_freq: Vec<u32> = vec![0; vocab];
         let mut count_entries: Vec<(u32, f64)> = Vec::new();
         let mut count_bounds: Vec<u32> = Vec::with_capacity(n + 1);
         count_bounds.push(0);
-        let mut occurrences: Vec<(u32, f64)> = Vec::new();
-        for i in 0..n {
-            occurrences.clear();
-            for (f, &w) in field_weights.iter().enumerate() {
-                if w == 0.0 {
-                    continue;
-                }
-                occurrences.extend(corpus.field_tokens(i, f).iter().map(|&id| (id, w)));
+        for (entries, lens) in counted {
+            count_entries.extend_from_slice(&entries);
+            for len in lens {
+                let end = count_bounds.last().expect("non-empty bounds") + len;
+                assert!((end as usize) <= count_entries.len(), "tf-idf arena overflow");
+                count_bounds.push(end);
             }
-            occurrences.sort_unstable_by_key(|&(id, _)| id);
-            let start = count_entries.len();
-            for &(id, w) in &occurrences {
-                // Merge repeats within this record only — never across the
-                // arena boundary into the previous record's last entry.
-                if count_entries.len() > start {
-                    let last = count_entries.last_mut().expect("non-empty past start");
-                    if last.0 == id {
-                        last.1 += w;
-                        continue;
-                    }
-                }
-                count_entries.push((id, w));
-            }
-            for &(id, _) in &count_entries[start..] {
-                doc_freq[id as usize] += 1;
-            }
-            count_bounds.push(u32::try_from(count_entries.len()).expect("tf-idf arena overflow"));
+        }
+        for &(id, _) in &count_entries {
+            doc_freq[id as usize] += 1;
         }
 
         // Pass 2: tf-idf weights, L2 normalization, record-major vector
@@ -118,32 +161,48 @@ impl TfIdfIndex {
             .iter()
             .map(|&df| if df == 0 { 0.0 } else { (1.0 + n as f64 / df as f64).ln() })
             .collect();
+        let weighted = crate::par::map_chunks(n, CHUNK, threads, |range| {
+            let mut entries: Vec<(u32, f32)> = Vec::new();
+            let mut lens: Vec<u32> = Vec::with_capacity(range.len());
+            let mut scratch: Vec<(u32, f64)> = Vec::new();
+            for i in range {
+                let lo = count_bounds[i] as usize;
+                let hi = count_bounds[i + 1] as usize;
+                scratch.clear();
+                scratch.extend(
+                    count_entries[lo..hi]
+                        .iter()
+                        .map(|&(id, tf)| (id, (1.0 + tf.ln()) * idf[id as usize])),
+                );
+                let norm = scratch.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+                let start = entries.len();
+                if norm > 0.0 {
+                    // Counts were aggregated in ascending id order, so the
+                    // vector is already sorted.
+                    for &(id, w) in &scratch {
+                        entries.push((id, (w / norm) as f32));
+                    }
+                }
+                lens.push(u32::try_from(entries.len() - start).expect("tf-idf arena overflow"));
+            }
+            (entries, lens)
+        });
+        drop(count_entries);
         let mut vec_entries: Vec<(u32, f32)> = Vec::new();
         let mut vec_bounds: Vec<u32> = Vec::with_capacity(n + 1);
         vec_bounds.push(0);
         let mut post_count: Vec<u32> = vec![0; vocab];
-        let mut scratch: Vec<(u32, f64)> = Vec::new();
-        for i in 0..n {
-            let lo = count_bounds[i] as usize;
-            let hi = count_bounds[i + 1] as usize;
-            scratch.clear();
-            scratch.extend(
-                count_entries[lo..hi]
-                    .iter()
-                    .map(|&(id, tf)| (id, (1.0 + tf.ln()) * idf[id as usize])),
-            );
-            let norm = scratch.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
-            if norm > 0.0 {
-                // Counts were aggregated in ascending id order, so the
-                // vector is already sorted.
-                for &(id, w) in &scratch {
-                    vec_entries.push((id, (w / norm) as f32));
-                    post_count[id as usize] += 1;
-                }
+        for (entries, lens) in weighted {
+            vec_entries.extend_from_slice(&entries);
+            for len in lens {
+                let end = vec_bounds.last().expect("non-empty bounds") + len;
+                assert!((end as usize) <= vec_entries.len(), "tf-idf arena overflow");
+                vec_bounds.push(end);
             }
-            vec_bounds.push(u32::try_from(vec_entries.len()).expect("tf-idf arena overflow"));
         }
-        drop(count_entries);
+        for &(id, _) in &vec_entries {
+            post_count[id as usize] += 1;
+        }
 
         // CSR fill of the inverted index: offsets from the per-token
         // counts, then one stable sweep over the record-major vectors —
@@ -327,6 +386,30 @@ mod tests {
         // Vector entries use the corpus's interned ids.
         let sony = corpus.interner().get("sony").unwrap();
         assert!(a.vector(0).iter().any(|&(id, _)| id == sony));
+    }
+
+    #[test]
+    fn threaded_build_is_bit_identical_to_serial() {
+        // > 4096 records so chunk boundaries are genuinely crossed.
+        let names: Vec<String> =
+            (0..9000).map(|i| format!("tok{} shared{} x{}", i % 311, i % 97, i % 13)).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let ds = dataset(&refs);
+        let corpus = TokenizedCorpus::build(&ds);
+        let serial = TfIdfIndex::from_corpus(&corpus, &[1.0]);
+        for threads in [2, 4] {
+            let par = TfIdfIndex::from_corpus_threaded(&corpus, &[1.0], threads);
+            assert_eq!(par.vec_bounds, serial.vec_bounds, "threads {threads}");
+            assert_eq!(par.post_bounds, serial.post_bounds, "threads {threads}");
+            for (p, s) in par.vec_entries.iter().zip(serial.vec_entries.iter()) {
+                assert_eq!(p.0, s.0);
+                assert_eq!(p.1.to_bits(), s.1.to_bits(), "threads {threads}");
+            }
+            for (p, s) in par.post_entries.iter().zip(serial.post_entries.iter()) {
+                assert_eq!(p.0, s.0);
+                assert_eq!(p.1.to_bits(), s.1.to_bits(), "threads {threads}");
+            }
+        }
     }
 
     #[test]

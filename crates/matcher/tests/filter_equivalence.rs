@@ -115,8 +115,13 @@ proptest! {
         wc in 0.0f64..1.5,
         wj in 0.0f64..1.5,
         fw_code in proptest::prelude::any::<u64>(),
-        threads in 1usize..4,
+        threads in 1usize..5,
+        block_idx in 0usize..6,
     ) {
+        // Block sizes straddle every regime: single-record blocks, tiny
+        // blocks, 0 = auto, and a block larger than any dataset here
+        // (degenerate unblocked). All must be output-invariant.
+        let block_records = [1, 2, 3, 7, 0, 1 << 20][block_idx];
         let dataset = dataset_for(kind, n, seed);
         let arity = dataset.table.schema().arity();
         let (wc, wj) = if wc + wj == 0.0 { (0.6, 0.4) } else { (wc, wj) };
@@ -127,6 +132,7 @@ proptest! {
             field_weights: (0..arity).map(|f| field_weight_of(fw_code >> (2 * f))).collect(),
             extra_measures: Vec::new(),
             threads,
+            block_records,
             strategy: MatcherStrategy::Exact,
         };
         // At least one field must carry token weight for the tf-idf build
@@ -191,10 +197,12 @@ proptest! {
         n in 30usize..90,
         seed in proptest::prelude::any::<u64>(),
         floor_idx in 0usize..5,
-        threads in 1usize..4,
+        threads in 1usize..5,
+        block_idx in 0usize..4,
     ) {
         use crowdjoin_records::{Dataset, Record, Schema, Table};
         let floor = [0.1, 0.25, 1.0 / 3.0, 0.5, 0.75][floor_idx];
+        let block_records = [0, 1, 5, 1 << 20][block_idx];
         let mut table = Table::new(Schema::new(vec!["name"]));
         for i in 0..n {
             // Length pattern 1..~40 tokens drawn from a small shared pool,
@@ -213,8 +221,54 @@ proptest! {
         let config = MatcherConfig {
             min_likelihood: floor,
             threads,
+            block_records,
             ..MatcherConfig::for_arity(1)
         };
         check_equivalence(&dataset, &config)?;
+    }
+}
+
+/// Deterministic cross-check of the blocked kernel and every parallel build
+/// stage at once: one self join and one cross join, swept over block sizes
+/// and thread counts (including 4, which CI pins on every push). Every
+/// combination must produce the same bytes as the `threads: 1`,
+/// single-block reference run.
+#[test]
+fn blocked_and_threaded_runs_are_bit_identical() {
+    for kind in [0u64, 1] {
+        let dataset = dataset_for(kind, 120, 0xB10C);
+        let arity = dataset.table.schema().arity();
+        let reference = generate_candidates(
+            &dataset,
+            &MatcherConfig {
+                min_likelihood: 0.2,
+                threads: 1,
+                block_records: 1 << 20,
+                ..MatcherConfig::for_arity(arity)
+            },
+        );
+        assert!(!reference.is_empty(), "test setup: the join must find pairs");
+        for block_records in [0, 1, 3, 16, 64] {
+            for threads in [1, 2, 4] {
+                let run = generate_candidates(
+                    &dataset,
+                    &MatcherConfig {
+                        min_likelihood: 0.2,
+                        threads,
+                        block_records,
+                        ..MatcherConfig::for_arity(arity)
+                    },
+                );
+                assert_eq!(
+                    run.len(),
+                    reference.len(),
+                    "kind {kind} blocks {block_records} threads {threads}"
+                );
+                for (r, s) in run.iter().zip(reference.iter()) {
+                    assert_eq!((r.a, r.b), (s.a, s.b));
+                    assert_eq!(r.likelihood.to_bits(), s.likelihood.to_bits());
+                }
+            }
+        }
     }
 }

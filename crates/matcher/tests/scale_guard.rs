@@ -73,6 +73,32 @@ fn product_200k_completes_within_bound_in_debug() {
 }
 
 #[test]
+#[ignore = "scale smoke — run via `cargo test -p crowdjoin-matcher --test scale_guard -- --ignored` (CI scale-guard step)"]
+fn product_50k_blocked_path_matches_auto() {
+    // The blocked kernel at scale: force many small probe blocks (a 4k
+    // block size tiles the 50k index side into ~13 blocks, vs auto's 8k)
+    // and require the exact candidate list of the auto-blocked run, in a
+    // debug build. A cursor-advance bug that only shows up when posting
+    // lists actually straddle block boundaries — invisible at the
+    // property-test sizes where one block covers everything — fails here.
+    let dataset = generate_product(&ProductGenConfig::scaled(25_000));
+    let config = MatcherConfig {
+        min_likelihood: 0.35,
+        field_weights: vec![1.0, 0.25],
+        ..MatcherConfig::for_arity(2)
+    };
+    let auto = generate_candidates(&dataset, &config);
+    let blocked =
+        generate_candidates(&dataset, &MatcherConfig { block_records: 4096, ..config.clone() });
+    assert!(!auto.is_empty(), "50k workload should keep candidates at 0.35");
+    assert_eq!(auto.len(), blocked.len(), "block size changed the candidate set");
+    for (a, b) in auto.iter().zip(blocked.iter()) {
+        assert_eq!((a.a, a.b), (b.a, b.b));
+        assert_eq!(a.likelihood.to_bits(), b.likelihood.to_bits());
+    }
+}
+
+#[test]
 #[ignore = "scale smoke — run via `cargo test -p crowdjoin-matcher --test scale_guard -- --ignored` (CI perf-smoke step)"]
 fn lsh_50k_completes_and_stays_a_subset_of_exact() {
     // LSH smoke at scale: the banding path must complete on the 50k

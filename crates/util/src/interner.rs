@@ -70,6 +70,26 @@ impl Interner {
     pub fn is_empty(&self) -> bool {
         self.names.is_empty()
     }
+
+    /// Merges `other`'s dictionary into `self`, returning the id remap
+    /// table: `remap[local_id] = global_id` for every id of `other`.
+    ///
+    /// `other`'s tokens are interned in ascending local-id order — i.e. in
+    /// `other`'s first-encounter order. This is what makes parallel
+    /// tokenization deterministic: workers intern disjoint input chunks into
+    /// local dictionaries, and absorbing the chunk dictionaries *in chunk
+    /// order* assigns every token the exact id a sequential pass over the
+    /// concatenated input would have assigned (a token's global first
+    /// encounter is in the first chunk that saw it, and within that chunk
+    /// local-id order is first-encounter order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the merged dictionary exceeds `u32::MAX` tokens.
+    #[must_use]
+    pub fn absorb(&mut self, other: &Interner) -> Vec<u32> {
+        other.names.iter().map(|name| self.intern(name)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -102,6 +122,45 @@ mod tests {
         assert!(interner.is_empty());
         assert_eq!(interner.len(), 0);
         assert_eq!(interner.get(""), None);
+    }
+
+    #[test]
+    fn absorb_reproduces_the_sequential_id_assignment() {
+        // Tokens interned in one pass over the concatenated input...
+        let stream = ["tv", "sony", "tv", "black", "sony", "eos", "canon", "black"];
+        let mut sequential = Interner::new();
+        let seq_ids: Vec<u32> = stream.iter().map(|t| sequential.intern(t)).collect();
+        // ...versus two chunk-local interners absorbed in chunk order.
+        let (left, right) = stream.split_at(3);
+        let mut a = Interner::new();
+        let a_ids: Vec<u32> = left.iter().map(|t| a.intern(t)).collect();
+        let mut b = Interner::new();
+        let b_ids: Vec<u32> = right.iter().map(|t| b.intern(t)).collect();
+        let mut merged = Interner::new();
+        let remap_a = merged.absorb(&a);
+        let remap_b = merged.absorb(&b);
+        let merged_ids: Vec<u32> = a_ids
+            .iter()
+            .map(|&id| remap_a[id as usize])
+            .chain(b_ids.iter().map(|&id| remap_b[id as usize]))
+            .collect();
+        assert_eq!(merged_ids, seq_ids);
+        assert_eq!(merged.len(), sequential.len());
+        for id in 0..merged.len() as u32 {
+            assert_eq!(merged.resolve(id), sequential.resolve(id));
+        }
+    }
+
+    #[test]
+    fn absorb_into_empty_is_the_identity() {
+        let mut src = Interner::new();
+        for t in ["a", "b", "c"] {
+            src.intern(t);
+        }
+        let mut dst = Interner::new();
+        let remap = dst.absorb(&src);
+        assert_eq!(remap, vec![0, 1, 2]);
+        assert_eq!(dst.len(), 3);
     }
 
     #[test]
